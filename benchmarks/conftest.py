@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harnesses.
+
+The benchmarks reproduce the paper's evaluation artefacts (Table I, Figure 3
+and the operand/latency distribution analysis).  They use a reduced operand
+count so the whole suite completes in minutes on a laptop; the experiment
+functions in :mod:`repro.analysis.experiments` accept larger streams for
+higher-fidelity runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import default_workload
+from repro.circuits import full_diffusion_library, umc_ll_library
+
+
+@pytest.fixture(scope="session")
+def table1_workload():
+    """The paper-scale workload: 8 clauses per polarity, trained on noisy-XOR."""
+    return default_workload(num_features=4, clauses_per_polarity=8, num_operands=12)
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """A reduced workload for the CD-overhead and distribution benches."""
+    return default_workload(num_features=4, clauses_per_polarity=8, num_operands=8)
+
+
+@pytest.fixture(scope="session")
+def umc():
+    return umc_ll_library()
+
+
+@pytest.fixture(scope="session")
+def full_diffusion():
+    return full_diffusion_library()

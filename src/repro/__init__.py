@@ -1,0 +1,48 @@
+"""repro — reproduction of "Low-Latency Asynchronous Logic Design for Inference at the Edge".
+
+The package implements, in pure Python, the full stack the DATE 2021 paper
+builds and evaluates:
+
+* :mod:`repro.circuits` — gate-level netlists, behavioural cell models, and
+  two synthetic characterised 65 nm-class standard-cell libraries standing in
+  for the paper's UMC LL and FULL DIFFUSION libraries;
+* :mod:`repro.sim` — an event-driven gate-level simulator with static timing
+  analysis, switching-power accounting, supply-voltage scaling, and the
+  dual-rail / synchronous stimulus environments;
+* :mod:`repro.core` — the paper's contribution: dual-rail encoding with
+  spacer-polarity tracking, negative-gate direct mapping, 1-of-n codes, and
+  the *reduced completion-detection* scheme with its STA-derived grace
+  period;
+* :mod:`repro.tm` — a trainable Tsetlin machine (the ML algorithm whose
+  inference datapath is studied) plus synthetic edge datasets;
+* :mod:`repro.datapath` — the inference datapath circuits of Figure 2
+  (clause logic, population counters, early-propagating magnitude
+  comparator) in both dual-rail and single-rail styles;
+* :mod:`repro.synth` — technology mapping and area/leakage/timing reports;
+* :mod:`repro.analysis` — the experiment harnesses that regenerate Table I,
+  Figure 3 and the operand/latency distribution analyses.
+
+Quickstart
+----------
+>>> from repro.analysis import default_workload, measure_dual_rail
+>>> from repro.circuits import umc_ll_library
+>>> workload = default_workload(num_operands=5)
+>>> result = measure_dual_rail(workload, umc_ll_library())
+>>> result.correctness
+1.0
+"""
+
+from . import analysis, circuits, core, datapath, sim, synth, tm
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "circuits",
+    "core",
+    "datapath",
+    "sim",
+    "synth",
+    "tm",
+    "__version__",
+]

@@ -1,0 +1,69 @@
+"""Measurement, statistics and experiment harnesses for the paper's evaluation."""
+
+from .distributions import (
+    Histogram,
+    comparator_decision_depth,
+    latency_histogram,
+    latency_vs_decision_depth,
+    mean_latency_by_depth,
+    operand_distributions,
+)
+from .experiments import (
+    DualRailMeasurement,
+    SingleRailMeasurement,
+    Workload,
+    default_workload,
+    dual_rail_table_row,
+    measure_dual_rail,
+    measure_single_rail,
+    random_workload,
+    run_figure3,
+    run_table1,
+    single_rail_table_row,
+)
+from .latency import LatencySummary, latencies_of, summarize_latencies
+from .tables import (
+    Figure3Point,
+    Table1Row,
+    format_figure3,
+    format_histogram,
+    format_table1,
+)
+from .throughput import (
+    ThroughputSummary,
+    dual_rail_throughput,
+    synchronous_throughput,
+    throughput_from_period,
+)
+
+__all__ = [
+    "DualRailMeasurement",
+    "Figure3Point",
+    "Histogram",
+    "LatencySummary",
+    "SingleRailMeasurement",
+    "Table1Row",
+    "ThroughputSummary",
+    "Workload",
+    "comparator_decision_depth",
+    "default_workload",
+    "dual_rail_table_row",
+    "dual_rail_throughput",
+    "format_figure3",
+    "format_histogram",
+    "format_table1",
+    "latencies_of",
+    "latency_histogram",
+    "latency_vs_decision_depth",
+    "mean_latency_by_depth",
+    "measure_dual_rail",
+    "measure_single_rail",
+    "operand_distributions",
+    "random_workload",
+    "run_figure3",
+    "run_table1",
+    "single_rail_table_row",
+    "summarize_latencies",
+    "synchronous_throughput",
+    "throughput_from_period",
+]

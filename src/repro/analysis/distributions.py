@@ -1,0 +1,136 @@
+"""Operand and delay probability distributions (contribution 2 of the paper).
+
+The second stated contribution is the "analysis of operand and delay
+probability distributions in the ML inference circuit": the average-case
+latency benefit of the early-propagating comparator depends entirely on how
+the vote counts (the comparator operands) are distributed for real
+workloads.  This module provides:
+
+* the vote-count and vote-difference distributions of a workload as seen by
+  the datapath,
+* the comparator *decision depth* — how many bit positions (from the MSB)
+  must be examined before the verdict is known — per operand, and
+* the per-operand latency histogram of a simulated run,
+
+so the relationship "large vote difference → shallow decision → short
+latency" can be measured and plotted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.handshake import DualRailInferenceResult
+from repro.tm.inference import InferenceModel
+
+
+@dataclass
+class Histogram:
+    """A labelled integer histogram with convenience statistics."""
+
+    counts: Dict[int, int] = field(default_factory=dict)
+
+    def add(self, value: int, weight: int = 1) -> None:
+        """Increment the bucket for *value*."""
+        self.counts[value] = self.counts.get(value, 0) + weight
+
+    @property
+    def total(self) -> int:
+        """Total number of recorded samples."""
+        return sum(self.counts.values())
+
+    def probability(self, value: int) -> float:
+        """Empirical probability of *value*."""
+        return self.counts.get(value, 0) / self.total if self.total else 0.0
+
+    def mean(self) -> float:
+        """Mean of the recorded values."""
+        if not self.total:
+            return float("nan")
+        return sum(v * c for v, c in self.counts.items()) / self.total
+
+    def as_sorted_items(self) -> List[Tuple[int, int]]:
+        """Buckets sorted by value."""
+        return sorted(self.counts.items())
+
+
+def comparator_decision_depth(pos: int, neg: int, width: int) -> int:
+    """Number of bit positions (from the MSB) examined before the verdict is known.
+
+    The MSB-first comparator stops at the first differing bit pair; equal
+    operands require all *width* positions.
+    """
+    for depth in range(1, width + 1):
+        shift = width - depth
+        if (pos >> shift) & 1 != (neg >> shift) & 1:
+            return depth
+    return width
+
+
+def operand_distributions(
+    model: InferenceModel, samples: np.ndarray, count_width: int
+) -> Dict[str, Histogram]:
+    """Vote-count, vote-difference and decision-depth distributions of a workload."""
+    pos_hist = Histogram()
+    neg_hist = Histogram()
+    diff_hist = Histogram()
+    depth_hist = Histogram()
+    for row in np.asarray(samples, dtype=np.int8):
+        pos, neg = model.vote_counts(row)
+        pos_hist.add(pos)
+        neg_hist.add(neg)
+        diff_hist.add(pos - neg)
+        depth_hist.add(comparator_decision_depth(pos, neg, count_width))
+    return {
+        "positive_votes": pos_hist,
+        "negative_votes": neg_hist,
+        "vote_difference": diff_hist,
+        "decision_depth": depth_hist,
+    }
+
+
+def latency_histogram(
+    results: Sequence[DualRailInferenceResult], bin_width_ps: float = 50.0
+) -> Histogram:
+    """Per-operand latency histogram with *bin_width_ps* buckets."""
+    if bin_width_ps <= 0:
+        raise ValueError("bin width must be positive")
+    hist = Histogram()
+    for result in results:
+        hist.add(int(math.floor(result.t_s_to_v / bin_width_ps)))
+    return hist
+
+
+def latency_vs_decision_depth(
+    results: Sequence[DualRailInferenceResult],
+    model: InferenceModel,
+    features_per_result: Sequence[Sequence[int]],
+    count_width: int,
+) -> List[Tuple[int, float]]:
+    """Pair each operand's comparator decision depth with its measured latency.
+
+    Returns ``(depth, latency_ps)`` tuples — the raw data behind the claim
+    that operands decided at a high-order bit finish earlier.
+    """
+    if len(results) != len(features_per_result):
+        raise ValueError("results and feature vectors must align one-to-one")
+    pairs: List[Tuple[int, float]] = []
+    for result, features in zip(results, features_per_result):
+        pos, neg = model.vote_counts(features)
+        depth = comparator_decision_depth(pos, neg, count_width)
+        pairs.append((depth, result.t_s_to_v))
+    return pairs
+
+
+def mean_latency_by_depth(pairs: Sequence[Tuple[int, float]]) -> Dict[int, float]:
+    """Average latency per comparator decision depth."""
+    sums: Dict[int, float] = {}
+    counts: Dict[int, int] = {}
+    for depth, latency in pairs:
+        sums[depth] = sums.get(depth, 0.0) + latency
+        counts[depth] = counts.get(depth, 0) + 1
+    return {depth: sums[depth] / counts[depth] for depth in sorted(sums)}

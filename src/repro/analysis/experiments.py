@@ -1,0 +1,382 @@
+"""End-to-end experiment harnesses for the paper's evaluation artefacts.
+
+These functions are shared by the benchmarks (``benchmarks/``), the examples
+(``examples/``) and the integration tests so that every consumer measures the
+designs the same way:
+
+* :func:`measure_dual_rail` — build, map, and simulate the dual-rail
+  datapath for a workload; returns latency/power/area/correctness figures.
+* :func:`measure_single_rail` — the same for the clocked baseline.
+* :func:`run_table1` — both designs on both libraries → Table-I rows.
+* :func:`run_figure3` — the dual-rail design on the subthreshold library
+  across the 0.25–1.2 V supply range → Figure-3 points.
+* :func:`default_workload` — a trained-Tsetlin-machine workload (noisy-XOR)
+  with the exclude matrix and feature stream the experiments run on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.library import CellLibrary, default_libraries, full_diffusion_library
+from repro.core.completion import GracePeriod, compute_grace_period
+from repro.core.dual_rail import DualRailCircuit
+from repro.datapath.datapath import DatapathConfig, DualRailDatapath
+from repro.datapath.sync_datapath import SingleRailDatapath
+from repro.sim.handshake import DualRailEnvironment, SynchronousEnvironment
+from repro.sim.monitors import ForbiddenStateMonitor, MonotonicityMonitor
+from repro.sim.power import PowerAccountant, PowerReport
+from repro.sim.simulator import GateLevelSimulator
+from repro.sim.voltage import FIGURE3_VOLTAGES
+from repro.synth.flow import SynthesisResult, synthesize
+from repro.tm.inference import InferenceModel
+from repro.tm.machine import TsetlinMachine
+from repro.tm.datasets import noisy_xor
+
+from .latency import LatencySummary, summarize_latencies
+from .tables import Figure3Point, Table1Row
+from .throughput import dual_rail_throughput, synchronous_throughput
+
+
+@dataclass
+class Workload:
+    """A hardware workload: clause configuration plus a stream of operands."""
+
+    config: DatapathConfig
+    exclude: np.ndarray
+    feature_vectors: np.ndarray
+    model: InferenceModel
+    description: str = ""
+
+    @property
+    def num_operands(self) -> int:
+        """Number of feature vectors in the stream."""
+        return int(self.feature_vectors.shape[0])
+
+
+@dataclass
+class DualRailMeasurement:
+    """Everything measured from one dual-rail simulation run."""
+
+    library: str
+    synthesis: SynthesisResult
+    latency: LatencySummary
+    power: PowerReport
+    grace: GracePeriod
+    throughput_millions: float
+    correctness: float
+    monotonic: bool
+    latencies_ps: List[float] = field(default_factory=list)
+    verdicts: List[str] = field(default_factory=list)
+
+
+@dataclass
+class SingleRailMeasurement:
+    """Everything measured from one single-rail (synchronous) simulation run."""
+
+    library: str
+    synthesis: SynthesisResult
+    clock_period_ps: float
+    power: PowerReport
+    throughput_millions: float
+    correctness: float
+
+
+def default_workload(
+    num_features: int = 4,
+    clauses_per_polarity: int = 8,
+    num_operands: int = 40,
+    epochs: int = 25,
+    seed: int = 2021,
+    latch_inputs: bool = True,
+) -> Workload:
+    """Train a Tsetlin machine on noisy-XOR and package it as a hardware workload.
+
+    The trained machine's exclude actions configure the clauses; the test
+    split of the dataset provides the operand stream (re-sampled with
+    replacement to reach *num_operands*).
+    """
+    config = DatapathConfig(
+        num_features=num_features,
+        clauses_per_polarity=clauses_per_polarity,
+        latch_inputs=latch_inputs,
+    )
+    dataset = noisy_xor(num_samples=400, num_features=num_features, noise=0.05, seed=seed)
+    machine = TsetlinMachine(
+        num_features=num_features,
+        num_clauses=config.num_clauses,
+        threshold=clauses_per_polarity,
+        s=3.0,
+        seed=seed,
+    )
+    machine.fit(dataset.train_x, dataset.train_y, epochs=epochs)
+    model = InferenceModel.from_machine(machine)
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, dataset.test_x.shape[0], size=num_operands)
+    feature_vectors = dataset.test_x[indices]
+    return Workload(
+        config=config,
+        exclude=model.exclude,
+        feature_vectors=feature_vectors,
+        model=model,
+        description=(
+            f"noisy-XOR Tsetlin machine, {num_features} features, "
+            f"{clauses_per_polarity} clauses per polarity, {num_operands} operands"
+        ),
+    )
+
+
+def random_workload(
+    num_features: int = 4,
+    clauses_per_polarity: int = 8,
+    num_operands: int = 40,
+    include_probability: float = 0.25,
+    seed: int = 7,
+    latch_inputs: bool = True,
+) -> Workload:
+    """A workload with random clause composition (no training required)."""
+    config = DatapathConfig(
+        num_features=num_features,
+        clauses_per_polarity=clauses_per_polarity,
+        latch_inputs=latch_inputs,
+    )
+    model = InferenceModel.random(
+        config.num_clauses, num_features, include_probability=include_probability, seed=seed
+    )
+    rng = np.random.default_rng(seed)
+    feature_vectors = (rng.random((num_operands, num_features)) < 0.5).astype(np.int8)
+    return Workload(
+        config=config,
+        exclude=model.exclude,
+        feature_vectors=feature_vectors,
+        model=model,
+        description="random clause composition workload",
+    )
+
+
+def _mapped_circuit(circuit: DualRailCircuit, synthesis: SynthesisResult) -> DualRailCircuit:
+    """Re-bind the dual-rail interface onto the technology-mapped netlist."""
+    return DualRailCircuit(
+        netlist=synthesis.netlist,
+        inputs=circuit.inputs,
+        outputs=circuit.outputs,
+        one_of_n_outputs=circuit.one_of_n_outputs,
+        done_net=circuit.done_net,
+        metadata=dict(circuit.metadata),
+    )
+
+
+def measure_dual_rail(
+    workload: Workload,
+    library: CellLibrary,
+    vdd: Optional[float] = None,
+    check_monotonic: bool = True,
+) -> DualRailMeasurement:
+    """Build, synthesise and simulate the dual-rail datapath on *workload*."""
+    datapath = DualRailDatapath(workload.config, library=library)
+    synthesis = synthesize(
+        datapath.circuit.netlist, library, vdd=vdd, clocked=False, enforce_unate=True
+    )
+    circuit = _mapped_circuit(datapath.circuit, synthesis)
+    grace = compute_grace_period(circuit, library, vdd=vdd)
+
+    simulator = GateLevelSimulator(circuit.netlist, library, vdd=vdd)
+    monitor = MonotonicityMonitor() if check_monotonic else None
+    if monitor is not None:
+        simulator.add_monitor(monitor)
+    forbidden = ForbiddenStateMonitor(simulator, circuit.outputs)
+    simulator.add_monitor(forbidden)
+    environment = DualRailEnvironment(
+        circuit, simulator, grace_period=grace.td, monotonicity_monitor=monitor
+    )
+    environment.reset()
+
+    accountant = PowerAccountant(circuit.netlist, library, vdd=vdd)
+    window_start = simulator.time
+    results = []
+    correct = 0
+    verdicts: List[str] = []
+    for features in workload.feature_vectors:
+        assignments = datapath.operand_assignments(features, workload.exclude)
+        result = environment.infer(assignments)
+        results.append(result)
+        verdict = DualRailDatapath.decode_verdict(result.one_of_n_outputs)
+        verdicts.append(verdict)
+        decision = DualRailDatapath.decision_from_verdict(verdict)
+        if decision == workload.model.decision(features):
+            correct += 1
+    window_end = simulator.time
+
+    latency = summarize_latencies(results)
+    power = accountant.report(simulator, window_start, window_end, operations=len(results))
+    throughput = dual_rail_throughput(results, grace_period=grace.td)
+    return DualRailMeasurement(
+        library=library.name,
+        synthesis=synthesis,
+        latency=latency,
+        power=power,
+        grace=grace,
+        throughput_millions=throughput.millions_per_second,
+        correctness=correct / len(results),
+        monotonic=(monitor.ok if monitor is not None else True) and forbidden.ok,
+        latencies_ps=[r.t_s_to_v for r in results],
+        verdicts=verdicts,
+    )
+
+
+def measure_single_rail(
+    workload: Workload,
+    library: CellLibrary,
+    vdd: Optional[float] = None,
+) -> SingleRailMeasurement:
+    """Build, synthesise and simulate the synchronous baseline on *workload*."""
+    datapath = SingleRailDatapath(workload.config)
+    synthesis = synthesize(datapath.netlist, library, vdd=vdd, clocked=True)
+    clock_period = synthesis.clock_period
+
+    simulator = GateLevelSimulator(synthesis.netlist, library, vdd=vdd)
+    environment = SynchronousEnvironment(
+        simulator,
+        clock_net=datapath.interface.clock_net,
+        input_nets=datapath.interface.input_nets,
+        output_nets=datapath.interface.output_nets,
+        clock_period=clock_period,
+    )
+    accountant = PowerAccountant(synthesis.netlist, library, vdd=vdd)
+
+    window_start = simulator.time
+    correct = 0
+    total = 0
+    for features in workload.feature_vectors:
+        assignments = datapath.operand_assignments(features, workload.exclude)
+        cycle = environment.run_operand(assignments)
+        outputs = SingleRailDatapath.decode_outputs(cycle.outputs)
+        total += 1
+        if outputs.get("decision") == workload.model.decision(features):
+            correct += 1
+    window_end = simulator.time
+
+    # One operand per clock cycle once the registers are primed; the
+    # measurement loop above runs two cycles per operand for simplicity, so
+    # power is normalised to the pipelined (one-cycle) operation period.
+    operations = max(1, total)
+    power = accountant.report(simulator, window_start, window_end, operations=operations)
+    throughput = synchronous_throughput(clock_period)
+    return SingleRailMeasurement(
+        library=library.name,
+        synthesis=synthesis,
+        clock_period_ps=clock_period,
+        power=power,
+        throughput_millions=throughput.millions_per_second,
+        correctness=correct / total if total else 0.0,
+    )
+
+
+def dual_rail_table_row(measurement: DualRailMeasurement) -> Table1Row:
+    """Convert a dual-rail measurement into a Table-I row."""
+    return Table1Row(
+        technology=measurement.library,
+        design="Proposed Dual-rail",
+        cell_area=measurement.synthesis.area.total,
+        sequential_area=measurement.synthesis.area.sequential,
+        avg_power_uw=measurement.power.total_uw,
+        leakage_power_nw=measurement.power.leakage_nw,
+        avg_latency_ps=measurement.latency.average,
+        max_latency_ps=measurement.latency.maximum,
+        t_v_to_s_ps=measurement.latency.reset_time,
+        avg_inferences_millions=measurement.throughput_millions,
+        extra={
+            "energy_per_inference_fj": measurement.power.energy_per_operation_fj,
+            "grace_td_ps": measurement.grace.td,
+            "correctness": measurement.correctness,
+        },
+    )
+
+
+def single_rail_table_row(measurement: SingleRailMeasurement) -> Table1Row:
+    """Convert a single-rail measurement into a Table-I row."""
+    return Table1Row(
+        technology=measurement.library,
+        design="Single-rail",
+        cell_area=measurement.synthesis.area.total,
+        sequential_area=measurement.synthesis.area.sequential,
+        avg_power_uw=measurement.power.total_uw,
+        leakage_power_nw=measurement.power.leakage_nw,
+        avg_latency_ps=measurement.clock_period_ps,
+        max_latency_ps=measurement.clock_period_ps,
+        t_v_to_s_ps=None,
+        avg_inferences_millions=measurement.throughput_millions,
+        extra={
+            "energy_per_inference_fj": measurement.power.energy_per_operation_fj,
+            "correctness": measurement.correctness,
+        },
+    )
+
+
+def run_table1(
+    workload: Optional[Workload] = None,
+    libraries: Optional[Sequence[CellLibrary]] = None,
+) -> Tuple[List[Table1Row], Dict[str, object]]:
+    """Reproduce Table I: single-rail vs dual-rail on both libraries.
+
+    Returns the table rows plus the raw measurement objects keyed by
+    ``"<library>/<design>"`` for deeper inspection.
+    """
+    workload = workload if workload is not None else default_workload()
+    libs = list(libraries) if libraries is not None else list(default_libraries().values())
+    rows: List[Table1Row] = []
+    raw: Dict[str, object] = {}
+    for library in libs:
+        single = measure_single_rail(workload, library)
+        dual = measure_dual_rail(workload, library)
+        rows.append(single_rail_table_row(single))
+        rows.append(dual_rail_table_row(dual))
+        raw[f"{library.name}/single-rail"] = single
+        raw[f"{library.name}/dual-rail"] = dual
+    return rows, raw
+
+
+def run_figure3(
+    workload: Optional[Workload] = None,
+    voltages: Sequence[float] = FIGURE3_VOLTAGES,
+    library: Optional[CellLibrary] = None,
+    operands_per_point: Optional[int] = None,
+) -> List[Figure3Point]:
+    """Reproduce Figure 3: dual-rail latency versus supply voltage.
+
+    The dual-rail datapath is simulated on the subthreshold-capable
+    FULL DIFFUSION library at every supply point; functional correctness is
+    checked at each voltage (the paper's headline robustness claim).
+    """
+    workload = workload if workload is not None else default_workload(num_operands=12)
+    library = library if library is not None else full_diffusion_library()
+    points: List[Figure3Point] = []
+    for vdd in voltages:
+        if not library.voltage_model.is_functional(vdd):
+            points.append(Figure3Point(vdd=vdd, avg_latency_ps=float("nan"),
+                                       max_latency_ps=float("nan"),
+                                       functional=False, correct=False))
+            continue
+        sub_workload = workload
+        if operands_per_point is not None and operands_per_point < workload.num_operands:
+            sub_workload = Workload(
+                config=workload.config,
+                exclude=workload.exclude,
+                feature_vectors=workload.feature_vectors[:operands_per_point],
+                model=workload.model,
+                description=workload.description,
+            )
+        measurement = measure_dual_rail(sub_workload, library, vdd=vdd, check_monotonic=False)
+        points.append(
+            Figure3Point(
+                vdd=vdd,
+                avg_latency_ps=measurement.latency.average,
+                max_latency_ps=measurement.latency.maximum,
+                functional=True,
+                correct=measurement.correctness == 1.0,
+            )
+        )
+    return points

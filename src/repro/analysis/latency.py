@@ -1,0 +1,61 @@
+"""Latency statistics of dual-rail inference runs.
+
+Table I reports per-design *average* latency, *maximum* latency and the
+valid→spacer reset time; this module turns a list of per-operand
+:class:`~repro.sim.handshake.DualRailInferenceResult` objects into those
+numbers (plus percentiles used by the distribution analyses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.sim.handshake import DualRailInferenceResult
+
+
+@dataclass
+class LatencySummary:
+    """Aggregate latency statistics of a workload run."""
+
+    average: float
+    maximum: float
+    minimum: float
+    p50: float
+    p95: float
+    reset_time: float
+    samples: int
+
+    @property
+    def early_propagation_gain(self) -> float:
+        """Ratio of the worst-case to the average latency (>1 means data dependence)."""
+        return self.maximum / self.average if self.average > 0 else float("nan")
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    index = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def summarize_latencies(results: Sequence[DualRailInferenceResult]) -> LatencySummary:
+    """Summarise the spacer→valid latencies (and reset times) of a run."""
+    if not results:
+        raise ValueError("cannot summarise an empty result list")
+    latencies = sorted(r.t_s_to_v for r in results)
+    resets = [r.t_v_to_s for r in results]
+    return LatencySummary(
+        average=sum(latencies) / len(latencies),
+        maximum=latencies[-1],
+        minimum=latencies[0],
+        p50=_percentile(latencies, 0.50),
+        p95=_percentile(latencies, 0.95),
+        reset_time=max(resets),
+        samples=len(latencies),
+    )
+
+
+def latencies_of(results: Sequence[DualRailInferenceResult]) -> List[float]:
+    """The raw per-operand spacer→valid latencies (histogram input)."""
+    return [r.t_s_to_v for r in results]

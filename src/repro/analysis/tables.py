@@ -1,0 +1,105 @@
+"""Report rows and plain-text table formatting for the paper's Table I / Figure 3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class Table1Row:
+    """One row of Table I (one design style on one library).
+
+    Units match the paper: areas in µm², average power in µW, leakage in nW,
+    latencies and reset time in ps, throughput in millions of inferences
+    per second.
+    """
+
+    technology: str
+    design: str
+    cell_area: float
+    sequential_area: float
+    avg_power_uw: float
+    leakage_power_nw: float
+    avg_latency_ps: float
+    max_latency_ps: float
+    t_v_to_s_ps: Optional[float]
+    avg_inferences_millions: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+TABLE1_COLUMNS = (
+    ("technology", "Technology"),
+    ("design", "Design"),
+    ("cell_area", "Cell Area"),
+    ("sequential_area", "Seq. Area"),
+    ("avg_power_uw", "Avg Power (uW)"),
+    ("leakage_power_nw", "Leakage (nW)"),
+    ("avg_latency_ps", "Avg Latency (ps)"),
+    ("max_latency_ps", "Max Latency (ps)"),
+    ("t_v_to_s_ps", "tV->S (ps)"),
+    ("avg_inferences_millions", "Avg Inf. (M/s)"),
+)
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "--"
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.0f}"
+        if value >= 1:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Render Table-I rows as an aligned plain-text table."""
+    headers = [label for _key, label in TABLE1_COLUMNS]
+    table: List[List[str]] = [headers]
+    for row in rows:
+        table.append([_format_value(getattr(row, key)) for key, _label in TABLE1_COLUMNS])
+    widths = [max(len(line[col]) for line in table) for col in range(len(headers))]
+    lines = []
+    for idx, line in enumerate(table):
+        lines.append("  ".join(value.ljust(widths[col]) for col, value in enumerate(line)))
+        if idx == 0:
+            lines.append("  ".join("-" * widths[col] for col in range(len(headers))))
+    return "\n".join(lines)
+
+
+@dataclass
+class Figure3Point:
+    """One point of the Figure-3 latency-versus-supply curve."""
+
+    vdd: float
+    avg_latency_ps: float
+    max_latency_ps: float
+    functional: bool
+    correct: bool
+
+
+def format_figure3(points: Sequence[Figure3Point]) -> str:
+    """Render the Figure-3 sweep as an aligned plain-text table."""
+    lines = ["VDD (V)  Avg Latency (ps)  Max Latency (ps)  Functional  Correct"]
+    lines.append("-" * len(lines[0]))
+    for p in points:
+        lines.append(
+            f"{p.vdd:7.2f}  {p.avg_latency_ps:16.1f}  {p.max_latency_ps:16.1f}  "
+            f"{str(p.functional):10}  {str(p.correct)}"
+        )
+    return "\n".join(lines)
+
+
+def format_histogram(counts: Dict[int, int], label: str = "value", bar_width: int = 40) -> str:
+    """ASCII histogram used by the distribution example and benchmark."""
+    if not counts:
+        return f"(no {label} samples)"
+    peak = max(counts.values())
+    lines = []
+    for value in sorted(counts):
+        count = counts[value]
+        bar = "#" * max(1, int(round(bar_width * count / peak))) if count else ""
+        lines.append(f"{label}={value:>4}  {count:>6}  {bar}")
+    return "\n".join(lines)

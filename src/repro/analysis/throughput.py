@@ -1,0 +1,57 @@
+"""Throughput (inferences per second) for both datapath styles.
+
+For the single-rail design the throughput period is simply the clock period
+(one operand per cycle when pipelined through the input/output registers).
+For the dual-rail design the throughput period is the forward latency plus
+the return-to-spacer time plus any grace period built into the completion
+signal (Section IV-D: "throughput period is determined by t(S→V) + t(V→S) so
+that the PIs are ready for the next operand").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.sim.handshake import DualRailInferenceResult
+
+
+@dataclass
+class ThroughputSummary:
+    """Average throughput of a workload run."""
+
+    period_ps: float
+    inferences_per_second: float
+
+    @property
+    def millions_per_second(self) -> float:
+        """Throughput in millions of inferences per second (the Table-I unit)."""
+        return self.inferences_per_second / 1e6
+
+
+def throughput_from_period(period_ps: float) -> ThroughputSummary:
+    """Throughput implied by a fixed per-operand period in picoseconds."""
+    if period_ps <= 0:
+        raise ValueError("period must be positive")
+    return ThroughputSummary(period_ps=period_ps, inferences_per_second=1e12 / period_ps)
+
+
+def dual_rail_throughput(
+    results: Sequence[DualRailInferenceResult], grace_period: float = 0.0
+) -> ThroughputSummary:
+    """Average dual-rail throughput over a run.
+
+    The per-operand period is ``t(S→V) + max(t(V→S), grace period)`` — the
+    environment may not apply the next valid until both the outputs have
+    reset and the reduced-CD grace period has elapsed.
+    """
+    if not results:
+        raise ValueError("cannot compute throughput of an empty run")
+    periods = [r.t_s_to_v + max(r.t_v_to_s, grace_period) for r in results]
+    average_period = sum(periods) / len(periods)
+    return throughput_from_period(average_period)
+
+
+def synchronous_throughput(clock_period_ps: float) -> ThroughputSummary:
+    """Single-rail throughput: one inference per clock cycle."""
+    return throughput_from_period(clock_period_ps)

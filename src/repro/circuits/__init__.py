@@ -1,0 +1,78 @@
+"""Structural netlists, gate behaviours and characterised cell libraries.
+
+This package is the hardware-description substrate shared by the single-rail
+baseline and the dual-rail asynchronous datapath:
+
+* :mod:`repro.circuits.netlist` — flat gate-level netlist data model;
+* :mod:`repro.circuits.gates` — behavioural models (three-valued logic) for
+  every supported cell, including Muller C-elements and flip-flops;
+* :mod:`repro.circuits.library` — two synthetic characterised 65 nm-class
+  libraries standing in for the paper's UMC LL and FULL DIFFUSION libraries;
+* :mod:`repro.circuits.builder` — a small DSL for constructing netlists;
+* :mod:`repro.circuits.validate` — structural design-rule checks
+  (unateness, floating nets, combinational loops, library mappability).
+"""
+
+from .builder import LogicBuilder
+from .gates import (
+    GATE_REGISTRY,
+    GateSpec,
+    LogicValue,
+    evaluate_gate,
+    gate_spec,
+    is_inverting,
+    is_sequential,
+    is_unate,
+)
+from .library import (
+    CellLibrary,
+    CellModel,
+    VoltageModel,
+    default_libraries,
+    full_diffusion_library,
+    umc_ll_library,
+)
+from .netlist import Cell, Net, Netlist, NetlistError, merge_netlists
+from .validate import (
+    ValidationReport,
+    check_library_mappable,
+    check_no_combinational_loops,
+    check_structure,
+    check_unate_only,
+    find_c_elements,
+    find_flip_flops,
+    validate_dual_rail_netlist,
+    validate_single_rail_netlist,
+)
+
+__all__ = [
+    "Cell",
+    "CellLibrary",
+    "CellModel",
+    "GATE_REGISTRY",
+    "GateSpec",
+    "LogicBuilder",
+    "LogicValue",
+    "Net",
+    "Netlist",
+    "NetlistError",
+    "ValidationReport",
+    "VoltageModel",
+    "check_library_mappable",
+    "check_no_combinational_loops",
+    "check_structure",
+    "check_unate_only",
+    "default_libraries",
+    "evaluate_gate",
+    "find_c_elements",
+    "find_flip_flops",
+    "full_diffusion_library",
+    "gate_spec",
+    "is_inverting",
+    "is_sequential",
+    "is_unate",
+    "merge_netlists",
+    "umc_ll_library",
+    "validate_dual_rail_netlist",
+    "validate_single_rail_netlist",
+]

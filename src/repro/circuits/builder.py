@@ -1,0 +1,249 @@
+"""Convenience DSL for building gate-level netlists.
+
+The datapath generators in :mod:`repro.datapath` describe circuits at the
+level of the paper's Figure 2 — OR masks, AND trees, half/full adders, the
+bit-pair comparator stages.  :class:`LogicBuilder` keeps that code readable
+by hiding pin-name bookkeeping: every operator takes input net names and
+returns the output net name.
+
+Example
+-------
+>>> from repro.circuits.builder import LogicBuilder
+>>> b = LogicBuilder("demo")
+>>> a, c = b.input("a"), b.input("c")
+>>> y = b.and_(a, c)
+>>> b.output("y", y)
+>>> sorted(b.netlist.count_by_type().items())
+[('AND2', 1)]
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .gates import gate_spec
+from .netlist import Netlist, NetlistError
+
+
+class LogicBuilder:
+    """Structural netlist builder with gate-level helper operators.
+
+    Parameters
+    ----------
+    name:
+        Name of the netlist being built.
+    netlist:
+        Optionally build into an existing netlist (used when stitching
+        sub-blocks together).
+    prefix:
+        Optional prefix applied to every auto-generated net name, so that
+        several builders can safely share one netlist.
+    """
+
+    def __init__(self, name: str, netlist: Optional[Netlist] = None, prefix: str = "") -> None:
+        self.netlist = netlist if netlist is not None else Netlist(name)
+        self.prefix = prefix
+        self._net_counter = 0
+
+    # --------------------------------------------------------------- plumbing
+    def fresh_net(self, hint: str = "n") -> str:
+        """Return a new unique internal net name."""
+        while True:
+            name = f"{self.prefix}{hint}_{self._net_counter}"
+            self._net_counter += 1
+            if not self.netlist.has_net(name):
+                return name
+
+    def input(self, name: str) -> str:
+        """Declare a primary input and return its net name."""
+        self.netlist.add_input(name)
+        return name
+
+    def inputs(self, names: Iterable[str]) -> List[str]:
+        """Declare several primary inputs."""
+        return [self.input(n) for n in names]
+
+    def output(self, name: str, net: Optional[str] = None) -> str:
+        """Declare *name* as a primary output.
+
+        When *net* is given and differs from *name*, a buffer-free alias is
+        not possible in a structural netlist, so a ``BUF`` cell is inserted
+        to drive the output net from *net*.
+        """
+        if net is None or net == name:
+            self.netlist.add_output(name)
+            return name
+        self.netlist.add_output(name)
+        self.cell("BUF", [net], output=name)
+        return name
+
+    def cell(
+        self,
+        cell_type: str,
+        input_nets: Sequence[str],
+        output: Optional[str] = None,
+        name: Optional[str] = None,
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> str:
+        """Instantiate *cell_type* on *input_nets* and return the output net.
+
+        Input nets are assigned to the cell's pins in declaration order.
+        Only single-output cells are supported by this helper; multi-output
+        cells should use :meth:`Netlist.add_cell` directly.
+        """
+        spec = gate_spec(cell_type)
+        if len(spec.output_pins) != 1:
+            raise NetlistError(f"cell {cell_type} has multiple outputs; use Netlist.add_cell")
+        if len(input_nets) != len(spec.input_pins):
+            raise NetlistError(
+                f"cell {cell_type} expects {len(spec.input_pins)} inputs, got {len(input_nets)}"
+            )
+        out = output if output is not None else self.fresh_net(cell_type.lower())
+        self.netlist.add_cell(
+            cell_type,
+            inputs=dict(zip(spec.input_pins, input_nets)),
+            outputs={spec.output_pins[0]: out},
+            name=name,
+            attrs=attrs,
+        )
+        return out
+
+    # -------------------------------------------------------------- operators
+    def not_(self, a: str, output: Optional[str] = None) -> str:
+        """Inverter."""
+        return self.cell("INV", [a], output=output)
+
+    def buf(self, a: str, output: Optional[str] = None) -> str:
+        """Buffer."""
+        return self.cell("BUF", [a], output=output)
+
+    def and_(self, *nets: str, output: Optional[str] = None) -> str:
+        """AND of two to four nets (wider fan-in uses :meth:`and_tree`)."""
+        return self._narrow_gate("AND", nets, output)
+
+    def or_(self, *nets: str, output: Optional[str] = None) -> str:
+        """OR of two to four nets (wider fan-in uses :meth:`or_tree`)."""
+        return self._narrow_gate("OR", nets, output)
+
+    def nand(self, *nets: str, output: Optional[str] = None) -> str:
+        """NAND of two to four nets."""
+        return self._narrow_gate("NAND", nets, output)
+
+    def nor(self, *nets: str, output: Optional[str] = None) -> str:
+        """NOR of two to four nets."""
+        return self._narrow_gate("NOR", nets, output)
+
+    def xor(self, a: str, b: str, output: Optional[str] = None) -> str:
+        """Two-input XOR (non-unate: single-rail baseline only)."""
+        return self.cell("XOR2", [a, b], output=output)
+
+    def xnor(self, a: str, b: str, output: Optional[str] = None) -> str:
+        """Two-input XNOR (non-unate: single-rail baseline only)."""
+        return self.cell("XNOR2", [a, b], output=output)
+
+    def aoi21(self, a1: str, a2: str, b: str, output: Optional[str] = None) -> str:
+        """AND-OR-INVERT: ``Y = NOT((a1 & a2) | b)``."""
+        return self.cell("AOI21", [a1, a2, b], output=output)
+
+    def aoi22(self, a1: str, a2: str, b1: str, b2: str, output: Optional[str] = None) -> str:
+        """AND-OR-INVERT: ``Y = NOT((a1 & a2) | (b1 & b2))``."""
+        return self.cell("AOI22", [a1, a2, b1, b2], output=output)
+
+    def oai21(self, a1: str, a2: str, b: str, output: Optional[str] = None) -> str:
+        """OR-AND-INVERT: ``Y = NOT((a1 | a2) & b)``."""
+        return self.cell("OAI21", [a1, a2, b], output=output)
+
+    def oai22(self, a1: str, a2: str, b1: str, b2: str, output: Optional[str] = None) -> str:
+        """OR-AND-INVERT: ``Y = NOT((a1 | a2) & (b1 | b2))``."""
+        return self.cell("OAI22", [a1, a2, b1, b2], output=output)
+
+    def maj3(self, a: str, b: str, c: str, output: Optional[str] = None) -> str:
+        """Three-input majority gate (carry logic)."""
+        return self.cell("MAJ3", [a, b, c], output=output)
+
+    def c_element(self, *nets: str, output: Optional[str] = None, name: Optional[str] = None) -> str:
+        """Muller C-element of two or three inputs (dual-rail latch)."""
+        if len(nets) not in (2, 3):
+            raise NetlistError(f"C-element supports 2 or 3 inputs, got {len(nets)}")
+        return self.cell(f"C{len(nets)}", list(nets), output=output, name=name)
+
+    def dff(self, d: str, ck: str, output: Optional[str] = None, name: Optional[str] = None) -> str:
+        """Positive-edge D flip-flop (synchronous baseline register)."""
+        spec = gate_spec("DFF")
+        out = output if output is not None else self.fresh_net("q")
+        self.netlist.add_cell(
+            "DFF",
+            inputs={"D": d, "CK": ck},
+            outputs={"Q": out},
+            name=name,
+        )
+        return out
+
+    def tie(self, value: int, output: Optional[str] = None) -> str:
+        """Constant 0 or 1 net."""
+        return self.cell(f"TIE{int(bool(value))}", [], output=output)
+
+    # ----------------------------------------------------------------- trees
+    def _narrow_gate(self, base: str, nets: Sequence[str], output: Optional[str]) -> str:
+        if len(nets) < 2:
+            raise NetlistError(f"{base} gate needs at least two inputs")
+        if len(nets) > 4:
+            if base == "AND":
+                return self.and_tree(nets, output=output)
+            if base == "OR":
+                return self.or_tree(nets, output=output)
+            raise NetlistError(f"{base} fan-in {len(nets)} unsupported; build a tree")
+        return self.cell(f"{base}{len(nets)}", list(nets), output=output)
+
+    def _reduce_tree(self, base: str, nets: Sequence[str], arity: int, output: Optional[str]) -> str:
+        """Balanced reduction tree of *base* gates over *nets*."""
+        level = list(nets)
+        if len(level) == 1:
+            if output is not None:
+                return self.buf(level[0], output=output)
+            return level[0]
+        while len(level) > arity:
+            nxt: List[str] = []
+            for i in range(0, len(level), arity):
+                chunk = level[i: i + arity]
+                if len(chunk) == 1:
+                    nxt.append(chunk[0])
+                else:
+                    nxt.append(self.cell(f"{base}{len(chunk)}", chunk))
+            level = nxt
+        return self.cell(f"{base}{len(level)}", level, output=output)
+
+    def and_tree(self, nets: Sequence[str], arity: int = 4, output: Optional[str] = None) -> str:
+        """Balanced AND tree (used to aggregate partial clause values)."""
+        return self._reduce_tree("AND", nets, arity, output)
+
+    def or_tree(self, nets: Sequence[str], arity: int = 4, output: Optional[str] = None) -> str:
+        """Balanced OR tree (used by completion detection)."""
+        return self._reduce_tree("OR", nets, arity, output)
+
+    def c_tree(self, nets: Sequence[str], output: Optional[str] = None) -> str:
+        """Balanced C-element tree (full completion detection aggregator)."""
+        level = list(nets)
+        if len(level) == 1:
+            if output is not None:
+                return self.buf(level[0], output=output)
+            return level[0]
+        while len(level) > 3:
+            nxt: List[str] = []
+            for i in range(0, len(level), 2):
+                chunk = level[i: i + 2]
+                if len(chunk) == 1:
+                    nxt.append(chunk[0])
+                else:
+                    nxt.append(self.c_element(*chunk))
+            level = nxt
+        return self.c_element(*level, output=output)
+
+    # ------------------------------------------------------------------ buses
+    def bus(self, name: str, width: int, as_input: bool = False) -> List[str]:
+        """Return net names ``name[0] … name[width-1]`` (optionally as PIs)."""
+        nets = [f"{name}[{i}]" for i in range(width)]
+        if as_input:
+            for n in nets:
+                self.input(n)
+        return nets

@@ -1,0 +1,365 @@
+"""Structural netlist representation.
+
+The netlist model is deliberately simple and explicit: a :class:`Netlist` is a
+bag of named :class:`Net` objects (wires) and :class:`Cell` instances (gates).
+Each cell names its cell *type* (a key into a :class:`~repro.circuits.library.CellLibrary`),
+and maps its input/output pin names onto nets.
+
+This is the common substrate shared by
+
+* the single-rail (synchronous) baseline datapath,
+* the dual-rail expansion produced by :mod:`repro.core.expansion`,
+* the event-driven simulator in :mod:`repro.sim.simulator`, and
+* the synthesis/reporting flow in :mod:`repro.synth`.
+
+The representation corresponds to a flattened post-synthesis gate-level
+netlist, which is the abstraction level the paper's evaluation operates at
+(post-synthesis simulation of a mapped netlist).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class NetlistError(Exception):
+    """Raised for structural errors while building or validating a netlist."""
+
+
+@dataclass
+class Net:
+    """A single wire in the netlist.
+
+    Attributes
+    ----------
+    name:
+        Unique name of the net within its netlist.
+    driver:
+        The ``(cell_name, output_pin)`` pair that drives the net, or ``None``
+        for primary inputs and floating nets.
+    sinks:
+        List of ``(cell_name, input_pin)`` pairs reading the net.
+    """
+
+    name: str
+    driver: Optional[Tuple[str, str]] = None
+    sinks: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def fanout(self) -> int:
+        """Number of cell input pins driven by this net."""
+        return len(self.sinks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Net({self.name!r}, fanout={self.fanout})"
+
+
+@dataclass
+class Cell:
+    """An instance of a library cell.
+
+    Attributes
+    ----------
+    name:
+        Unique instance name.
+    cell_type:
+        Name of the cell in the technology library (e.g. ``"NAND2"``).
+    inputs:
+        Mapping of input pin name to net name.
+    outputs:
+        Mapping of output pin name to net name.
+    attrs:
+        Free-form attributes (e.g. ``{"role": "completion-detect"}``) used by
+        reporting and by the spacer-polarity analysis.
+    """
+
+    name: str
+    cell_type: str
+    inputs: Dict[str, str] = field(default_factory=dict)
+    outputs: Dict[str, str] = field(default_factory=dict)
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def input_nets(self) -> List[str]:
+        """Return the input net names in pin order."""
+        return list(self.inputs.values())
+
+    def output_nets(self) -> List[str]:
+        """Return the output net names in pin order."""
+        return list(self.outputs.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Cell({self.name!r}, {self.cell_type})"
+
+
+class Netlist:
+    """A flat gate-level netlist.
+
+    Parameters
+    ----------
+    name:
+        Human-readable design name, used in reports.
+
+    Notes
+    -----
+    Nets are created implicitly the first time they are referenced by
+    :meth:`add_cell`, :meth:`add_input` or :meth:`add_output`.  A net may have
+    at most one driver; multiple drivers raise :class:`NetlistError`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.nets: Dict[str, Net] = {}
+        self.cells: Dict[str, Cell] = {}
+        self.primary_inputs: List[str] = []
+        self.primary_outputs: List[str] = []
+        self._cell_counter = 0
+
+    # ------------------------------------------------------------------ nets
+    def get_net(self, name: str) -> Net:
+        """Return the net called *name*, creating it if necessary."""
+        if name not in self.nets:
+            self.nets[name] = Net(name)
+        return self.nets[name]
+
+    def has_net(self, name: str) -> bool:
+        """Return ``True`` if a net called *name* exists."""
+        return name in self.nets
+
+    def add_input(self, name: str) -> Net:
+        """Declare *name* as a primary input and return its net."""
+        net = self.get_net(name)
+        if net.driver is not None:
+            raise NetlistError(f"primary input {name!r} is already driven by {net.driver}")
+        if name not in self.primary_inputs:
+            self.primary_inputs.append(name)
+        return net
+
+    def add_output(self, name: str) -> Net:
+        """Declare *name* as a primary output and return its net."""
+        net = self.get_net(name)
+        if name not in self.primary_outputs:
+            self.primary_outputs.append(name)
+        return net
+
+    # ----------------------------------------------------------------- cells
+    def unique_name(self, prefix: str) -> str:
+        """Return a cell instance name that is not yet used."""
+        while True:
+            candidate = f"{prefix}_{self._cell_counter}"
+            self._cell_counter += 1
+            if candidate not in self.cells:
+                return candidate
+
+    def add_cell(
+        self,
+        cell_type: str,
+        inputs: Dict[str, str],
+        outputs: Dict[str, str],
+        name: Optional[str] = None,
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> Cell:
+        """Instantiate a cell and hook up its pins.
+
+        Parameters
+        ----------
+        cell_type:
+            Library cell name (``"AND2"``, ``"C2"``, ...).
+        inputs / outputs:
+            Pin name → net name mappings.  Nets are created on demand.
+        name:
+            Optional explicit instance name; a unique one is generated when
+            omitted.
+        attrs:
+            Optional attributes copied onto the created :class:`Cell`.
+        """
+        if name is None:
+            name = self.unique_name(cell_type.lower())
+        if name in self.cells:
+            raise NetlistError(f"duplicate cell name {name!r}")
+        cell = Cell(name=name, cell_type=cell_type, inputs=dict(inputs), outputs=dict(outputs))
+        if attrs:
+            cell.attrs.update(attrs)
+        for pin, net_name in cell.outputs.items():
+            net = self.get_net(net_name)
+            if net.driver is not None:
+                raise NetlistError(
+                    f"net {net_name!r} already driven by {net.driver}; "
+                    f"cannot also drive from {name}.{pin}"
+                )
+            if net_name in self.primary_inputs:
+                raise NetlistError(f"cell {name!r} drives primary input {net_name!r}")
+            net.driver = (name, pin)
+        for pin, net_name in cell.inputs.items():
+            net = self.get_net(net_name)
+            net.sinks.append((name, pin))
+        self.cells[name] = cell
+        return cell
+
+    # ------------------------------------------------------------- traversal
+    def cell_of_driver(self, net_name: str) -> Optional[Cell]:
+        """Return the cell driving *net_name*, or ``None`` for PIs/floating nets."""
+        net = self.nets[net_name]
+        if net.driver is None:
+            return None
+        return self.cells[net.driver[0]]
+
+    def fanout_cells(self, net_name: str) -> List[Cell]:
+        """Return the cells whose inputs read *net_name*."""
+        net = self.nets[net_name]
+        return [self.cells[cell_name] for cell_name, _pin in net.sinks]
+
+    def iter_cells(self) -> Iterator[Cell]:
+        """Iterate over all cell instances."""
+        return iter(self.cells.values())
+
+    def iter_nets(self) -> Iterator[Net]:
+        """Iterate over all nets."""
+        return iter(self.nets.values())
+
+    def internal_nets(self) -> List[str]:
+        """Return nets that are neither primary inputs nor primary outputs."""
+        io = set(self.primary_inputs) | set(self.primary_outputs)
+        return [n for n in self.nets if n not in io]
+
+    def topological_order(self) -> List[Cell]:
+        """Return cells in topological order (inputs before the cells that read them).
+
+        Sequential cells (those whose library role is a latch/flip-flop, here
+        identified structurally by participating in a combinational cycle)
+        are handled by breaking cycles at their outputs: a cell that appears
+        in a feedback loop is emitted once all *acyclic* predecessors are
+        ready.  This mirrors how static timing treats sequential elements as
+        path end/start points.
+        """
+        in_degree: Dict[str, int] = {}
+        dependents: Dict[str, List[str]] = {name: [] for name in self.cells}
+        for cell in self.cells.values():
+            deg = 0
+            for net_name in cell.inputs.values():
+                net = self.nets[net_name]
+                if net.driver is not None:
+                    driver_cell = net.driver[0]
+                    if driver_cell != cell.name:
+                        dependents[driver_cell].append(cell.name)
+                        deg += 1
+            in_degree[cell.name] = deg
+
+        ready = sorted([name for name, deg in in_degree.items() if deg == 0])
+        order: List[Cell] = []
+        seen = set()
+        while ready:
+            name = ready.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            order.append(self.cells[name])
+            for dep in dependents[name]:
+                in_degree[dep] -= 1
+                if in_degree[dep] <= 0 and dep not in seen:
+                    ready.append(dep)
+        if len(order) != len(self.cells):
+            # Cycles (e.g. C-element feedback or cross-coupled structures):
+            # append the remaining cells in name order; the event-driven
+            # simulator does not rely on a strict ordering, and STA treats
+            # these cells as path break points.
+            for name in sorted(self.cells):
+                if name not in seen:
+                    order.append(self.cells[name])
+        return order
+
+    # -------------------------------------------------------------- metrics
+    def cell_count(self) -> int:
+        """Total number of cell instances."""
+        return len(self.cells)
+
+    def count_by_type(self) -> Dict[str, int]:
+        """Return a histogram of cell types."""
+        hist: Dict[str, int] = {}
+        for cell in self.cells.values():
+            hist[cell.cell_type] = hist.get(cell.cell_type, 0) + 1
+        return dict(sorted(hist.items()))
+
+    # ------------------------------------------------------------ validation
+    def check_structure(self) -> List[str]:
+        """Return a list of structural problems (empty when clean).
+
+        Checks performed:
+
+        * every primary output is driven,
+        * every cell input net has a driver or is a primary input,
+        * no net is simultaneously a primary input and driven by a cell.
+        """
+        problems: List[str] = []
+        for name in self.primary_outputs:
+            net = self.nets[name]
+            if net.driver is None and name not in self.primary_inputs:
+                problems.append(f"primary output {name!r} is undriven")
+        pi = set(self.primary_inputs)
+        for cell in self.cells.values():
+            for pin, net_name in cell.inputs.items():
+                net = self.nets[net_name]
+                if net.driver is None and net_name not in pi:
+                    problems.append(
+                        f"cell {cell.name!r} input {pin!r} reads floating net {net_name!r}"
+                    )
+        return problems
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Netlist({self.name!r}, cells={len(self.cells)}, nets={len(self.nets)}, "
+            f"PI={len(self.primary_inputs)}, PO={len(self.primary_outputs)})"
+        )
+
+
+def merge_netlists(name: str, parts: Sequence[Netlist], expose: Iterable[str] = ()) -> Netlist:
+    """Merge several netlists into one flat netlist.
+
+    Nets with the same name are shared (this is how sub-blocks are stitched
+    together).  Primary inputs of a part that are driven by another part
+    become internal nets; the union of the remaining inputs/outputs becomes
+    the merged interface.
+
+    Parameters
+    ----------
+    name:
+        Name of the merged design.
+    parts:
+        Netlists to merge.  Cell names are prefixed with the part name when
+        they would otherwise collide.
+    expose:
+        Additional net names to force onto the primary-output list (useful
+        for observing internal nets such as ``done``).
+    """
+    merged = Netlist(name)
+    for part in parts:
+        for cell in part.iter_cells():
+            inst_name = cell.name
+            if inst_name in merged.cells:
+                inst_name = f"{part.name}__{cell.name}"
+            merged.add_cell(
+                cell.cell_type,
+                inputs=dict(cell.inputs),
+                outputs=dict(cell.outputs),
+                name=inst_name,
+                attrs=dict(cell.attrs),
+            )
+    driven = {n for n, net in merged.nets.items() if net.driver is not None}
+    for part in parts:
+        for pi in part.primary_inputs:
+            if pi not in driven and pi not in merged.primary_inputs:
+                merged.primary_inputs.append(pi)
+                merged.get_net(pi)
+    for part in parts:
+        for po in part.primary_outputs:
+            consumed_internally = False
+            net = merged.get_net(po)
+            if net.sinks:
+                consumed_internally = True
+            if not consumed_internally and po not in merged.primary_outputs:
+                merged.primary_outputs.append(po)
+    for extra in expose:
+        if extra not in merged.primary_outputs:
+            merged.primary_outputs.append(extra)
+            merged.get_net(extra)
+    return merged

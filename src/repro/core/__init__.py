@@ -1,0 +1,92 @@
+"""The paper's primary contribution: the self-timed dual-rail design methodology.
+
+* :mod:`repro.core.dual_rail` — dual-rail encoding, spacer polarities and the
+  :class:`~repro.core.dual_rail.DualRailBuilder` used to construct the
+  datapath circuits;
+* :mod:`repro.core.one_of_n` — 1-of-n codes (the comparator's 1-of-3 output);
+* :mod:`repro.core.expansion` — direct mapping of single-rail netlists into
+  dual-rail with the negative-gate optimisation;
+* :mod:`repro.core.spacer` — spacer-polarity (inversion-parity) analysis and
+  spacer-inverter accounting;
+* :mod:`repro.core.completion` — full and reduced completion detection, grace
+  period (``td = t_int − t_io``) computation;
+* :mod:`repro.core.requirements` — the six correctness requirements of
+  Section III as inspectable data.
+"""
+
+from .completion import (
+    CompletionInfo,
+    GracePeriod,
+    add_completion_detection,
+    completion_overhead_area,
+    compute_grace_period,
+)
+from .dual_rail import (
+    DualRailBuilder,
+    DualRailCircuit,
+    DualRailSignal,
+    OneOfNSignal,
+    SpacerPolarity,
+    decode_pair,
+    encode_bit,
+    is_spacer,
+    is_valid_codeword,
+    spacer_word,
+)
+from .expansion import ExpansionError, expand_to_dual_rail
+from .one_of_n import (
+    decode_one_of_n,
+    encode_one_of_n,
+    is_spacer_one_of_n,
+    is_valid_one_of_n,
+    spacer_one_of_n,
+)
+from .requirements import (
+    REQUIREMENTS,
+    Requirement,
+    Responsibility,
+    describe_requirements,
+    requirement,
+    requirements_by_responsibility,
+)
+from .spacer import (
+    SpacerAnalysis,
+    analyse_circuit_spacers,
+    analyse_inversion_parity,
+    count_spacer_inverters,
+)
+
+__all__ = [
+    "CompletionInfo",
+    "DualRailBuilder",
+    "DualRailCircuit",
+    "DualRailSignal",
+    "ExpansionError",
+    "GracePeriod",
+    "OneOfNSignal",
+    "REQUIREMENTS",
+    "Requirement",
+    "Responsibility",
+    "SpacerAnalysis",
+    "SpacerPolarity",
+    "add_completion_detection",
+    "analyse_circuit_spacers",
+    "analyse_inversion_parity",
+    "completion_overhead_area",
+    "compute_grace_period",
+    "count_spacer_inverters",
+    "decode_one_of_n",
+    "decode_pair",
+    "describe_requirements",
+    "encode_bit",
+    "encode_one_of_n",
+    "expand_to_dual_rail",
+    "is_spacer",
+    "is_spacer_one_of_n",
+    "is_valid_codeword",
+    "is_valid_one_of_n",
+    "requirement",
+    "requirements_by_responsibility",
+    "spacer_one_of_n",
+    "spacer_word",
+]

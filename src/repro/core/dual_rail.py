@@ -1,0 +1,494 @@
+"""Dual-rail encoding and construction of dual-rail netlists.
+
+Encoding convention
+-------------------
+A single bit ``x`` is carried by two wires ``{xp, xn}`` (positive and
+negative rail).  A *valid* codeword always has ``xp = x`` and ``xn = NOT x``
+regardless of spacer polarity; what changes with polarity is the *spacer*
+(empty) state that separates successive codewords in time:
+
+========================  ===========  ===========
+state                     all-zero     all-one
+                          spacer       spacer
+========================  ===========  ===========
+spacer                    ``(0, 0)``   ``(1, 1)``
+valid ``x = 0``           ``(0, 1)``   ``(0, 1)``
+valid ``x = 1``           ``(1, 0)``   ``(1, 0)``
+forbidden                 ``(1, 1)``   ``(0, 0)``
+========================  ===========  ===========
+
+Gate mapping (Section III / IV of the paper)
+--------------------------------------------
+* a **positive** (non-inverting) dual-rail gate preserves spacer polarity:
+  AND → ``zp = AND(ap, bp)``, ``zn = OR(an, bn)``;
+* a **negative** (inverting) dual-rail gate — the *negative gate
+  optimisation* of Sokolov used by the paper — flips spacer polarity and
+  halves the inversion overhead: AND → ``zp = NOR(an, bn)``,
+  ``zn = NAND(ap, bp)``;
+* dual-rail **NOT** is free: it is just a rail swap;
+* a **spacer inverter** (two INV cells, ``out_p = INV(in_n)``,
+  ``out_n = INV(in_p)``) converts between spacer polarities while keeping the
+  data value — the paper inserts two of them inside the population counter.
+
+:class:`DualRailBuilder` constructs dual-rail netlists directly at this
+level, tracking the spacer polarity of every signal and refusing to combine
+signals of mismatched polarity (which would silently break spacer
+propagation, one of the classic dual-rail design errors).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.circuits.builder import LogicBuilder
+from repro.circuits.gates import LogicValue
+from repro.circuits.netlist import Netlist, NetlistError
+
+
+class SpacerPolarity(enum.Enum):
+    """Polarity of the spacer state of a dual-rail signal."""
+
+    ALL_ZERO = "all-zero"
+    ALL_ONE = "all-one"
+
+    def flipped(self) -> "SpacerPolarity":
+        """Return the opposite polarity."""
+        return SpacerPolarity.ALL_ONE if self is SpacerPolarity.ALL_ZERO else SpacerPolarity.ALL_ZERO
+
+    @property
+    def spacer_rail_value(self) -> int:
+        """Value carried by *both* rails in the spacer state."""
+        return 0 if self is SpacerPolarity.ALL_ZERO else 1
+
+
+@dataclass(frozen=True)
+class DualRailSignal:
+    """A dual-rail encoded bit inside a netlist.
+
+    Attributes
+    ----------
+    name:
+        Logical (single-rail) name of the bit.
+    pos / neg:
+        Net names of the positive and negative rails.
+    polarity:
+        Spacer polarity of the signal at this point in the circuit.
+    """
+
+    name: str
+    pos: str
+    neg: str
+    polarity: SpacerPolarity = SpacerPolarity.ALL_ZERO
+
+    def rails(self) -> Tuple[str, str]:
+        """Return ``(pos, neg)`` net names."""
+        return (self.pos, self.neg)
+
+    def swapped(self, name: Optional[str] = None) -> "DualRailSignal":
+        """Return the logical complement (rails swapped, same polarity)."""
+        return DualRailSignal(
+            name=name if name is not None else f"not_{self.name}",
+            pos=self.neg,
+            neg=self.pos,
+            polarity=self.polarity,
+        )
+
+
+# --------------------------------------------------------------------------
+# Encoding helpers (used by the simulation environment and the tests)
+# --------------------------------------------------------------------------
+
+def encode_bit(value: int, polarity: SpacerPolarity = SpacerPolarity.ALL_ZERO) -> Tuple[int, int]:
+    """Encode a Boolean *value* as a valid dual-rail codeword ``(pos, neg)``."""
+    value = int(bool(value))
+    return (value, 1 - value)
+
+
+def spacer_word(polarity: SpacerPolarity = SpacerPolarity.ALL_ZERO) -> Tuple[int, int]:
+    """Return the spacer codeword for the given *polarity*."""
+    v = polarity.spacer_rail_value
+    return (v, v)
+
+
+def decode_pair(pos: LogicValue, neg: LogicValue,
+                polarity: SpacerPolarity = SpacerPolarity.ALL_ZERO) -> Optional[int]:
+    """Decode a rail pair.
+
+    Returns the Boolean value for a valid codeword, ``None`` for the spacer
+    state, and raises :class:`ValueError` for the forbidden state or unknown
+    (``X``) rails.
+    """
+    if pos is None or neg is None:
+        raise ValueError(f"rails carry unknown values: ({pos}, {neg})")
+    s = polarity.spacer_rail_value
+    if (pos, neg) == (s, s):
+        return None
+    if (pos, neg) == (1 - s, 1 - s):
+        raise ValueError(f"forbidden dual-rail state ({pos}, {neg}) for {polarity.value} spacer")
+    return int(pos)
+
+
+def is_valid_codeword(pos: LogicValue, neg: LogicValue) -> bool:
+    """``True`` when the rail pair is a valid (non-spacer) codeword."""
+    return pos is not None and neg is not None and pos != neg
+
+
+def is_spacer(pos: LogicValue, neg: LogicValue,
+              polarity: SpacerPolarity = SpacerPolarity.ALL_ZERO) -> bool:
+    """``True`` when the rail pair is the spacer state for *polarity*."""
+    s = polarity.spacer_rail_value
+    return pos == s and neg == s
+
+
+# --------------------------------------------------------------------------
+# Dual-rail circuit container
+# --------------------------------------------------------------------------
+
+@dataclass
+class OneOfNSignal:
+    """A 1-of-n encoded signal (a superset of dual-rail, Section IV-C).
+
+    Attributes
+    ----------
+    name:
+        Logical signal name.
+    rails:
+        Net names; exactly one is high in a valid codeword, all are at the
+        spacer value otherwise.
+    labels:
+        Meaning of each rail (e.g. ``("less", "equal", "greater")``).
+    polarity:
+        Spacer polarity (all rails at 0 or all at 1).
+    """
+
+    name: str
+    rails: Tuple[str, ...]
+    labels: Tuple[str, ...]
+    polarity: SpacerPolarity = SpacerPolarity.ALL_ZERO
+
+
+@dataclass
+class DualRailCircuit:
+    """A dual-rail netlist plus its interface description.
+
+    This is the object consumed by the dual-rail simulation environment
+    (:mod:`repro.sim.handshake`), the completion-detection generator
+    (:mod:`repro.core.completion`) and the reporting flow.
+    """
+
+    netlist: Netlist
+    inputs: List[DualRailSignal] = field(default_factory=list)
+    outputs: List[DualRailSignal] = field(default_factory=list)
+    one_of_n_outputs: List[OneOfNSignal] = field(default_factory=list)
+    done_net: Optional[str] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def input_by_name(self, name: str) -> DualRailSignal:
+        """Look up an input signal by logical name."""
+        for sig in self.inputs:
+            if sig.name == name:
+                return sig
+        raise KeyError(f"no dual-rail input named {name!r}")
+
+    def output_by_name(self, name: str) -> DualRailSignal:
+        """Look up an output signal by logical name."""
+        for sig in self.outputs:
+            if sig.name == name:
+                return sig
+        raise KeyError(f"no dual-rail output named {name!r}")
+
+    def all_output_rails(self) -> List[str]:
+        """Every primary-output rail net (dual-rail and 1-of-n)."""
+        rails: List[str] = []
+        for sig in self.outputs:
+            rails.extend(sig.rails())
+        for sig in self.one_of_n_outputs:
+            rails.extend(sig.rails)
+        return rails
+
+    def all_input_rails(self) -> List[str]:
+        """Every primary-input rail net."""
+        rails: List[str] = []
+        for sig in self.inputs:
+            rails.extend(sig.rails())
+        return rails
+
+
+# --------------------------------------------------------------------------
+# Builder
+# --------------------------------------------------------------------------
+
+class DualRailBuilder:
+    """Construct dual-rail netlists gate by gate with polarity tracking.
+
+    Parameters
+    ----------
+    name:
+        Name of the netlist being built.
+    negative_gates:
+        When ``True`` (the default, matching the paper's *negative gate
+        optimisation*) two-input AND/OR functions are realised with
+        NAND/NOR pairs, which flips the spacer polarity of their outputs.
+        When ``False`` the positive AND/OR mapping is used and polarity is
+        preserved.
+    """
+
+    def __init__(self, name: str, negative_gates: bool = True) -> None:
+        self.logic = LogicBuilder(name)
+        self.negative_gates = negative_gates
+        self.inputs: List[DualRailSignal] = []
+        self.outputs: List[DualRailSignal] = []
+        self.one_of_n_outputs: List[OneOfNSignal] = []
+        self._constants: Dict[Tuple[int, SpacerPolarity], DualRailSignal] = {}
+
+    # ---------------------------------------------------------------- ports
+    @property
+    def netlist(self) -> Netlist:
+        """The netlist under construction."""
+        return self.logic.netlist
+
+    def input_bit(self, name: str,
+                  polarity: SpacerPolarity = SpacerPolarity.ALL_ZERO) -> DualRailSignal:
+        """Declare a dual-rail primary input (two rail nets ``name_p``/``name_n``)."""
+        pos, neg = f"{name}_p", f"{name}_n"
+        self.logic.input(pos)
+        self.logic.input(neg)
+        sig = DualRailSignal(name=name, pos=pos, neg=neg, polarity=polarity)
+        self.inputs.append(sig)
+        return sig
+
+    def input_bus(self, name: str, width: int,
+                  polarity: SpacerPolarity = SpacerPolarity.ALL_ZERO) -> List[DualRailSignal]:
+        """Declare *width* dual-rail inputs ``name[0] … name[width-1]``."""
+        return [self.input_bit(f"{name}[{i}]", polarity) for i in range(width)]
+
+    def output_bit(self, name: str, signal: DualRailSignal) -> DualRailSignal:
+        """Expose *signal* as a dual-rail primary output called *name*."""
+        pos, neg = f"{name}_p", f"{name}_n"
+        if signal.pos != pos:
+            self.logic.output(pos, signal.pos)
+        else:
+            self.logic.output(pos)
+        if signal.neg != neg:
+            self.logic.output(neg, signal.neg)
+        else:
+            self.logic.output(neg)
+        out_sig = DualRailSignal(name=name, pos=pos, neg=neg, polarity=signal.polarity)
+        self.outputs.append(out_sig)
+        return out_sig
+
+    def one_of_n_output(self, name: str, rail_nets: Sequence[str], labels: Sequence[str],
+                        polarity: SpacerPolarity) -> OneOfNSignal:
+        """Expose a 1-of-n encoded primary output (e.g. the comparator result)."""
+        if len(rail_nets) != len(labels):
+            raise NetlistError("one_of_n_output needs one label per rail")
+        exported: List[str] = []
+        for label, net in zip(labels, rail_nets):
+            out_name = f"{name}_{label}"
+            if net != out_name:
+                self.logic.output(out_name, net)
+            else:
+                self.logic.output(out_name)
+            exported.append(out_name)
+        sig = OneOfNSignal(name=name, rails=tuple(exported), labels=tuple(labels),
+                           polarity=polarity)
+        self.one_of_n_outputs.append(sig)
+        return sig
+
+    # ------------------------------------------------------------ primitives
+    def constant(self, value: int,
+                 polarity: SpacerPolarity = SpacerPolarity.ALL_ZERO) -> DualRailSignal:
+        """A constant dual-rail signal (always presents a valid codeword).
+
+        Constants never return to spacer; they are only safe to use where the
+        surrounding logic re-establishes spacer through its other inputs
+        (e.g. padding unused population-count inputs with logic-0 votes).
+        """
+        key = (int(bool(value)), polarity)
+        if key not in self._constants:
+            pos = self.logic.tie(value)
+            neg = self.logic.tie(1 - int(bool(value)))
+            self._constants[key] = DualRailSignal(
+                name=f"const{value}", pos=pos, neg=neg, polarity=polarity
+            )
+        return self._constants[key]
+
+    def not_(self, a: DualRailSignal, name: Optional[str] = None) -> DualRailSignal:
+        """Dual-rail inversion: a free rail swap (no cells, no delay)."""
+        return a.swapped(name)
+
+    def _check_polarity(self, *signals: DualRailSignal) -> SpacerPolarity:
+        polarities = {s.polarity for s in signals}
+        if len(polarities) != 1:
+            detail = ", ".join(f"{s.name}:{s.polarity.value}" for s in signals)
+            raise NetlistError(
+                f"mixed spacer polarities at gate inputs ({detail}); insert a spacer inverter"
+            )
+        return signals[0].polarity
+
+    def and_(self, a: DualRailSignal, b: DualRailSignal,
+             name: Optional[str] = None) -> DualRailSignal:
+        """Dual-rail two-input AND.
+
+        Uses the negative-gate mapping (NOR/NAND pair, flips polarity) when
+        the builder was constructed with ``negative_gates=True``; otherwise
+        the positive AND/OR mapping (polarity preserved).
+        """
+        polarity = self._check_polarity(a, b)
+        hint = name if name is not None else f"and_{a.name}_{b.name}"
+        if self.negative_gates:
+            pos = self.logic.nor(a.neg, b.neg)
+            neg = self.logic.nand(a.pos, b.pos)
+            out_pol = polarity.flipped()
+        else:
+            pos = self.logic.and_(a.pos, b.pos)
+            neg = self.logic.or_(a.neg, b.neg)
+            out_pol = polarity
+        return DualRailSignal(name=hint, pos=pos, neg=neg, polarity=out_pol)
+
+    def or_(self, a: DualRailSignal, b: DualRailSignal,
+            name: Optional[str] = None) -> DualRailSignal:
+        """Dual-rail two-input OR (polarity behaviour as :meth:`and_`)."""
+        polarity = self._check_polarity(a, b)
+        hint = name if name is not None else f"or_{a.name}_{b.name}"
+        if self.negative_gates:
+            pos = self.logic.nand(a.neg, b.neg)
+            neg = self.logic.nor(a.pos, b.pos)
+            out_pol = polarity.flipped()
+        else:
+            pos = self.logic.or_(a.pos, b.pos)
+            neg = self.logic.and_(a.neg, b.neg)
+            out_pol = polarity
+        return DualRailSignal(name=hint, pos=pos, neg=neg, polarity=out_pol)
+
+    def and_positive(self, a: DualRailSignal, b: DualRailSignal,
+                     name: Optional[str] = None) -> DualRailSignal:
+        """Dual-rail AND forced to the positive mapping (polarity preserved)."""
+        polarity = self._check_polarity(a, b)
+        hint = name if name is not None else f"and_{a.name}_{b.name}"
+        pos = self.logic.and_(a.pos, b.pos)
+        neg = self.logic.or_(a.neg, b.neg)
+        return DualRailSignal(name=hint, pos=pos, neg=neg, polarity=polarity)
+
+    def or_positive(self, a: DualRailSignal, b: DualRailSignal,
+                    name: Optional[str] = None) -> DualRailSignal:
+        """Dual-rail OR forced to the positive mapping (polarity preserved).
+
+        This is the "dual-rail OR gate ... internally constructed from one OR
+        gate and one AND gate" used inside the population counter.
+        """
+        polarity = self._check_polarity(a, b)
+        hint = name if name is not None else f"or_{a.name}_{b.name}"
+        pos = self.logic.or_(a.pos, b.pos)
+        neg = self.logic.and_(a.neg, b.neg)
+        return DualRailSignal(name=hint, pos=pos, neg=neg, polarity=polarity)
+
+    def xor(self, a: DualRailSignal, b: DualRailSignal,
+            name: Optional[str] = None) -> DualRailSignal:
+        """Dual-rail XOR built from unate complex gates (half-adder sum).
+
+        ``zp = (a & ~b) | (~a & b)`` and ``zn = (a & b) | (~a & ~b)``; with
+        the negative-gate optimisation each rail is a single AOI22 cell
+        driven by the appropriate rails, so the cell itself stays unate even
+        though the *function* is not — monotonicity is guaranteed by the
+        one-hot nature of the rail pairs.
+        """
+        polarity = self._check_polarity(a, b)
+        hint = name if name is not None else f"xor_{a.name}_{b.name}"
+        if self.negative_gates:
+            # AOI22 on the opposite rails gives the inverted-spacer output.
+            pos = self.logic.aoi22(a.pos, b.pos, a.neg, b.neg)
+            neg = self.logic.aoi22(a.pos, b.neg, a.neg, b.pos)
+            return DualRailSignal(name=hint, pos=pos, neg=neg, polarity=polarity.flipped())
+        pos_t1 = self.logic.and_(a.pos, b.neg)
+        pos_t2 = self.logic.and_(a.neg, b.pos)
+        pos = self.logic.or_(pos_t1, pos_t2)
+        neg_t1 = self.logic.and_(a.pos, b.pos)
+        neg_t2 = self.logic.and_(a.neg, b.neg)
+        neg = self.logic.or_(neg_t1, neg_t2)
+        return DualRailSignal(name=hint, pos=pos, neg=neg, polarity=polarity)
+
+    def spacer_inverter(self, a: DualRailSignal, name: Optional[str] = None) -> DualRailSignal:
+        """Spacer inverter: two INV cells, flips polarity, preserves the value."""
+        hint = name if name is not None else f"spinv_{a.name}"
+        pos = self.logic.cell("INV", [a.neg], attrs={"role": "spacer-inverter"})
+        neg = self.logic.cell("INV", [a.pos], attrs={"role": "spacer-inverter"})
+        return DualRailSignal(name=hint, pos=pos, neg=neg, polarity=a.polarity.flipped())
+
+    def align_polarity(self, a: DualRailSignal, polarity: SpacerPolarity) -> DualRailSignal:
+        """Return *a*, inserting a spacer inverter if its polarity differs."""
+        if a.polarity is polarity:
+            return a
+        return self.spacer_inverter(a)
+
+    def c_element_latch(self, a: DualRailSignal, name: Optional[str] = None,
+                        enable: Optional[str] = None) -> DualRailSignal:
+        """Latch a dual-rail input through per-rail C-elements.
+
+        The paper's dual-rail design uses C-elements as input latches (their
+        area is what the Table-I "sequential area" column counts for the
+        dual-rail circuits).  Each rail gets its own C-element; when *enable*
+        is given it is the second C-element input (a request/acknowledge
+        signal), otherwise the rail is simply latched against itself through a
+        2-input C-element with both inputs tied to the rail, modelling the
+        storage overhead without altering the protocol.
+        """
+        hint = name if name is not None else f"lat_{a.name}"
+        other_p = enable if enable is not None else a.pos
+        other_n = enable if enable is not None else a.neg
+        pos = self.logic.c_element(a.pos, other_p, name=f"{hint}_cp")
+        neg = self.logic.c_element(a.neg, other_n, name=f"{hint}_cn")
+        return DualRailSignal(name=hint, pos=pos, neg=neg, polarity=a.polarity)
+
+    # ------------------------------------------------------------ reduction
+    def and_tree(self, signals: Sequence[DualRailSignal],
+                 name: Optional[str] = None) -> DualRailSignal:
+        """Balanced dual-rail AND tree (clause aggregation)."""
+        return self._tree(self.and_, signals, name or "and_tree")
+
+    def or_tree(self, signals: Sequence[DualRailSignal],
+                name: Optional[str] = None) -> DualRailSignal:
+        """Balanced dual-rail OR tree."""
+        return self._tree(self.or_, signals, name or "or_tree")
+
+    def _tree(self, op, signals: Sequence[DualRailSignal], name: str) -> DualRailSignal:
+        if not signals:
+            raise NetlistError("cannot reduce an empty signal list")
+        level = list(signals)
+        if len(level) == 1:
+            return level[0]
+        round_idx = 0
+        while len(level) > 1:
+            # Alternating negative-gate levels flip polarity consistently for
+            # every member of the level, so pairs always match.
+            nxt: List[DualRailSignal] = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(op(level[i], level[i + 1]))
+            if len(level) % 2 == 1:
+                leftover = level[-1]
+                if nxt and leftover.polarity is not nxt[0].polarity:
+                    leftover = self.spacer_inverter(leftover)
+                nxt.append(leftover)
+            level = nxt
+            round_idx += 1
+        result = level[0]
+        return DualRailSignal(name=name, pos=result.pos, neg=result.neg,
+                              polarity=result.polarity)
+
+    # --------------------------------------------------------------- export
+    def build(self, name: Optional[str] = None, done_net: Optional[str] = None,
+              metadata: Optional[Dict[str, object]] = None) -> DualRailCircuit:
+        """Package the constructed netlist into a :class:`DualRailCircuit`."""
+        if name is not None:
+            self.netlist.name = name
+        circuit = DualRailCircuit(
+            netlist=self.netlist,
+            inputs=list(self.inputs),
+            outputs=list(self.outputs),
+            one_of_n_outputs=list(self.one_of_n_outputs),
+            done_net=done_net,
+            metadata=dict(metadata or {}),
+        )
+        return circuit

@@ -1,0 +1,78 @@
+"""1-of-n (one-hot) delay-insensitive codes.
+
+Dual-rail is the special case ``n = 2`` of the 1-of-n family: one wire per
+possible symbol value, exactly one of which is asserted in a valid codeword,
+all of which sit at the spacer level between codewords.  Provided a spacer
+separates successive valids, switching of a 1-of-n code is monotonic
+(Bainbridge et al.), which is why the paper can use a **1-of-3** code for the
+mutually-exclusive *less / equal / greater* outputs of the magnitude
+comparator instead of three full dual-rail pairs — saving both wires and the
+logic that would drive them (Section IV-C).
+
+This module provides encode/decode/validity helpers mirroring those in
+:mod:`repro.core.dual_rail` but for arbitrary ``n``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.circuits.gates import LogicValue
+
+from .dual_rail import SpacerPolarity
+
+
+def encode_one_of_n(symbol: int, n: int,
+                    polarity: SpacerPolarity = SpacerPolarity.ALL_ZERO) -> Tuple[int, ...]:
+    """Encode *symbol* (``0 <= symbol < n``) as a valid 1-of-n codeword.
+
+    With an all-zero spacer the selected rail is 1 and all others are 0;
+    with an all-one spacer the selected rail is 0 and all others are 1
+    (the codeword is the bitwise complement, as produced by negative gates).
+    """
+    if not 0 <= symbol < n:
+        raise ValueError(f"symbol {symbol} out of range for 1-of-{n} code")
+    active, idle = (1, 0) if polarity is SpacerPolarity.ALL_ZERO else (0, 1)
+    return tuple(active if i == symbol else idle for i in range(n))
+
+
+def spacer_one_of_n(n: int, polarity: SpacerPolarity = SpacerPolarity.ALL_ZERO) -> Tuple[int, ...]:
+    """Return the spacer codeword (all rails at the spacer level)."""
+    return tuple(polarity.spacer_rail_value for _ in range(n))
+
+
+def decode_one_of_n(rails: Sequence[LogicValue],
+                    polarity: SpacerPolarity = SpacerPolarity.ALL_ZERO) -> Optional[int]:
+    """Decode a 1-of-n rail vector.
+
+    Returns the index of the asserted rail for a valid codeword, ``None``
+    for the spacer state, and raises :class:`ValueError` for invalid states
+    (more than one rail asserted, or unknown values).
+    """
+    if any(r is None for r in rails):
+        raise ValueError(f"1-of-n rails carry unknown values: {list(rails)}")
+    idle = polarity.spacer_rail_value
+    active_indices = [i for i, r in enumerate(rails) if r != idle]
+    if not active_indices:
+        return None
+    if len(active_indices) > 1:
+        raise ValueError(
+            f"invalid 1-of-{len(rails)} codeword {list(rails)}: more than one rail asserted"
+        )
+    return active_indices[0]
+
+
+def is_valid_one_of_n(rails: Sequence[LogicValue],
+                      polarity: SpacerPolarity = SpacerPolarity.ALL_ZERO) -> bool:
+    """``True`` when exactly one rail differs from the spacer level."""
+    if any(r is None for r in rails):
+        return False
+    idle = polarity.spacer_rail_value
+    return sum(1 for r in rails if r != idle) == 1
+
+
+def is_spacer_one_of_n(rails: Sequence[LogicValue],
+                       polarity: SpacerPolarity = SpacerPolarity.ALL_ZERO) -> bool:
+    """``True`` when every rail sits at the spacer level."""
+    idle = polarity.spacer_rail_value
+    return all(r == idle for r in rails)

@@ -1,0 +1,125 @@
+"""The six correctness requirements of the self-timed methodology.
+
+Section III of the paper enumerates the conditions under which the
+early-propagative dual-rail circuit with reduced completion detection is
+guaranteed to operate correctly.  This module captures them as data — each
+requirement knows *who* is responsible for it (the circuit structure, the
+completion-detection network, or the environment) and *which part of this
+reproduction* enforces or checks it — so that tests and documentation can
+refer to them explicitly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+class Responsibility(enum.Enum):
+    """Which agent guarantees a requirement."""
+
+    ENVIRONMENT = "environment"
+    CIRCUIT_STRUCTURE = "circuit structure"
+    COMPLETION_DETECTION = "completion detection"
+    TIMING_ASSUMPTION = "timing assumption"
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """One of the paper's six correctness requirements."""
+
+    number: int
+    text: str
+    responsibility: Responsibility
+    enforced_by: str
+
+
+REQUIREMENTS: Tuple[Requirement, ...] = (
+    Requirement(
+        number=1,
+        text="Monotonic switching at the primary inputs.",
+        responsibility=Responsibility.ENVIRONMENT,
+        enforced_by=(
+            "repro.sim.handshake.DualRailEnvironment applies complete spacer or "
+            "valid codewords atomically; repro.sim.monitors.MonotonicityMonitor "
+            "checks the resulting transitions."
+        ),
+    ),
+    Requirement(
+        number=2,
+        text="Monotonic switching within the circuit.",
+        responsibility=Responsibility.CIRCUIT_STRUCTURE,
+        enforced_by=(
+            "repro.circuits.validate.check_unate_only rejects non-unate gates; "
+            "repro.core.dual_rail.DualRailBuilder only emits unate mappings and "
+            "refuses mixed spacer polarities at gate inputs."
+        ),
+    ),
+    Requirement(
+        number=3,
+        text="Acknowledgment of spacer-to-valid transitions on the primary outputs.",
+        responsibility=Responsibility.COMPLETION_DETECTION,
+        enforced_by=(
+            "repro.core.completion.add_completion_detection inserts per-output "
+            "validity detectors aggregated into the done signal."
+        ),
+    ),
+    Requirement(
+        number=4,
+        text=(
+            "Valid-to-spacer on the primary outputs and on internal signals before "
+            "new primary inputs are applied."
+        ),
+        responsibility=Responsibility.TIMING_ASSUMPTION,
+        enforced_by=(
+            "repro.core.completion.compute_grace_period derives td = t_int - t_io "
+            "from static timing analysis; the environment waits the grace period "
+            "(or the done-fall delay chain realises it in hardware)."
+        ),
+    ),
+    Requirement(
+        number=5,
+        text="Primary inputs transition spacer-to-valid and valid-to-spacer for each operand.",
+        responsibility=Responsibility.ENVIRONMENT,
+        enforced_by=(
+            "repro.sim.handshake.DualRailEnvironment.infer always performs the "
+            "full valid/spacer cycle for every operand."
+        ),
+    ),
+    Requirement(
+        number=6,
+        text="Primary inputs transition valid-to-spacer only after spacer-to-valid on the outputs.",
+        responsibility=Responsibility.ENVIRONMENT,
+        enforced_by=(
+            "repro.sim.handshake.DualRailEnvironment.infer removes the operand "
+            "only after every output port has produced a valid codeword (and the "
+            "done signal, when present, has risen)."
+        ),
+    ),
+)
+
+
+def requirement(number: int) -> Requirement:
+    """Return requirement *number* (1-6)."""
+    for req in REQUIREMENTS:
+        if req.number == number:
+            return req
+    raise KeyError(f"no requirement number {number}")
+
+
+def requirements_by_responsibility() -> Dict[Responsibility, List[Requirement]]:
+    """Group the requirements by the agent responsible for them."""
+    grouped: Dict[Responsibility, List[Requirement]] = {}
+    for req in REQUIREMENTS:
+        grouped.setdefault(req.responsibility, []).append(req)
+    return grouped
+
+
+def describe_requirements() -> str:
+    """Human-readable summary used by the documentation example."""
+    lines = []
+    for req in REQUIREMENTS:
+        lines.append(f"Requirement {req.number} ({req.responsibility.value}): {req.text}")
+        lines.append(f"    enforced by: {req.enforced_by}")
+    return "\n".join(lines)

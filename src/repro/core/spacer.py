@@ -1,0 +1,175 @@
+"""Spacer-polarity analysis of dual-rail netlists.
+
+Every inverting (negative) gate on a dual-rail signal path flips the spacer
+polarity of the pair it drives.  For the circuit to work, both rails of a
+pair must see the *same* number of inversions modulo two on every path from
+the primary inputs — otherwise one rail interprets all-zero as spacer while
+the other expects all-one, spacer propagation breaks, and valid codewords
+can overtake each other (the data hazard the paper warns about in
+Section III).
+
+The paper handles this by construction: the clause logic has "a single
+inversion on all signal paths", the half-adders have an even number, and two
+explicit spacer inverters are inserted in the population counter where the
+full-adders' carry chain would otherwise mismatch.
+:class:`~repro.core.dual_rail.DualRailBuilder` automates the same discipline;
+this module provides the *independent* check — a parity analysis over the
+finished rail-level netlist — used by the validation tests to confirm that
+the constructed datapaths are consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.gates import is_inverting, is_sequential
+from repro.circuits.netlist import Netlist
+
+from .dual_rail import DualRailCircuit, SpacerPolarity
+
+
+@dataclass
+class SpacerAnalysis:
+    """Result of the inversion-parity propagation.
+
+    Attributes
+    ----------
+    parity:
+        Inversion parity (0 or 1) of every analysed net, relative to the
+        primary inputs.  ``None`` for nets that could not be reached
+        (e.g. outputs of constant cells).
+    inconsistencies:
+        Messages for nets reachable through paths of differing parity —
+        these are real spacer bugs.
+    pair_polarity:
+        For every dual-rail interface pair of the analysed circuit, the
+        spacer polarity implied by the parity analysis.
+    """
+
+    parity: Dict[str, Optional[int]] = field(default_factory=dict)
+    inconsistencies: List[str] = field(default_factory=list)
+    pair_polarity: Dict[str, SpacerPolarity] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when no parity inconsistencies were found."""
+        return not self.inconsistencies
+
+
+def analyse_inversion_parity(netlist: Netlist) -> SpacerAnalysis:
+    """Propagate inversion parity from the primary inputs through *netlist*.
+
+    Constant cells (TIE0/TIE1) and sequential feedback do not participate:
+    constants are polarity-neutral by definition and C-elements are
+    non-inverting.
+    """
+    analysis = SpacerAnalysis()
+    parity: Dict[str, Optional[int]] = {pi: 0 for pi in netlist.primary_inputs}
+
+    for cell in netlist.topological_order():
+        if cell.attrs.get("role") == "completion-detect":
+            # Completion detection is a control network, not a dual-rail data
+            # path; it legitimately merges rails of differing parity.
+            continue
+        if cell.cell_type in ("TIE0", "TIE1"):
+            for out in cell.outputs.values():
+                parity.setdefault(out, None)
+            continue
+        input_parities = []
+        for net in cell.inputs.values():
+            p = parity.get(net)
+            if p is not None:
+                input_parities.append(p)
+        if not input_parities:
+            for out in cell.outputs.values():
+                parity.setdefault(out, None)
+            continue
+        if len(set(input_parities)) > 1:
+            analysis.inconsistencies.append(
+                f"cell {cell.name!r} ({cell.cell_type}) mixes inputs of differing "
+                f"inversion parity {sorted(set(input_parities))}"
+            )
+        base = input_parities[0]
+        flip = 1 if is_inverting(cell.cell_type) else 0
+        out_parity = (base + flip) % 2
+        for out in cell.outputs.values():
+            existing = parity.get(out)
+            if existing is not None and existing != out_parity:
+                analysis.inconsistencies.append(
+                    f"net {out!r} is reached with both parities (existing {existing}, "
+                    f"new {out_parity})"
+                )
+            parity[out] = out_parity
+
+    analysis.parity = parity
+    return analysis
+
+
+def analyse_circuit_spacers(circuit: DualRailCircuit) -> SpacerAnalysis:
+    """Run the parity analysis and translate it into per-pair spacer polarities.
+
+    The input pairs' declared polarities anchor the analysis; an output pair
+    whose rails have parity ``p`` relative to inputs of polarity ``P`` has
+    polarity ``P`` when ``p`` is even and ``P.flipped()`` when odd.  The two
+    rails of a pair must agree, otherwise an inconsistency is recorded.
+    """
+    analysis = analyse_inversion_parity(circuit.netlist)
+    if not circuit.inputs:
+        return analysis
+    base_polarity = circuit.inputs[0].polarity
+    for sig in circuit.inputs:
+        if sig.polarity is not base_polarity:
+            analysis.inconsistencies.append(
+                f"input {sig.name!r} polarity {sig.polarity.value} differs from "
+                f"{base_polarity.value}; mixed input polarities need explicit alignment"
+            )
+
+    for sig in circuit.outputs:
+        p_pos = analysis.parity.get(sig.pos)
+        p_neg = analysis.parity.get(sig.neg)
+        if p_pos is None or p_neg is None:
+            continue
+        if p_pos != p_neg:
+            analysis.inconsistencies.append(
+                f"output pair {sig.name!r} rails have differing parity "
+                f"({p_pos} vs {p_neg}); a spacer inverter is missing"
+            )
+            continue
+        polarity = base_polarity if p_pos % 2 == 0 else base_polarity.flipped()
+        analysis.pair_polarity[sig.name] = polarity
+        if polarity is not sig.polarity:
+            analysis.inconsistencies.append(
+                f"output pair {sig.name!r} declares polarity {sig.polarity.value} but the "
+                f"netlist implies {polarity.value}"
+            )
+    for sig in circuit.one_of_n_outputs:
+        parities = {analysis.parity.get(r) for r in sig.rails}
+        parities.discard(None)
+        if len(parities) > 1:
+            analysis.inconsistencies.append(
+                f"1-of-n output {sig.name!r} rails have mixed inversion parity {sorted(parities)}"
+            )
+        elif parities:
+            parity = parities.pop()
+            polarity = base_polarity if parity % 2 == 0 else base_polarity.flipped()
+            analysis.pair_polarity[sig.name] = polarity
+            if polarity is not sig.polarity:
+                analysis.inconsistencies.append(
+                    f"1-of-n output {sig.name!r} declares polarity {sig.polarity.value} but "
+                    f"the netlist implies {polarity.value}"
+                )
+    return analysis
+
+
+def count_spacer_inverters(netlist: Netlist) -> int:
+    """Count INV cells acting as spacer inverters (attribute ``role='spacer-inverter'``).
+
+    The datapath generators tag the inverter pairs they insert; untagged
+    inverters (e.g. inside logic) are not counted.
+    """
+    return sum(
+        1
+        for cell in netlist.iter_cells()
+        if cell.cell_type == "INV" and cell.attrs.get("role") == "spacer-inverter"
+    )

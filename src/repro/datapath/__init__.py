@@ -1,0 +1,83 @@
+"""Tsetlin-machine inference datapaths (the circuits of the paper's Figure 2).
+
+* :mod:`repro.datapath.clause_logic` — OR-mask / AND-tree clause blocks;
+* :mod:`repro.datapath.adders` / :mod:`repro.datapath.popcount` — dual-rail
+  and single-rail half/full adders and population counters;
+* :mod:`repro.datapath.comparator` — the MSB-first early-propagating
+  magnitude comparator with the 1-of-3 output encoding;
+* :mod:`repro.datapath.datapath` — the complete dual-rail datapath plus the
+  :class:`~repro.datapath.datapath.DualRailDatapath` wrapper;
+* :mod:`repro.datapath.sync_datapath` — the registered single-rail baseline.
+"""
+
+from .adders import (
+    DualRailAdderOutput,
+    dual_rail_full_adder,
+    dual_rail_half_adder,
+    single_rail_full_adder,
+    single_rail_half_adder,
+)
+from .clause_logic import (
+    dual_rail_clause,
+    dual_rail_partial_clause,
+    single_rail_clause,
+    single_rail_partial_clause,
+)
+from .comparator import (
+    ComparatorVerdict,
+    comparator_decision_bit,
+    dual_rail_magnitude_comparator,
+    single_rail_magnitude_comparator,
+)
+from .datapath import (
+    DatapathConfig,
+    DualRailDatapath,
+    VERDICT_LABELS,
+    build_dual_rail_datapath,
+    exclude_input_name,
+    feature_input_name,
+)
+from .popcount import (
+    dual_rail_popcount,
+    dual_rail_popcount8,
+    output_width,
+    single_rail_popcount,
+    single_rail_popcount8,
+)
+from .sync_datapath import (
+    SINGLE_RAIL_OUTPUTS,
+    SingleRailDatapath,
+    SingleRailInterface,
+    build_single_rail_datapath,
+)
+
+__all__ = [
+    "ComparatorVerdict",
+    "DatapathConfig",
+    "DualRailAdderOutput",
+    "DualRailDatapath",
+    "SINGLE_RAIL_OUTPUTS",
+    "SingleRailDatapath",
+    "SingleRailInterface",
+    "VERDICT_LABELS",
+    "build_dual_rail_datapath",
+    "build_single_rail_datapath",
+    "comparator_decision_bit",
+    "dual_rail_clause",
+    "dual_rail_full_adder",
+    "dual_rail_half_adder",
+    "dual_rail_magnitude_comparator",
+    "dual_rail_partial_clause",
+    "dual_rail_popcount",
+    "dual_rail_popcount8",
+    "exclude_input_name",
+    "feature_input_name",
+    "output_width",
+    "single_rail_clause",
+    "single_rail_full_adder",
+    "single_rail_half_adder",
+    "single_rail_magnitude_comparator",
+    "single_rail_partial_clause",
+    "single_rail_popcount",
+    "single_rail_popcount8",
+]

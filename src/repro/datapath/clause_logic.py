@@ -1,0 +1,126 @@
+"""Clause computation: the OR-mask / AND-tree structure of Section IV-A.
+
+A conjunctive clause evaluates the AND of its *included* literals.  In the
+datapath the inclusion decision arrives as exclude signals from the Tsetlin
+automaton teams:
+
+* ``e_{2m}`` masks the direct literal ``f_m``;
+* ``e_{2m+1}`` masks the negated literal ``¬f_m``.
+
+The partial clause term of feature ``m`` is
+``pc_m = (e_{2m} | f_m) & (e_{2m+1} | ¬f_m)`` — when a literal is excluded
+its OR gate forces a logic-1 onto the AND tree, which is how exclusion is
+implemented with pure masking and no multiplexers.
+
+In the dual-rail version ``¬f_m`` is free (the negative rail already carries
+it), so the masking needs only one dual-rail OR per literal; the AND
+aggregation uses the negative-gate optimised tree.  The paper notes the
+resulting block has a single inversion on every path (an inverting spacer
+overall) — in this reproduction the exact inversion depth depends on the
+clause width, and the builder's polarity tracking keeps it consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.circuits.builder import LogicBuilder
+from repro.core.dual_rail import DualRailBuilder, DualRailSignal
+
+
+def dual_rail_partial_clause(
+    builder: DualRailBuilder,
+    feature: DualRailSignal,
+    exclude_direct: DualRailSignal,
+    exclude_negated: DualRailSignal,
+    name: str = "pc",
+) -> List[DualRailSignal]:
+    """Masked literal pair for one feature of one clause.
+
+    Returns the two masked terms ``[e_{2m} | f_m, e_{2m+1} | ¬f_m]`` that
+    feed the clause's AND tree.  The ``¬f_m`` literal is obtained by a rail
+    swap (no logic), which is the dual-rail advantage called out in the
+    paper ("we do not need to generate ¬f_m internally").
+    """
+    not_feature = builder.not_(feature)
+    direct = builder.or_(exclude_direct, feature, name=f"{name}_d")
+    negated = builder.or_(exclude_negated, not_feature, name=f"{name}_n")
+    return [direct, negated]
+
+
+def dual_rail_clause(
+    builder: DualRailBuilder,
+    features: Sequence[DualRailSignal],
+    excludes: Sequence[DualRailSignal],
+    name: str = "clause",
+) -> DualRailSignal:
+    """Full dual-rail clause: OR masks for every literal, then an AND tree.
+
+    Parameters
+    ----------
+    features:
+        The dual-rail feature inputs ``f_0 … f_{o-1}``.
+    excludes:
+        The ``2·o`` dual-rail exclude inputs in interleaved order
+        ``e_0, e_1, …, e_{2o-1}`` (direct literal of feature *m* at index
+        ``2m``, negated literal at ``2m+1``).
+    """
+    if len(excludes) != 2 * len(features):
+        raise ValueError(
+            f"clause over {len(features)} features needs {2 * len(features)} exclude "
+            f"signals, got {len(excludes)}"
+        )
+    terms: List[DualRailSignal] = []
+    for m, feature in enumerate(features):
+        terms.extend(
+            dual_rail_partial_clause(
+                builder,
+                feature,
+                excludes[2 * m],
+                excludes[2 * m + 1],
+                name=f"{name}_pc{m}",
+            )
+        )
+    return builder.and_tree(terms, name=name)
+
+
+def single_rail_partial_clause(
+    builder: LogicBuilder,
+    feature: str,
+    not_feature: str,
+    exclude_direct: str,
+    exclude_negated: str,
+) -> List[str]:
+    """Single-rail masked literal pair (the baseline needs an explicit inverter)."""
+    direct = builder.or_(exclude_direct, feature)
+    negated = builder.or_(exclude_negated, not_feature)
+    return [direct, negated]
+
+
+def single_rail_clause(
+    builder: LogicBuilder,
+    features: Sequence[str],
+    excludes: Sequence[str],
+    not_features: Sequence[str] = None,
+    name: str = "clause",
+) -> str:
+    """Single-rail clause: inverters for the negated literals, OR masks, AND tree.
+
+    When *not_features* is given the inverted literals are reused (the
+    baseline datapath shares one inverter per feature across all clauses);
+    otherwise a private inverter is created per literal.
+    """
+    if len(excludes) != 2 * len(features):
+        raise ValueError(
+            f"clause over {len(features)} features needs {2 * len(features)} exclude "
+            f"signals, got {len(excludes)}"
+        )
+    terms: List[str] = []
+    for m, feature in enumerate(features):
+        not_feature = not_features[m] if not_features is not None else builder.not_(feature)
+        terms.extend(
+            single_rail_partial_clause(
+                builder, feature, not_feature, excludes[2 * m], excludes[2 * m + 1]
+            )
+        )
+    return builder.and_tree(terms)

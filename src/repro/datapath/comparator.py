@@ -1,0 +1,149 @@
+"""Magnitude comparator — Section IV-C of the paper.
+
+The comparator decides whether the positive vote count is greater than,
+equal to, or less than the negative vote count.  The paper's asynchronous
+version uses a *request architecture*: operands are compared bit-pair by
+bit-pair starting from the most significant bit, and as soon as a difference
+is found the answer is known — the lower-order bits (which are also the
+slowest to be produced by the population counters, because of their carry
+chains) never need to be waited for.  This is where most of the average-case
+latency win comes from.
+
+Because *less*, *equal* and *greater* are mutually exclusive, the
+asynchronous outputs use a **1-of-3** code instead of three dual-rail pairs
+(1-of-n codes are a superset of dual-rail and switch monotonically provided
+a spacer separates the valids), which saves both wires and driver logic.
+
+Per bit position ``i`` (MSB first), with the prefix verdict ``(G, E, L)``
+from the higher-order bits:
+
+* ``G' = G  |  E · a_i · ¬b_i``
+* ``L' = L  |  E · ¬a_i · b_i``
+* ``E' = E · (a_i·b_i + ¬a_i·¬b_i)``
+
+In dual-rail form every product above is a function of the operand rails
+only (``¬a_i`` is the negative rail), so each rail of the 1-of-3 verdict is
+built from unate AND/OR/AO22 cells and switches monotonically.  The verdict
+of the final (least-significant) stage is the datapath's primary output.
+
+A conventional single-rail ripple comparator with the same MSB-first
+recurrence is provided for the synchronous baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.circuits.builder import LogicBuilder
+from repro.core.dual_rail import DualRailBuilder, DualRailSignal, SpacerPolarity
+
+
+@dataclass
+class ComparatorVerdict:
+    """The 1-of-3 comparator output (dual-rail datapath)."""
+
+    greater: DualRailSignal
+    equal: DualRailSignal
+    less: DualRailSignal
+
+    def signals(self) -> Tuple[DualRailSignal, DualRailSignal, DualRailSignal]:
+        """The verdict signals in ``(greater, equal, less)`` order."""
+        return (self.greater, self.equal, self.less)
+
+
+def dual_rail_magnitude_comparator(
+    builder: DualRailBuilder,
+    a_bits: Sequence[DualRailSignal],
+    b_bits: Sequence[DualRailSignal],
+    name: str = "cmp",
+) -> ComparatorVerdict:
+    """MSB-first dual-rail magnitude comparator with early propagation.
+
+    Parameters
+    ----------
+    a_bits / b_bits:
+        Operand bits, LSB first (the popcount output order).  The operands
+        must have the same width.
+
+    Returns
+    -------
+    ComparatorVerdict
+        Dual-rail verdict signals.  Only the *positive* rails of the three
+        verdict signals constitute the 1-of-3 output; the caller exports
+        them via :meth:`repro.core.dual_rail.DualRailBuilder.one_of_n_output`.
+    """
+    if len(a_bits) != len(b_bits):
+        raise ValueError("comparator operands must have equal width")
+    if not a_bits:
+        raise ValueError("comparator needs at least one bit pair")
+
+    # Work MSB first.
+    a_msb_first = list(reversed(list(a_bits)))
+    b_msb_first = list(reversed(list(b_bits)))
+
+    greater: DualRailSignal = None
+    equal: DualRailSignal = None
+    less: DualRailSignal = None
+
+    for idx, (a, b) in enumerate(zip(a_msb_first, b_msb_first)):
+        if a.polarity is not b.polarity:
+            b = builder.spacer_inverter(b)
+        stage = f"{name}_s{idx}"
+        # The request-architecture stages use the *positive* dual-rail gate
+        # mapping: no spacer-polarity flips, hence no spacer inverters in the
+        # verdict chain, keeping the early-propagation path as short as
+        # possible (the per-stage cost for an already-decided verdict is a
+        # single OR level).
+        bit_gt = builder.and_positive(a, builder.not_(b), name=f"{stage}_gt")
+        bit_lt = builder.and_positive(builder.not_(a), b, name=f"{stage}_lt")
+        bit_eq = builder.not_(builder.or_positive(bit_gt, bit_lt, name=f"{stage}_neq"))
+        if idx == 0:
+            greater, equal, less = bit_gt, bit_eq, bit_lt
+            continue
+        extend_gt = builder.and_positive(equal, bit_gt, name=f"{stage}_egt")
+        extend_lt = builder.and_positive(equal, bit_lt, name=f"{stage}_elt")
+        greater = builder.or_positive(greater, extend_gt, name=f"{stage}_G")
+        less = builder.or_positive(less, extend_lt, name=f"{stage}_L")
+        equal = builder.and_positive(equal, bit_eq, name=f"{stage}_E")
+
+    return ComparatorVerdict(greater=greater, equal=equal, less=less)
+
+
+def single_rail_magnitude_comparator(
+    builder: LogicBuilder,
+    a_bits: Sequence[str],
+    b_bits: Sequence[str],
+    name: str = "cmp",
+) -> Tuple[str, str, str]:
+    """Single-rail MSB-first comparator returning ``(greater, equal, less)`` nets."""
+    if len(a_bits) != len(b_bits):
+        raise ValueError("comparator operands must have equal width")
+    if not a_bits:
+        raise ValueError("comparator needs at least one bit pair")
+    a_msb_first = list(reversed(list(a_bits)))
+    b_msb_first = list(reversed(list(b_bits)))
+
+    greater = None
+    equal = None
+    less = None
+    for idx, (a, b) in enumerate(zip(a_msb_first, b_msb_first)):
+        not_a = builder.not_(a)
+        not_b = builder.not_(b)
+        bit_gt = builder.and_(a, not_b)
+        bit_lt = builder.and_(not_a, b)
+        bit_eq = builder.nor(bit_gt, bit_lt)
+        if idx == 0:
+            greater, equal, less = bit_gt, bit_eq, bit_lt
+            continue
+        extend_gt = builder.and_(equal, bit_gt)
+        extend_lt = builder.and_(equal, bit_lt)
+        greater = builder.or_(greater, extend_gt)
+        less = builder.or_(less, extend_lt)
+        equal = builder.and_(equal, bit_eq)
+    return greater, equal, less
+
+
+def comparator_decision_bit(builder: LogicBuilder, greater: str, equal: str) -> str:
+    """Class-membership bit of the baseline: 1 when positive votes >= negative votes."""
+    return builder.or_(greater, equal)

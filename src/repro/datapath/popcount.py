@@ -1,0 +1,218 @@
+"""Population counters (vote counting) — Section IV-B of the paper.
+
+Two architectures are provided, for both circuit styles:
+
+* :func:`dual_rail_popcount8` / :func:`single_rail_popcount8` — the
+  half-adder-heavy eight-input counter modelled on Dalalah's bit-counting
+  architecture used by the paper.  Our variant uses ten half-adders, two
+  full-adders and two OR gates (the paper quotes nine half-adders; the extra
+  one combines the two weight-4 carries whose mutual structure we prove in
+  the unit tests).  It produces a 4-bit count ``y3 y2 y1 y0``.
+* :func:`dual_rail_popcount` / :func:`single_rail_popcount` — a generic
+  carry-save counter tree for any input width, used for configurations with
+  a different number of clauses per polarity and for the architecture
+  ablation benchmark.
+
+Spacer-inverter placement in the dual-rail counters is handled by the
+builder's polarity tracking: wherever a half/full-adder would combine
+signals of differing spacer polarity, a spacer inverter is inserted — the
+same role as the two explicit ``spinv`` blocks in the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.circuits.builder import LogicBuilder
+from repro.core.dual_rail import DualRailBuilder, DualRailSignal
+
+from .adders import (
+    dual_rail_full_adder,
+    dual_rail_half_adder,
+    single_rail_full_adder,
+    single_rail_half_adder,
+)
+
+
+def output_width(num_inputs: int) -> int:
+    """Number of count bits needed for *num_inputs* vote lines."""
+    return max(1, math.ceil(math.log2(num_inputs + 1)))
+
+
+# ---------------------------------------------------------------------------
+# Dual-rail counters
+# ---------------------------------------------------------------------------
+
+def dual_rail_popcount8(
+    builder: DualRailBuilder, inputs: Sequence[DualRailSignal], name: str = "pop"
+) -> List[DualRailSignal]:
+    """Eight-input dual-rail population count (Dalalah-style, HA-heavy).
+
+    Returns the count bits LSB first: ``[y0, y1, y2, y3]``.
+    """
+    if len(inputs) != 8:
+        raise ValueError(f"dual_rail_popcount8 requires exactly 8 inputs, got {len(inputs)}")
+    x = list(inputs)
+    ha = lambda a, b, n: dual_rail_half_adder(builder, a, b, name=f"{name}_{n}")
+    fa = lambda a, b, c, n: dual_rail_full_adder(builder, a, b, c, name=f"{name}_{n}")
+
+    # Stage 1: pair the inputs (4 half-adders).
+    h1 = ha(x[0], x[1], "ha1")
+    h2 = ha(x[2], x[3], "ha2")
+    h3 = ha(x[4], x[5], "ha3")
+    h4 = ha(x[6], x[7], "ha4")
+    # Stage 2: combine the weight-1 sums (3 half-adders).
+    h5 = ha(h1.sum, h2.sum, "ha5")
+    h6 = ha(h3.sum, h4.sum, "ha6")
+    h7 = ha(h5.sum, h6.sum, "ha7")
+    y0 = h7.sum
+    # Stage 3: combine the weight-2 signals (2 full-adders + 2 half-adders).
+    f1 = fa(h1.carry, h2.carry, h5.carry, "fa1")
+    f2 = fa(h3.carry, h4.carry, h6.carry, "fa2")
+    h8 = ha(f1.sum, f2.sum, "ha8")
+    h9 = ha(h8.sum, h7.carry, "ha9")
+    y1 = h9.sum
+    # Stage 4: the four weight-4 carries.  The counter structure guarantees
+    # that only (f1.carry, f2.carry) can be asserted together, so a single
+    # extra half-adder plus two OR gates finish the job.
+    h10 = ha(f1.carry, f2.carry, "ha10")
+    y3 = h10.carry
+    partial = builder.or_positive(h8.carry, h9.carry, name=f"{name}_or1")
+    y2 = builder.or_positive(h10.sum, partial, name=f"{name}_or2")
+    return [y0, y1, y2, y3]
+
+
+def dual_rail_popcount(
+    builder: DualRailBuilder, inputs: Sequence[DualRailSignal], name: str = "pop"
+) -> List[DualRailSignal]:
+    """Generic dual-rail population counter for any input width.
+
+    Uses a carry-save counter tree: at every weight level, groups of three
+    signals are reduced with full-adders and pairs with half-adders until a
+    single bit per weight remains.  Returns the count LSB first.
+    """
+    if not inputs:
+        raise ValueError("popcount needs at least one input")
+    if len(inputs) == 8:
+        return dual_rail_popcount8(builder, inputs, name=name)
+    width = output_width(len(inputs))
+    columns: Dict[int, List[DualRailSignal]] = {0: list(inputs)}
+    level = 0
+    stage = 0
+    while True:
+        work_remaining = any(len(col) > 1 for col in columns.values())
+        if not work_remaining:
+            break
+        next_columns: Dict[int, List[DualRailSignal]] = {}
+        for weight in sorted(columns):
+            signals = columns[weight]
+            carry_column = next_columns.setdefault(weight + 1, [])
+            out_column = next_columns.setdefault(weight, [])
+            idx = 0
+            while len(signals) - idx >= 3:
+                result = dual_rail_full_adder(
+                    builder, signals[idx], signals[idx + 1], signals[idx + 2],
+                    name=f"{name}_w{weight}_fa{stage}_{idx}",
+                )
+                out_column.append(result.sum)
+                carry_column.append(result.carry)
+                idx += 3
+            if len(signals) - idx == 2:
+                result = dual_rail_half_adder(
+                    builder, signals[idx], signals[idx + 1],
+                    name=f"{name}_w{weight}_ha{stage}_{idx}",
+                )
+                out_column.append(result.sum)
+                carry_column.append(result.carry)
+                idx += 2
+            elif len(signals) - idx == 1:
+                out_column.append(signals[idx])
+                idx += 1
+        columns = {w: col for w, col in next_columns.items() if col}
+        stage += 1
+
+    bits: List[DualRailSignal] = []
+    for weight in range(width):
+        column = columns.get(weight, [])
+        if column:
+            bits.append(column[0])
+        else:
+            bits.append(builder.constant(0, builder.inputs[0].polarity if builder.inputs
+                                          else inputs[0].polarity))
+    return bits
+
+
+# ---------------------------------------------------------------------------
+# Single-rail counters
+# ---------------------------------------------------------------------------
+
+def single_rail_popcount8(
+    builder: LogicBuilder, inputs: Sequence[str], name: str = "pop"
+) -> List[str]:
+    """Eight-input single-rail population count mirroring the dual-rail structure."""
+    if len(inputs) != 8:
+        raise ValueError(f"single_rail_popcount8 requires exactly 8 inputs, got {len(inputs)}")
+    x = list(inputs)
+    ha = lambda a, b: single_rail_half_adder(builder, a, b)
+    fa = lambda a, b, c: single_rail_full_adder(builder, a, b, c)
+
+    s1, c1 = ha(x[0], x[1])
+    s2, c2 = ha(x[2], x[3])
+    s3, c3 = ha(x[4], x[5])
+    s4, c4 = ha(x[6], x[7])
+    s5, c5 = ha(s1, s2)
+    s6, c6 = ha(s3, s4)
+    y0, c7 = ha(s5, s6)
+    t1, u1 = fa(c1, c2, c5)
+    t2, u2 = fa(c3, c4, c6)
+    t3, u3 = ha(t1, t2)
+    y1, u4 = ha(t3, c7)
+    v2, y3 = ha(u1, u2)
+    y2 = builder.or_(v2, builder.or_(u3, u4))
+    return [y0, y1, y2, y3]
+
+
+def single_rail_popcount(
+    builder: LogicBuilder, inputs: Sequence[str], name: str = "pop"
+) -> List[str]:
+    """Generic single-rail carry-save population counter (LSB first)."""
+    if not inputs:
+        raise ValueError("popcount needs at least one input")
+    if len(inputs) == 8:
+        return single_rail_popcount8(builder, inputs, name=name)
+    width = output_width(len(inputs))
+    columns: Dict[int, List[str]] = {0: list(inputs)}
+    stage = 0
+    while any(len(col) > 1 for col in columns.values()):
+        next_columns: Dict[int, List[str]] = {}
+        for weight in sorted(columns):
+            signals = columns[weight]
+            carry_column = next_columns.setdefault(weight + 1, [])
+            out_column = next_columns.setdefault(weight, [])
+            idx = 0
+            while len(signals) - idx >= 3:
+                s, c = single_rail_full_adder(builder, signals[idx], signals[idx + 1],
+                                              signals[idx + 2])
+                out_column.append(s)
+                carry_column.append(c)
+                idx += 3
+            if len(signals) - idx == 2:
+                s, c = single_rail_half_adder(builder, signals[idx], signals[idx + 1])
+                out_column.append(s)
+                carry_column.append(c)
+                idx += 2
+            elif len(signals) - idx == 1:
+                out_column.append(signals[idx])
+                idx += 1
+        columns = {w: col for w, col in next_columns.items() if col}
+        stage += 1
+
+    bits: List[str] = []
+    for weight in range(width):
+        column = columns.get(weight, [])
+        if column:
+            bits.append(column[0])
+        else:
+            bits.append(builder.tie(0))
+    return bits

@@ -1,0 +1,157 @@
+"""The synchronous single-rail baseline datapath.
+
+Table I compares the proposed dual-rail circuit against a conventional
+clocked single-rail implementation of the same inference function.  The
+baseline built here has:
+
+* a D flip-flop on every primary input (features and exclude signals) and on
+  every primary output — its "sequential area" in the Table-I sense;
+* the same clause / population-count / comparator structure as the dual-rail
+  design, but in ordinary single-rail logic (XOR cells allowed);
+* a clock whose period is set by static timing analysis of the longest
+  register-to-register path — the paper's "the clock period defines the
+  latency for single-rail designs".
+
+The :class:`SingleRailDatapath` wrapper mirrors :class:`~repro.datapath.datapath.DualRailDatapath`
+so the Table-I harness can drive both designs with identical operands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.builder import LogicBuilder
+from repro.circuits.library import CellLibrary
+from repro.circuits.netlist import Netlist
+from repro.sim.sta import register_to_register_period
+
+from .clause_logic import single_rail_clause
+from .comparator import comparator_decision_bit, single_rail_magnitude_comparator
+from .datapath import DatapathConfig, exclude_input_name, feature_input_name
+from .popcount import single_rail_popcount
+
+#: Names of the registered single-rail outputs.
+SINGLE_RAIL_OUTPUTS = ("less", "equal", "greater", "decision")
+
+
+@dataclass
+class SingleRailInterface:
+    """Net-name maps of the generated single-rail datapath."""
+
+    clock_net: str
+    input_nets: Dict[str, str]
+    output_nets: Dict[str, str]
+
+
+def build_single_rail_datapath(config: DatapathConfig) -> Tuple[Netlist, SingleRailInterface]:
+    """Construct the registered single-rail baseline for *config*."""
+    config.validate()
+    builder = LogicBuilder(
+        f"tm_single_rail_f{config.num_features}_c{config.clauses_per_polarity}"
+    )
+    clk = builder.input("clk")
+
+    # Registered primary inputs.
+    input_nets: Dict[str, str] = {}
+    registered: Dict[str, str] = {}
+
+    def register_input(name: str) -> str:
+        pad = builder.input(f"{name}_in")
+        q = builder.dff(pad, clk, name=f"ff_{name.replace('[', '_').replace(']', '')}")
+        input_nets[name] = pad
+        registered[name] = q
+        return q
+
+    features = [register_input(feature_input_name(m)) for m in range(config.num_features)]
+    excludes_pos = [
+        [register_input(exclude_input_name("p", j, k)) for k in range(config.excludes_per_clause)]
+        for j in range(config.clauses_per_polarity)
+    ]
+    excludes_neg = [
+        [register_input(exclude_input_name("n", j, k)) for k in range(config.excludes_per_clause)]
+        for j in range(config.clauses_per_polarity)
+    ]
+
+    # Shared inverted literals (one inverter per feature).
+    not_features = [builder.not_(f) for f in features]
+
+    positive_votes = [
+        single_rail_clause(builder, features, excludes_pos[j], not_features=not_features,
+                           name=f"clp{j}")
+        for j in range(config.clauses_per_polarity)
+    ]
+    negative_votes = [
+        single_rail_clause(builder, features, excludes_neg[j], not_features=not_features,
+                           name=f"cln{j}")
+        for j in range(config.clauses_per_polarity)
+    ]
+
+    pos_count = single_rail_popcount(builder, positive_votes, name="popp")
+    neg_count = single_rail_popcount(builder, negative_votes, name="popn")
+
+    greater, equal, less = single_rail_magnitude_comparator(builder, pos_count, neg_count)
+    decision = comparator_decision_bit(builder, greater, equal)
+
+    # Registered primary outputs.
+    output_nets: Dict[str, str] = {}
+    for name, net in (("less", less), ("equal", equal), ("greater", greater),
+                      ("decision", decision)):
+        q = builder.dff(net, clk, name=f"ff_out_{name}")
+        out_name = f"{name}_out"
+        builder.output(out_name, q)
+        output_nets[name] = out_name
+
+    interface = SingleRailInterface(clock_net=clk, input_nets=input_nets,
+                                    output_nets=output_nets)
+    return builder.netlist, interface
+
+
+class SingleRailDatapath:
+    """High-level handle on the synchronous baseline datapath."""
+
+    def __init__(self, config: DatapathConfig) -> None:
+        self.config = config
+        self.netlist, self.interface = build_single_rail_datapath(config)
+
+    # ------------------------------------------------------------- operands
+    def operand_assignments(
+        self, features: Sequence[int], exclude: np.ndarray
+    ) -> Dict[str, int]:
+        """Input-name → value map for one operand (same convention as dual-rail)."""
+        features = np.asarray(features, dtype=np.int8)
+        exclude = np.asarray(exclude, dtype=bool)
+        cfg = self.config
+        if features.shape[0] != cfg.num_features:
+            raise ValueError(f"expected {cfg.num_features} features, got {features.shape[0]}")
+        expected_shape = (cfg.num_clauses, cfg.excludes_per_clause)
+        if exclude.shape != expected_shape:
+            raise ValueError(
+                f"exclude matrix shape {exclude.shape} does not match {expected_shape}"
+            )
+        assignments: Dict[str, int] = {}
+        for m in range(cfg.num_features):
+            assignments[feature_input_name(m)] = int(features[m])
+        for j in range(cfg.clauses_per_polarity):
+            for k in range(cfg.excludes_per_clause):
+                assignments[exclude_input_name("p", j, k)] = int(exclude[2 * j, k])
+                assignments[exclude_input_name("n", j, k)] = int(exclude[2 * j + 1, k])
+        return assignments
+
+    def clock_period(self, library: CellLibrary, vdd: Optional[float] = None) -> float:
+        """Minimum clock period (ps) of the baseline on *library* at *vdd*."""
+        return register_to_register_period(self.netlist, library, vdd=vdd)
+
+    @staticmethod
+    def decode_outputs(outputs: Dict[str, Optional[int]]) -> Dict[str, int]:
+        """Convert sampled output values into plain integers (X becomes -1)."""
+        decoded = {}
+        for name, value in outputs.items():
+            decoded[name] = -1 if value is None else int(value)
+        return decoded
+
+    def cell_count(self) -> int:
+        """Number of cell instances in the baseline netlist."""
+        return self.netlist.cell_count()

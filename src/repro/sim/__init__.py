@@ -1,0 +1,83 @@
+"""Event-driven gate-level simulation, timing, power and voltage analysis.
+
+Contents:
+
+* :mod:`repro.sim.events`, :mod:`repro.sim.simulator`, :mod:`repro.sim.waveform`
+  — the discrete-event gate-level simulator and its traces;
+* :mod:`repro.sim.handshake` — dual-rail (spacer/valid) and synchronous
+  (clocked) stimulus environments with per-operand measurements;
+* :mod:`repro.sim.monitors` — runtime checks of the paper's protocol
+  requirements (monotonicity, forbidden states, completion ordering);
+* :mod:`repro.sim.power` — switching-activity energy and power accounting;
+* :mod:`repro.sim.sta` — static timing analysis (grace periods, clock period);
+* :mod:`repro.sim.voltage` — supply-voltage sweep machinery (Figure 3).
+"""
+
+from .events import Event, EventQueue
+from .handshake import (
+    DualRailEnvironment,
+    DualRailInferenceResult,
+    SynchronousCycleResult,
+    SynchronousEnvironment,
+)
+from .monitors import (
+    ActivityCounter,
+    CompletionObserver,
+    ForbiddenStateMonitor,
+    MonotonicityMonitor,
+    ProtocolViolation,
+    Violation,
+)
+from .power import EnergyBreakdown, PowerAccountant, PowerReport
+from .simulator import (
+    GateLevelSimulator,
+    Monitor,
+    SimulationError,
+    TransitionRecord,
+    WIRE_CAP_PER_FANOUT_FF,
+)
+from .sta import TimingReport, arrival_of_nets, register_to_register_period, static_timing_analysis
+from .voltage import (
+    FIGURE3_VOLTAGES,
+    VoltagePoint,
+    delay_scaling_curve,
+    exponential_region_slope,
+    latency_ratio,
+    sweep_supply_voltages,
+)
+from .waveform import NetTrace, Waveform
+
+__all__ = [
+    "ActivityCounter",
+    "CompletionObserver",
+    "DualRailEnvironment",
+    "DualRailInferenceResult",
+    "EnergyBreakdown",
+    "Event",
+    "EventQueue",
+    "FIGURE3_VOLTAGES",
+    "ForbiddenStateMonitor",
+    "GateLevelSimulator",
+    "Monitor",
+    "MonotonicityMonitor",
+    "NetTrace",
+    "PowerAccountant",
+    "PowerReport",
+    "ProtocolViolation",
+    "SimulationError",
+    "SynchronousCycleResult",
+    "SynchronousEnvironment",
+    "TimingReport",
+    "TransitionRecord",
+    "Violation",
+    "VoltagePoint",
+    "WIRE_CAP_PER_FANOUT_FF",
+    "Waveform",
+    "arrival_of_nets",
+    "delay_scaling_curve",
+    "exponential_region_slope",
+    "latency_ratio",
+    "register_to_register_period",
+    "static_timing_analysis",
+    "sweep_supply_voltages",
+]

@@ -1,0 +1,92 @@
+"""Event queue for the gate-level event-driven simulator.
+
+The simulator is a classic discrete-event engine: every scheduled net change
+is an :class:`Event` with a firing time, and :class:`EventQueue` delivers
+events in time order.  A monotonically increasing sequence number breaks
+ties so that events scheduled earlier are delivered first at equal
+timestamps, making runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.circuits.gates import LogicValue
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled value change on a net.
+
+    Attributes
+    ----------
+    time:
+        Simulation time in picoseconds.
+    seq:
+        Tie-breaking sequence number (schedule order).
+    net:
+        Net name whose value changes.
+    value:
+        New logic value (0, 1 or ``None`` for X).
+    cause:
+        Optional cell instance name that produced the event, or ``"PI"`` for
+        environment-driven changes.  Used by monitors and debugging output.
+    """
+
+    time: float
+    seq: int
+    net: str = field(compare=False)
+    value: LogicValue = field(compare=False)
+    cause: str = field(compare=False, default="PI")
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` ordered by ``(time, seq)``."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def schedule(self, time: float, net: str, value: LogicValue, cause: str = "PI") -> Event:
+        """Schedule a value change and return the created event."""
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        event = Event(time=time, seq=next(self._counter), net=net, value=value, cause=cause)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest pending event."""
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the earliest pending event, or ``None``."""
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop_simultaneous(self) -> List[Event]:
+        """Pop every event sharing the earliest firing time."""
+        if not self._heap:
+            return []
+        first = heapq.heappop(self._heap)
+        batch = [first]
+        while self._heap and self._heap[0].time == first.time:
+            batch.append(heapq.heappop(self._heap))
+        return batch
+
+    def clear(self) -> None:
+        """Discard every pending event."""
+        self._heap.clear()
+
+    def __iter__(self) -> Iterator[Event]:  # pragma: no cover - debug aid
+        return iter(sorted(self._heap))

@@ -1,0 +1,186 @@
+"""Runtime monitors enforcing the paper's correctness requirements.
+
+Section III of the paper lists six requirements for correct operation of the
+self-timed circuit.  The *structural* ones are checked by
+:mod:`repro.circuits.validate`; the *dynamic* ones are observed here during
+simulation:
+
+* Requirement 1/2 — monotonic switching at the primary inputs and within the
+  circuit: during any spacer→valid or valid→spacer phase each net may change
+  at most once (:class:`MonotonicityMonitor`).
+* Forbidden-state avoidance — no dual-rail pair may ever reach the
+  "both rails active" state (:class:`ForbiddenStateMonitor`).
+* Requirement 3 — acknowledgement of spacer→valid on the primary outputs:
+  :class:`CompletionObserver` records when the ``done`` signal rises and
+  falls so the environment (and the tests) can verify the ordering.
+* Requirements 4–6 — spacer/valid alternation of the environment: the
+  dual-rail environment in :mod:`repro.sim.handshake` drives the protocol
+  and raises :class:`ProtocolViolation` when the grace period is not
+  honoured and an internal net had not yet reset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.gates import LogicValue
+from repro.core.dual_rail import DualRailSignal, SpacerPolarity
+
+from .simulator import GateLevelSimulator, Monitor
+
+
+class ProtocolViolation(Exception):
+    """Raised when the dual-rail protocol requirements are violated."""
+
+
+@dataclass
+class Violation:
+    """One recorded requirement violation."""
+
+    time: float
+    net: str
+    message: str
+
+
+class MonotonicityMonitor(Monitor):
+    """Checks that every net switches at most once per protocol phase.
+
+    A dual-rail circuit built from unate gates must switch each net
+    monotonically during a spacer→valid wavefront and during the following
+    valid→spacer reset.  More than one transition on the same net within a
+    phase is a hazard (Requirement 2 violated).
+
+    The environment calls :meth:`begin_phase` at every phase boundary.
+    """
+
+    def __init__(self, ignore_nets: Sequence[str] = ()) -> None:
+        self.phase_name = "initial"
+        self.transitions_this_phase: Dict[str, int] = {}
+        self.violations: List[Violation] = []
+        self.ignore_nets = set(ignore_nets)
+
+    def begin_phase(self, name: str) -> None:
+        """Start a new protocol phase (spacer→valid or valid→spacer)."""
+        self.phase_name = name
+        self.transitions_this_phase = {}
+
+    def on_net_change(self, time: float, net: str, old: LogicValue, new: LogicValue,
+                      cause: str) -> None:
+        if net in self.ignore_nets:
+            return
+        if old is None:
+            # First assignment after power-up is not a hazard.
+            self.transitions_this_phase[net] = self.transitions_this_phase.get(net, 0)
+            return
+        count = self.transitions_this_phase.get(net, 0) + 1
+        self.transitions_this_phase[net] = count
+        if count > 1:
+            self.violations.append(
+                Violation(
+                    time=time,
+                    net=net,
+                    message=(
+                        f"net {net!r} switched {count} times during phase "
+                        f"{self.phase_name!r} (non-monotonic)"
+                    ),
+                )
+            )
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when no hazard was observed."""
+        return not self.violations
+
+
+class ForbiddenStateMonitor(Monitor):
+    """Checks that no dual-rail pair ever enters the forbidden state.
+
+    For an all-zero-spacer signal the forbidden state is ``(1, 1)``; for an
+    all-one-spacer signal it is ``(0, 0)``.
+    """
+
+    def __init__(self, simulator: GateLevelSimulator, signals: Sequence[DualRailSignal]) -> None:
+        self.simulator = simulator
+        self.signals = list(signals)
+        self.violations: List[Violation] = []
+        self._by_rail: Dict[str, DualRailSignal] = {}
+        for sig in self.signals:
+            self._by_rail[sig.pos] = sig
+            self._by_rail[sig.neg] = sig
+
+    def on_net_change(self, time: float, net: str, old: LogicValue, new: LogicValue,
+                      cause: str) -> None:
+        sig = self._by_rail.get(net)
+        if sig is None:
+            return
+        pos = self.simulator.value(sig.pos)
+        neg = self.simulator.value(sig.neg)
+        if pos is None or neg is None:
+            return
+        forbidden = 1 - sig.polarity.spacer_rail_value
+        if pos == forbidden and neg == forbidden:
+            self.violations.append(
+                Violation(
+                    time=time,
+                    net=net,
+                    message=(
+                        f"dual-rail pair {sig.name!r} reached the forbidden state "
+                        f"({pos}, {neg}) for {sig.polarity.value} spacer"
+                    ),
+                )
+            )
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when the forbidden state was never observed."""
+        return not self.violations
+
+
+class CompletionObserver(Monitor):
+    """Records rising and falling transitions of the completion (done) net."""
+
+    def __init__(self, done_net: str) -> None:
+        self.done_net = done_net
+        self.rise_times: List[float] = []
+        self.fall_times: List[float] = []
+
+    def on_net_change(self, time: float, net: str, old: LogicValue, new: LogicValue,
+                      cause: str) -> None:
+        if net != self.done_net:
+            return
+        if new == 1 and old != 1:
+            self.rise_times.append(time)
+        elif new == 0 and old == 1:
+            self.fall_times.append(time)
+
+    def last_rise_after(self, t: float) -> Optional[float]:
+        """Earliest recorded rise strictly after *t*."""
+        for rise in self.rise_times:
+            if rise > t:
+                return rise
+        return None
+
+    def last_fall_after(self, t: float) -> Optional[float]:
+        """Earliest recorded fall strictly after *t*."""
+        for fall in self.fall_times:
+            if fall > t:
+                return fall
+        return None
+
+
+class ActivityCounter(Monitor):
+    """Counts transitions per net — input data for the distribution analyses."""
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+
+    def on_net_change(self, time: float, net: str, old: LogicValue, new: LogicValue,
+                      cause: str) -> None:
+        if old is None:
+            return
+        self.counts[net] = self.counts.get(net, 0) + 1
+
+    def total(self) -> int:
+        """Total committed transitions observed."""
+        return sum(self.counts.values())

@@ -1,0 +1,125 @@
+"""Supply-voltage sweeps and delay-scaling analysis.
+
+The library's :class:`~repro.circuits.library.VoltageModel` provides the
+per-gate delay/energy/leakage scaling; this module layers the experiment
+machinery on top of it:
+
+* :func:`delay_scaling_curve` — the raw gate-delay factor versus supply,
+  useful for unit tests and sanity plots;
+* :func:`sweep_supply_voltages` — re-runs an arbitrary measurement callable
+  across a voltage range (used by the Figure-3 benchmark);
+* :func:`exponential_region_slope` — fits the subthreshold (exponential)
+  region so tests can assert "latency increases exponentially as the supply
+  is reduced from 0.6 V to 0.25 V" quantitatively.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.library import CellLibrary, VoltageModel
+
+#: Voltage grid used by the paper's Figure 3 (0.25 V to 1.2 V).
+FIGURE3_VOLTAGES: Tuple[float, ...] = (
+    0.25, 0.30, 0.35, 0.40, 0.45, 0.50, 0.60, 0.70, 0.80, 0.90, 1.00, 1.10, 1.20,
+)
+
+
+@dataclass
+class VoltagePoint:
+    """One point of a supply-voltage sweep."""
+
+    vdd: float
+    value: float
+    functional: bool = True
+
+
+def delay_scaling_curve(
+    model: VoltageModel, voltages: Sequence[float] = FIGURE3_VOLTAGES
+) -> List[VoltagePoint]:
+    """Gate-delay factor (relative to nominal) at each supply voltage."""
+    points = []
+    for vdd in voltages:
+        points.append(
+            VoltagePoint(
+                vdd=vdd,
+                value=model.delay_factor(vdd),
+                functional=model.is_functional(vdd),
+            )
+        )
+    return points
+
+
+def sweep_supply_voltages(
+    measure: Callable[[float], float],
+    library: CellLibrary,
+    voltages: Sequence[float] = FIGURE3_VOLTAGES,
+    skip_non_functional: bool = True,
+) -> List[VoltagePoint]:
+    """Evaluate ``measure(vdd)`` at each functional supply voltage.
+
+    Parameters
+    ----------
+    measure:
+        Callable returning the quantity of interest (e.g. average latency in
+        ps) at the given supply.
+    library:
+        Library whose voltage model decides functionality limits.
+    voltages:
+        Supply grid; defaults to the Figure-3 grid.
+    skip_non_functional:
+        When ``True``, voltages below the library's functional limit are
+        reported with ``functional=False`` and are not measured.
+    """
+    points: List[VoltagePoint] = []
+    for vdd in voltages:
+        if not library.voltage_model.is_functional(vdd):
+            if skip_non_functional:
+                points.append(VoltagePoint(vdd=vdd, value=float("nan"), functional=False))
+                continue
+        points.append(VoltagePoint(vdd=vdd, value=measure(vdd), functional=True))
+    return points
+
+
+def exponential_region_slope(points: Sequence[VoltagePoint], v_max: float = 0.6) -> float:
+    """Least-squares slope of ``ln(value)`` versus ``vdd`` for ``vdd <= v_max``.
+
+    A strongly negative slope (value grows as voltage falls) confirms the
+    exponential subthreshold behaviour shown in Figure 3.  Returns 0.0 when
+    fewer than two usable points exist.
+    """
+    xs: List[float] = []
+    ys: List[float] = []
+    for p in points:
+        if not p.functional or p.vdd > v_max or p.value <= 0 or math.isnan(p.value):
+            continue
+        xs.append(p.vdd)
+        ys.append(math.log(p.value))
+    if len(xs) < 2:
+        return 0.0
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    if den == 0:
+        return 0.0
+    return num / den
+
+
+def latency_ratio(points: Sequence[VoltagePoint], low_vdd: float, high_vdd: float) -> float:
+    """Ratio of the measured value at *low_vdd* to the value at *high_vdd*."""
+    def value_at(target: float) -> Optional[float]:
+        best = None
+        for p in points:
+            if p.functional and abs(p.vdd - target) < 1e-9:
+                best = p.value
+        return best
+
+    low = value_at(low_vdd)
+    high = value_at(high_vdd)
+    if low is None or high is None or high == 0:
+        raise ValueError("requested voltages are not present in the sweep")
+    return low / high

@@ -1,0 +1,24 @@
+"""Technology mapping and synthesis-style reporting (the Design Compiler stand-in)."""
+
+from .flow import SynthesisResult, synthesize
+from .mapping import DECOMPOSITIONS, MappingError, map_to_library
+from .reports import (
+    AreaReport,
+    LeakageReport,
+    area_report,
+    leakage_report,
+    timing_report,
+)
+
+__all__ = [
+    "AreaReport",
+    "DECOMPOSITIONS",
+    "LeakageReport",
+    "MappingError",
+    "SynthesisResult",
+    "area_report",
+    "leakage_report",
+    "map_to_library",
+    "synthesize",
+    "timing_report",
+]

@@ -1,0 +1,82 @@
+"""End-to-end "synthesis" flow: map, check, report.
+
+This is the stand-in for the paper's Synopsys Design Compiler runs: the
+input is a structural netlist (hand-architected, exactly as in the paper),
+the output is a mapped netlist plus the area/leakage/timing reports that
+feed Table I.  No logic restructuring is attempted — the paper's circuits
+are already architected at cell granularity, so "synthesis" is technology
+mapping plus reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.circuits.library import CellLibrary
+from repro.circuits.netlist import Netlist
+from repro.circuits.validate import ValidationReport, check_structure, check_unate_only
+from repro.sim.sta import TimingReport, register_to_register_period
+
+from .mapping import map_to_library
+from .reports import AreaReport, LeakageReport, area_report, leakage_report, timing_report
+
+
+@dataclass
+class SynthesisResult:
+    """Everything the reporting layer needs about one mapped design."""
+
+    design_name: str
+    library_name: str
+    netlist: Netlist
+    area: AreaReport
+    leakage: LeakageReport
+    timing: TimingReport
+    clock_period: Optional[float]
+    validation: ValidationReport
+
+    @property
+    def is_sequentially_clocked(self) -> bool:
+        """``True`` for the synchronous baseline (a clock period was computed)."""
+        return self.clock_period is not None
+
+
+def synthesize(
+    netlist: Netlist,
+    library: CellLibrary,
+    vdd: Optional[float] = None,
+    clocked: bool = False,
+    enforce_unate: bool = False,
+) -> SynthesisResult:
+    """Map *netlist* onto *library* and produce its reports.
+
+    Parameters
+    ----------
+    clocked:
+        ``True`` for the synchronous baseline: the timing report breaks
+        paths at flip-flops and a minimum clock period is computed.
+    enforce_unate:
+        ``True`` for dual-rail designs: the mapped netlist is checked to
+        contain unate cells only (Requirement 2), and a violation is
+        recorded in the validation report.
+    """
+    mapped = map_to_library(netlist, library)
+    validation = check_structure(mapped)
+    if enforce_unate:
+        validation.extend(check_unate_only(mapped))
+    area = area_report(mapped, library)
+    leak = leakage_report(mapped, library, vdd=vdd)
+    timing = timing_report(mapped, library, vdd=vdd, break_at_sequential=clocked)
+    clock_period = (
+        register_to_register_period(mapped, library, vdd=vdd) if clocked else None
+    )
+    return SynthesisResult(
+        design_name=netlist.name,
+        library_name=library.name,
+        netlist=mapped,
+        area=area,
+        leakage=leak,
+        timing=timing,
+        clock_period=clock_period,
+        validation=validation,
+    )

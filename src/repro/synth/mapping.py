@@ -1,0 +1,126 @@
+"""Technology mapping: adapt a generic netlist to a target cell library.
+
+The generators in :mod:`repro.datapath` emit generic cell types.  Most map
+one-to-one onto both libraries, but the FULL DIFFUSION library lacks the
+AOI32/OAI32 complex cells (the paper notes this — it is why its C-element
+latch costs four simple gates instead of one complex gate).  This module
+decomposes any cell type the target library does not characterise into an
+equivalent sub-netlist of available cells, leaving everything else
+untouched — the same job logic synthesis performs after technology mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.circuits.builder import LogicBuilder
+from repro.circuits.gates import gate_spec
+from repro.circuits.library import CellLibrary
+from repro.circuits.netlist import Cell, Netlist, NetlistError
+
+
+class MappingError(Exception):
+    """Raised when a cell type cannot be realised in the target library."""
+
+
+def _decompose_aoi32(builder: LogicBuilder, cell: Cell) -> None:
+    """AOI32 → AND3 + AND2 + NOR2 (Y = NOT((A1&A2&A3) | (B1&B2)))."""
+    a = builder.and_(cell.inputs["A1"], cell.inputs["A2"], cell.inputs["A3"])
+    b = builder.and_(cell.inputs["B1"], cell.inputs["B2"])
+    builder.nor(a, b, output=cell.outputs["Y"])
+
+
+def _decompose_oai32(builder: LogicBuilder, cell: Cell) -> None:
+    """OAI32 → OR3 + OR2 + NAND2 (Y = NOT((A1|A2|A3) & (B1|B2)))."""
+    a = builder.or_(cell.inputs["A1"], cell.inputs["A2"], cell.inputs["A3"])
+    b = builder.or_(cell.inputs["B1"], cell.inputs["B2"])
+    builder.nand(a, b, output=cell.outputs["Y"])
+
+
+def _decompose_ao22(builder: LogicBuilder, cell: Cell) -> None:
+    """AO22 → AND2 + AND2 + OR2."""
+    a = builder.and_(cell.inputs["A1"], cell.inputs["A2"])
+    b = builder.and_(cell.inputs["B1"], cell.inputs["B2"])
+    builder.or_(a, b, output=cell.outputs["Y"])
+
+
+def _decompose_oa22(builder: LogicBuilder, cell: Cell) -> None:
+    """OA22 → OR2 + OR2 + AND2."""
+    a = builder.or_(cell.inputs["A1"], cell.inputs["A2"])
+    b = builder.or_(cell.inputs["B1"], cell.inputs["B2"])
+    builder.and_(a, b, output=cell.outputs["Y"])
+
+
+def _decompose_maj3(builder: LogicBuilder, cell: Cell) -> None:
+    """MAJ3 → three AND2 plus an OR3."""
+    a, b, c = cell.inputs["A"], cell.inputs["B"], cell.inputs["C"]
+    ab = builder.and_(a, b)
+    ac = builder.and_(a, c)
+    bc = builder.and_(b, c)
+    builder.or_(ab, ac, bc, output=cell.outputs["Y"])
+
+
+def _decompose_wide(base: str) -> Callable[[LogicBuilder, Cell], None]:
+    """Decompose AND8/OR8 style wide gates into a two-level tree of 4-input gates."""
+
+    def decompose(builder: LogicBuilder, cell: Cell) -> None:
+        ins = [cell.inputs[p] for p in gate_spec(cell.cell_type).input_pins]
+        first = builder.cell(f"{base}4", ins[:4])
+        second = builder.cell(f"{base}4", ins[4:])
+        builder.cell(f"{base}2", [first, second], output=cell.outputs["Y"])
+
+    return decompose
+
+
+#: Decomposition rules, keyed by the cell type being replaced.
+DECOMPOSITIONS: Dict[str, Callable[[LogicBuilder, Cell], None]] = {
+    "AOI32": _decompose_aoi32,
+    "OAI32": _decompose_oai32,
+    "AO22": _decompose_ao22,
+    "OA22": _decompose_oa22,
+    "MAJ3": _decompose_maj3,
+    "AND8": _decompose_wide("AND"),
+    "OR8": _decompose_wide("OR"),
+}
+
+
+def map_to_library(netlist: Netlist, library: CellLibrary) -> Netlist:
+    """Return a copy of *netlist* containing only cells the library characterises.
+
+    Cells already present in the library are copied verbatim; the rest are
+    decomposed via :data:`DECOMPOSITIONS`.  Decomposition is applied
+    recursively until every cell maps, so a rule may itself produce cells
+    that need further decomposition in a poorer library.
+    """
+    current = netlist
+    for _round in range(4):
+        missing = sorted(
+            {cell.cell_type for cell in current.iter_cells() if not library.has_cell(cell.cell_type)}
+        )
+        if not missing:
+            return current
+        unmapped = [m for m in missing if m not in DECOMPOSITIONS]
+        if unmapped:
+            raise MappingError(
+                f"no decomposition rule for cell types {unmapped} missing from "
+                f"library {library.name!r}"
+            )
+        mapped = Netlist(f"{current.name}")
+        for pi in current.primary_inputs:
+            mapped.add_input(pi)
+        for po in current.primary_outputs:
+            mapped.add_output(po)
+        builder = LogicBuilder(mapped.name, netlist=mapped, prefix="map_")
+        for cell in current.iter_cells():
+            if library.has_cell(cell.cell_type):
+                mapped.add_cell(
+                    cell.cell_type,
+                    inputs=dict(cell.inputs),
+                    outputs=dict(cell.outputs),
+                    name=cell.name,
+                    attrs=dict(cell.attrs),
+                )
+            else:
+                DECOMPOSITIONS[cell.cell_type](builder, cell)
+        current = mapped
+    raise MappingError("technology mapping did not converge after four rounds")

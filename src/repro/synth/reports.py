@@ -1,0 +1,93 @@
+"""Area, timing and power reporting — the Table-I report columns.
+
+These reports mirror what a synthesis tool prints after compile: total cell
+area, the area of the sequential cells (flip-flops for the single-rail
+design, C-elements for the dual-rail design — exactly how the paper counts
+its "sequential area" column), leakage, and the worst combinational path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.circuits.gates import is_sequential
+from repro.circuits.library import CellLibrary
+from repro.circuits.netlist import Netlist
+from repro.sim.sta import TimingReport, static_timing_analysis
+
+
+@dataclass
+class AreaReport:
+    """Cell-area breakdown of a mapped netlist."""
+
+    total: float
+    sequential: float
+    combinational: float
+    completion_detection: float
+    cell_count: int
+    sequential_cell_count: int
+    by_type: Dict[str, float] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        return (
+            f"area total={self.total:.1f} um^2 (sequential={self.sequential:.1f}, "
+            f"combinational={self.combinational:.1f}, CD={self.completion_detection:.1f}), "
+            f"{self.cell_count} cells"
+        )
+
+
+def area_report(netlist: Netlist, library: CellLibrary) -> AreaReport:
+    """Compute the cell-area breakdown of *netlist* on *library*."""
+    total = 0.0
+    sequential = 0.0
+    completion = 0.0
+    seq_count = 0
+    by_type: Dict[str, float] = {}
+    for cell in netlist.iter_cells():
+        model = library.cell(cell.cell_type)
+        total += model.area
+        by_type[cell.cell_type] = by_type.get(cell.cell_type, 0.0) + model.area
+        if is_sequential(cell.cell_type):
+            sequential += model.area
+            seq_count += 1
+        if cell.attrs.get("role") == "completion-detect":
+            completion += model.area
+    return AreaReport(
+        total=total,
+        sequential=sequential,
+        combinational=total - sequential,
+        completion_detection=completion,
+        cell_count=netlist.cell_count(),
+        sequential_cell_count=seq_count,
+        by_type=dict(sorted(by_type.items())),
+    )
+
+
+@dataclass
+class LeakageReport:
+    """Static leakage of a mapped netlist at a given supply."""
+
+    total_nw: float
+    vdd: float
+    by_type: Dict[str, float] = field(default_factory=dict)
+
+
+def leakage_report(netlist: Netlist, library: CellLibrary,
+                   vdd: Optional[float] = None) -> LeakageReport:
+    """Sum per-instance leakage at *vdd* (library nominal when omitted)."""
+    vdd = library.voltage_model.nominal_vdd if vdd is None else float(vdd)
+    total = 0.0
+    by_type: Dict[str, float] = {}
+    for cell in netlist.iter_cells():
+        value = library.cell_leakage(cell.cell_type, vdd=vdd)
+        total += value
+        by_type[cell.cell_type] = by_type.get(cell.cell_type, 0.0) + value
+    return LeakageReport(total_nw=total, vdd=vdd, by_type=dict(sorted(by_type.items())))
+
+
+def timing_report(netlist: Netlist, library: CellLibrary, vdd: Optional[float] = None,
+                  break_at_sequential: bool = False) -> TimingReport:
+    """Convenience pass-through to :func:`repro.sim.sta.static_timing_analysis`."""
+    return static_timing_analysis(netlist, library, vdd=vdd,
+                                  break_at_sequential=break_at_sequential)

@@ -1,0 +1,59 @@
+"""Tsetlin machine algorithm substrate (training, inference, datasets).
+
+* :mod:`repro.tm.automaton` — Tsetlin automaton teams (reinforcement state);
+* :mod:`repro.tm.clause` — conjunctive clause evaluation and vote counting;
+* :mod:`repro.tm.machine` — trainable two-class and multi-class Tsetlin
+  machines (Type I / Type II feedback);
+* :mod:`repro.tm.inference` — inference-only model mirroring the hardware
+  datapath structure (the golden reference for circuit verification);
+* :mod:`repro.tm.booleanize` — threshold / thermometer booleanisers;
+* :mod:`repro.tm.datasets` — synthetic edge-inference datasets and operand
+  streams.
+"""
+
+from .automaton import TeamShape, TsetlinAutomatonTeam
+from .booleanize import ThermometerBooleanizer, ThresholdBooleanizer
+from .clause import (
+    classify,
+    clause_outputs,
+    literals_from_features,
+    split_polarities,
+    vote_counts,
+    vote_sum,
+)
+from .datasets import (
+    Dataset,
+    majority,
+    noisy_xor,
+    parity,
+    random_operand_stream,
+    sensor_blobs,
+    threshold_pattern,
+)
+from .inference import InferenceModel, InferenceTrace
+from .machine import MultiClassTsetlinMachine, TrainingHistory, TsetlinMachine
+
+__all__ = [
+    "Dataset",
+    "InferenceModel",
+    "InferenceTrace",
+    "MultiClassTsetlinMachine",
+    "TeamShape",
+    "ThermometerBooleanizer",
+    "ThresholdBooleanizer",
+    "TrainingHistory",
+    "TsetlinAutomatonTeam",
+    "TsetlinMachine",
+    "classify",
+    "clause_outputs",
+    "literals_from_features",
+    "majority",
+    "noisy_xor",
+    "parity",
+    "random_operand_stream",
+    "sensor_blobs",
+    "split_polarities",
+    "threshold_pattern",
+    "vote_counts",
+    "vote_sum",
+]

@@ -1,0 +1,139 @@
+"""Tsetlin automata — the learning elements of the Tsetlin machine.
+
+A Tsetlin automaton (TA) is a finite-state machine with ``2n`` states that
+learns one of two actions through reward/penalty reinforcement:
+
+* states ``1 … n``   → action **exclude** (action 1 in the paper),
+* states ``n+1 … 2n`` → action **include** (action 2).
+
+A reward pushes the automaton deeper into its current action's half (more
+confident); a penalty pushes it towards the boundary and eventually into the
+other half.  A team of TAs — two per input feature, one for the literal and
+one for its negation — decides the composition of each conjunctive clause.
+
+For the *inference datapath* studied in the paper only the final actions
+matter (the exclude outputs become the ``e`` primary inputs of the circuit);
+training is implemented here so that realistic clause compositions and
+operand distributions can be generated for the latency/energy experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class TeamShape:
+    """Dimensions of a clause's automaton team."""
+
+    num_clauses: int
+    num_literals: int
+
+
+class TsetlinAutomatonTeam:
+    """A matrix of Tsetlin automata: one row per clause, one column per literal.
+
+    Parameters
+    ----------
+    num_clauses:
+        Number of clauses controlled by this team.
+    num_literals:
+        Number of literals per clause (``2 × number of features``).
+    num_states:
+        Number of states per action half (``n``); total states are ``2n``.
+    rng:
+        NumPy random generator used for the initial state assignment.
+    """
+
+    def __init__(
+        self,
+        num_clauses: int,
+        num_literals: int,
+        num_states: int = 100,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if num_clauses <= 0 or num_literals <= 0:
+            raise ValueError("team dimensions must be positive")
+        if num_states <= 0:
+            raise ValueError("num_states must be positive")
+        self.num_clauses = int(num_clauses)
+        self.num_literals = int(num_literals)
+        self.num_states = int(num_states)
+        rng = rng if rng is not None else np.random.default_rng()
+        # Start every automaton on the exclude/include boundary so early
+        # feedback decides the action quickly (standard TM initialisation).
+        self.state = rng.choice(
+            [self.num_states, self.num_states + 1],
+            size=(self.num_clauses, self.num_literals),
+        ).astype(np.int32)
+
+    # ---------------------------------------------------------------- actions
+    def include_actions(self) -> np.ndarray:
+        """Boolean matrix: ``True`` where the automaton's action is *include*."""
+        return self.state > self.num_states
+
+    def exclude_actions(self) -> np.ndarray:
+        """Boolean matrix: ``True`` where the automaton's action is *exclude*.
+
+        These are the ``e`` signals abstracted to the circuit's environment
+        in the paper's inference datapath.
+        """
+        return self.state <= self.num_states
+
+    def include_count(self) -> int:
+        """Total number of included literals across all clauses."""
+        return int(self.include_actions().sum())
+
+    # --------------------------------------------------------------- feedback
+    def reward(self, mask: np.ndarray) -> None:
+        """Reward the automata selected by the Boolean *mask*.
+
+        Rewarding reinforces the current action: include states move up
+        (towards ``2n``), exclude states move down (towards 1).
+        """
+        mask = np.asarray(mask, dtype=bool)
+        include = self.include_actions()
+        self.state = np.where(
+            mask & include, np.minimum(self.state + 1, 2 * self.num_states), self.state
+        )
+        self.state = np.where(
+            mask & ~include, np.maximum(self.state - 1, 1), self.state
+        )
+
+    def penalize(self, mask: np.ndarray) -> None:
+        """Penalise the automata selected by the Boolean *mask*.
+
+        Penalising weakens the current action: include states move down,
+        exclude states move up, possibly crossing the action boundary.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        include = self.include_actions()
+        self.state = np.where(mask & include, self.state - 1, self.state)
+        self.state = np.where(mask & ~include, self.state + 1, self.state)
+        np.clip(self.state, 1, 2 * self.num_states, out=self.state)
+
+    # ---------------------------------------------------------------- helpers
+    def set_actions(self, include: np.ndarray) -> None:
+        """Force the automata to specific actions (used in tests and examples)."""
+        include = np.asarray(include, dtype=bool)
+        if include.shape != self.state.shape:
+            raise ValueError(
+                f"action matrix shape {include.shape} does not match team shape {self.state.shape}"
+            )
+        self.state = np.where(include, self.num_states + 1, self.num_states).astype(np.int32)
+
+    def shape(self) -> TeamShape:
+        """Return the team dimensions."""
+        return TeamShape(self.num_clauses, self.num_literals)
+
+    def copy(self) -> "TsetlinAutomatonTeam":
+        """Deep copy of the team (used for checkpointing during training)."""
+        clone = TsetlinAutomatonTeam(
+            self.num_clauses, self.num_literals, self.num_states,
+            rng=np.random.default_rng(0),
+        )
+        clone.state = self.state.copy()
+        return clone

@@ -1,0 +1,91 @@
+"""Booleanisation of real-valued features for the Tsetlin machine.
+
+Tsetlin machines operate on Boolean inputs, so sensor-style continuous data
+must be thresholded first.  Two standard encoders are provided:
+
+* :class:`ThresholdBooleanizer` — one bit per feature, split at a chosen
+  quantile (median by default);
+* :class:`ThermometerBooleanizer` — ``levels`` bits per feature using a
+  thermometer (cumulative) code over per-feature quantiles, which preserves
+  ordering information and is what edge-ML Tsetlin deployments typically use.
+
+Both are fit on training data and then applied to any dataset, mirroring a
+scikit-learn-style ``fit`` / ``transform`` interface without the dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class ThresholdBooleanizer:
+    """One Boolean per feature: ``x >= quantile(x, q)``."""
+
+    def __init__(self, quantile: float = 0.5) -> None:
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        self.quantile = float(quantile)
+        self.thresholds_: Optional[np.ndarray] = None
+
+    def fit(self, data: np.ndarray) -> "ThresholdBooleanizer":
+        """Learn per-feature thresholds from *data* (samples × features)."""
+        data = np.asarray(data, dtype=float)
+        self.thresholds_ = np.quantile(data, self.quantile, axis=0)
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Binarise *data* with the learnt thresholds."""
+        if self.thresholds_ is None:
+            raise RuntimeError("fit must be called before transform")
+        data = np.asarray(data, dtype=float)
+        return (data >= self.thresholds_).astype(np.int8)
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on *data* and return its Boolean encoding."""
+        return self.fit(data).transform(data)
+
+    @property
+    def bits_per_feature(self) -> int:
+        """Number of Boolean outputs produced per input feature."""
+        return 1
+
+
+class ThermometerBooleanizer:
+    """Thermometer (cumulative) code with *levels* bits per feature."""
+
+    def __init__(self, levels: int = 4) -> None:
+        if levels < 1:
+            raise ValueError("levels must be at least 1")
+        self.levels = int(levels)
+        self.thresholds_: Optional[np.ndarray] = None
+
+    def fit(self, data: np.ndarray) -> "ThermometerBooleanizer":
+        """Learn evenly spaced per-feature quantile thresholds."""
+        data = np.asarray(data, dtype=float)
+        quantiles = np.linspace(0.0, 1.0, self.levels + 2)[1:-1]
+        # Shape: (levels, features)
+        self.thresholds_ = np.quantile(data, quantiles, axis=0)
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Return the thermometer encoding, shape ``(samples, features × levels)``."""
+        if self.thresholds_ is None:
+            raise RuntimeError("fit must be called before transform")
+        data = np.asarray(data, dtype=float)
+        samples, features = data.shape
+        bits = np.zeros((samples, features * self.levels), dtype=np.int8)
+        for level in range(self.levels):
+            comparison = (data >= self.thresholds_[level]).astype(np.int8)
+            bits[:, level::self.levels] = comparison
+        return bits
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on *data* and return its thermometer encoding."""
+        return self.fit(data).transform(data)
+
+    @property
+    def bits_per_feature(self) -> int:
+        """Number of Boolean outputs produced per input feature."""
+        return self.levels

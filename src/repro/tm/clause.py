@@ -1,0 +1,118 @@
+"""Conjunctive clauses — the inference primitive of the Tsetlin machine.
+
+A clause is the AND of a subset of literals (input features and their
+negations); which literals participate is decided by the clause's Tsetlin
+automaton team.  Half of a class's clauses vote *for* the class (positive
+polarity) and half vote *against* it (negative polarity); the vote sum is
+thresholded to produce the classification (Section II of the paper).
+
+The functions here operate on literal matrices so they can serve both the
+training loop (:mod:`repro.tm.machine`) and the software golden model the
+hardware datapath is verified against (:mod:`repro.tm.inference`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def literals_from_features(features: np.ndarray) -> np.ndarray:
+    """Build the literal vector ``[x_0 … x_{o-1}, ¬x_0 … ¬x_{o-1}]``.
+
+    Parameters
+    ----------
+    features:
+        Binary feature vector (or matrix of shape ``(samples, features)``).
+
+    Returns
+    -------
+    numpy.ndarray
+        Literal vector/matrix of width ``2 × features``: the original
+        features followed by their negations.  The paper's circuit receives
+        the features dual-rail encoded, so the negated literal is available
+        for free on the negative rail — the same trick is mirrored in the
+        clause-logic generator.
+    """
+    features = np.asarray(features)
+    negated = 1 - features
+    return np.concatenate([features, negated], axis=-1)
+
+
+def clause_outputs(
+    include: np.ndarray,
+    literals: np.ndarray,
+    empty_clause_output: int = 0,
+) -> np.ndarray:
+    """Evaluate every clause on a single literal vector.
+
+    Parameters
+    ----------
+    include:
+        Boolean matrix ``(clauses, literals)`` — ``True`` where a literal is
+        included in the clause.
+    literals:
+        Binary literal vector of length ``literals``.
+    empty_clause_output:
+        Value produced by a clause that includes no literals at all.  The
+        standard convention is 1 during training (so empty clauses keep
+        receiving feedback) and 0 during classification; the caller chooses.
+
+    Returns
+    -------
+    numpy.ndarray
+        Binary vector with one output per clause.
+    """
+    include = np.asarray(include, dtype=bool)
+    literals = np.asarray(literals)
+    if literals.ndim != 1:
+        raise ValueError("clause_outputs evaluates a single sample; use a loop or vmap for batches")
+    if include.shape[1] != literals.shape[0]:
+        raise ValueError(
+            f"include matrix has {include.shape[1]} literal columns but the literal "
+            f"vector has {literals.shape[0]} entries"
+        )
+    # A clause fails if any included literal is 0.
+    violated = include & (literals[np.newaxis, :] == 0)
+    outputs = (~violated.any(axis=1)).astype(np.int8)
+    empty = ~include.any(axis=1)
+    outputs[empty] = empty_clause_output
+    return outputs
+
+
+def split_polarities(outputs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Split clause outputs into positive-polarity and negative-polarity halves.
+
+    Even-indexed clauses vote for the class, odd-indexed clauses vote
+    against it (the usual TM convention, matching the paper's "half of the
+    clauses can vote positively, while the other half ... negatively").
+    """
+    outputs = np.asarray(outputs)
+    return outputs[0::2], outputs[1::2]
+
+
+def vote_sum(outputs: np.ndarray) -> int:
+    """Class confidence: positive votes minus negative votes."""
+    positive, negative = split_polarities(outputs)
+    return int(positive.sum()) - int(negative.sum())
+
+
+def vote_counts(outputs: np.ndarray) -> Tuple[int, int]:
+    """Return ``(positive_votes, negative_votes)`` — the two popcount operands.
+
+    This is exactly the intermediate representation of the paper's datapath:
+    the positive and negative votes are counted separately by population
+    counters and only then compared by the magnitude comparator.
+    """
+    positive, negative = split_polarities(outputs)
+    return int(positive.sum()), int(negative.sum())
+
+
+def classify(outputs: np.ndarray) -> int:
+    """Threshold the vote sum: class membership iff the sum is non-negative.
+
+    "If the votes are positive (or zero), the input data is determined to
+    belong to the class" (Section II).
+    """
+    return 1 if vote_sum(outputs) >= 0 else 0

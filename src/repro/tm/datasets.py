@@ -1,0 +1,192 @@
+"""Synthetic Boolean datasets for training and for hardware workloads.
+
+The paper's motivating applications are low-power edge inference tasks
+(keyword spotting on wearables, sensor classification).  None of its
+training data is published, so this module generates synthetic datasets with
+the characteristics that matter to the hardware experiments:
+
+* **noisy XOR** — the standard Tsetlin-machine benchmark (non-linearly
+  separable, needs both clause polarities);
+* **parity / majority / threshold** — pure Boolean functions with
+  controllable difficulty;
+* **sensor blobs** — Gaussian clusters booleanised with a thermometer code,
+  standing in for accelerometer/microphone-style feature frames.
+
+Every generator takes an explicit seed and returns a :class:`Dataset`
+with train/test splits, so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .booleanize import ThermometerBooleanizer
+
+
+@dataclass
+class Dataset:
+    """A labelled Boolean dataset with a train/test split."""
+
+    name: str
+    train_x: np.ndarray
+    train_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+
+    @property
+    def num_features(self) -> int:
+        """Number of Boolean features per sample."""
+        return int(self.train_x.shape[1])
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct labels."""
+        return int(max(self.train_y.max(), self.test_y.max())) + 1
+
+    def summary(self) -> str:
+        """One-line description used by the examples."""
+        return (
+            f"{self.name}: {self.train_x.shape[0]} train / {self.test_x.shape[0]} test "
+            f"samples, {self.num_features} Boolean features, {self.num_classes} classes"
+        )
+
+
+def _split(x: np.ndarray, y: np.ndarray, test_fraction: float,
+           rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    indices = rng.permutation(x.shape[0])
+    cut = int(round(x.shape[0] * (1.0 - test_fraction)))
+    train_idx, test_idx = indices[:cut], indices[cut:]
+    return x[train_idx], y[train_idx], x[test_idx], y[test_idx]
+
+
+def noisy_xor(
+    num_samples: int = 600,
+    num_features: int = 8,
+    noise: float = 0.1,
+    test_fraction: float = 0.3,
+    seed: int = 42,
+) -> Dataset:
+    """The classic noisy-XOR benchmark.
+
+    The label is the XOR of the first two features; the remaining features
+    are irrelevant distractors, and the label is flipped with probability
+    *noise*.  A linear model cannot solve it; a Tsetlin machine with both
+    clause polarities can.
+    """
+    if num_features < 2:
+        raise ValueError("noisy_xor needs at least two features")
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 2, size=(num_samples, num_features), dtype=np.int8)
+    y = np.logical_xor(x[:, 0], x[:, 1]).astype(np.int8)
+    flips = rng.random(num_samples) < noise
+    y = np.where(flips, 1 - y, y).astype(np.int8)
+    train_x, train_y, test_x, test_y = _split(x, y, test_fraction, rng)
+    return Dataset("noisy-xor", train_x, train_y, test_x, test_y)
+
+
+def parity(
+    num_samples: int = 600,
+    num_features: int = 6,
+    parity_bits: int = 3,
+    test_fraction: float = 0.3,
+    seed: int = 43,
+) -> Dataset:
+    """Parity of the first *parity_bits* features (hard for shallow models)."""
+    if parity_bits > num_features:
+        raise ValueError("parity_bits cannot exceed num_features")
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 2, size=(num_samples, num_features), dtype=np.int8)
+    y = (x[:, :parity_bits].sum(axis=1) % 2).astype(np.int8)
+    train_x, train_y, test_x, test_y = _split(x, y, test_fraction, rng)
+    return Dataset(f"parity-{parity_bits}", train_x, train_y, test_x, test_y)
+
+
+def majority(
+    num_samples: int = 600,
+    num_features: int = 9,
+    test_fraction: float = 0.3,
+    seed: int = 44,
+) -> Dataset:
+    """Label 1 when more than half of the features are 1."""
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 2, size=(num_samples, num_features), dtype=np.int8)
+    y = (x.sum(axis=1) * 2 > num_features).astype(np.int8)
+    train_x, train_y, test_x, test_y = _split(x, y, test_fraction, rng)
+    return Dataset("majority", train_x, train_y, test_x, test_y)
+
+
+def threshold_pattern(
+    num_samples: int = 600,
+    num_features: int = 8,
+    pattern_density: float = 0.5,
+    noise: float = 0.05,
+    test_fraction: float = 0.3,
+    seed: int = 45,
+) -> Dataset:
+    """Membership of a random conjunctive pattern with feature noise.
+
+    A hidden conjunction over a random subset of the features defines the
+    positive class — the kind of function a single Tsetlin clause represents
+    exactly, useful for checking that training recovers interpretable
+    structure.
+    """
+    rng = np.random.default_rng(seed)
+    pattern_mask = rng.random(num_features) < pattern_density
+    if not pattern_mask.any():
+        pattern_mask[0] = True
+    pattern_value = rng.integers(0, 2, size=num_features, dtype=np.int8)
+    x = rng.integers(0, 2, size=(num_samples, num_features), dtype=np.int8)
+    # Force half of the samples to match the hidden pattern.
+    matches = rng.random(num_samples) < 0.5
+    x[np.ix_(matches, pattern_mask)] = pattern_value[pattern_mask]
+    y = np.all(x[:, pattern_mask] == pattern_value[pattern_mask], axis=1).astype(np.int8)
+    noisy = rng.random(num_samples) < noise
+    y = np.where(noisy, 1 - y, y).astype(np.int8)
+    train_x, train_y, test_x, test_y = _split(x, y, test_fraction, rng)
+    return Dataset("threshold-pattern", train_x, train_y, test_x, test_y)
+
+
+def sensor_blobs(
+    num_samples: int = 400,
+    num_raw_features: int = 4,
+    num_classes: int = 2,
+    thermometer_levels: int = 3,
+    spread: float = 1.0,
+    test_fraction: float = 0.3,
+    seed: int = 46,
+) -> Dataset:
+    """Gaussian sensor-frame clusters booleanised with a thermometer code.
+
+    Stands in for the booleanised accelerometer / audio feature frames that
+    an edge inference device would classify.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0.0, 3.0, size=(num_classes, num_raw_features))
+    samples_per_class = num_samples // num_classes
+    raw = []
+    labels = []
+    for class_idx in range(num_classes):
+        raw.append(
+            rng.normal(centers[class_idx], spread, size=(samples_per_class, num_raw_features))
+        )
+        labels.append(np.full(samples_per_class, class_idx, dtype=np.int8))
+    raw_x = np.vstack(raw)
+    y = np.concatenate(labels)
+    encoder = ThermometerBooleanizer(levels=thermometer_levels)
+    x = encoder.fit_transform(raw_x)
+    train_x, train_y, test_x, test_y = _split(x, y, test_fraction, rng)
+    return Dataset("sensor-blobs", train_x, train_y, test_x, test_y)
+
+
+def random_operand_stream(
+    num_features: int,
+    num_operands: int,
+    bias: float = 0.5,
+    seed: int = 47,
+) -> np.ndarray:
+    """Uniform random feature vectors (a worst-case-style hardware workload)."""
+    rng = np.random.default_rng(seed)
+    return (rng.random((num_operands, num_features)) < bias).astype(np.int8)

@@ -1,0 +1,149 @@
+"""Inference-only Tsetlin machine model — the hardware's golden reference.
+
+For inference the Tsetlin automata are not required (Section II): only their
+final *exclude* decisions matter.  :class:`InferenceModel` captures exactly
+that — an exclude matrix plus the datapath structure of Figure 2:
+
+1. per-clause masking of the feature literals by the exclude signals,
+2. AND-reduction into clause outputs,
+3. separate population counts of the positive-polarity and
+   negative-polarity votes,
+4. magnitude comparison of the two counts.
+
+Every step is exposed individually so the hardware test-bench can compare
+intermediate circuit values (clause outputs, popcounts, comparator verdict)
+against this model, not just the final classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class InferenceTrace:
+    """All intermediate values of one software inference."""
+
+    features: np.ndarray
+    clause_outputs: np.ndarray
+    positive_votes: int
+    negative_votes: int
+    decision: int
+
+    @property
+    def comparator_verdict(self) -> str:
+        """``"greater"``, ``"equal"`` or ``"less"`` (positive count vs negative)."""
+        if self.positive_votes > self.negative_votes:
+            return "greater"
+        if self.positive_votes == self.negative_votes:
+            return "equal"
+        return "less"
+
+
+class InferenceModel:
+    """Clause masks plus the vote-count/compare pipeline of the paper's datapath.
+
+    Parameters
+    ----------
+    exclude:
+        Boolean matrix of shape ``(clauses, 2·features)`` in the hardware
+        ordering: column ``2m`` masks feature ``f_m``, column ``2m+1`` masks
+        its negation.  ``True`` means the literal is excluded from the
+        clause.
+    """
+
+    def __init__(self, exclude: np.ndarray) -> None:
+        exclude = np.asarray(exclude, dtype=bool)
+        if exclude.ndim != 2 or exclude.shape[1] % 2 != 0:
+            raise ValueError(
+                "exclude must be a (clauses, 2*features) matrix in hardware ordering"
+            )
+        if exclude.shape[0] % 2 != 0:
+            raise ValueError("the number of clauses must be even (positive/negative halves)")
+        self.exclude = exclude
+        self.num_clauses = exclude.shape[0]
+        self.num_features = exclude.shape[1] // 2
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_machine(cls, machine) -> "InferenceModel":
+        """Extract the inference model from a trained :class:`~repro.tm.machine.TsetlinMachine`."""
+        return cls(machine.exclude_masks())
+
+    @classmethod
+    def random(cls, num_clauses: int, num_features: int, include_probability: float = 0.25,
+               seed: Optional[int] = 7) -> "InferenceModel":
+        """A random clause composition (used for workload sweeps and tests)."""
+        rng = np.random.default_rng(seed)
+        include = rng.random((num_clauses, 2 * num_features)) < include_probability
+        return cls(~include)
+
+    # --------------------------------------------------------------- pipeline
+    def partial_clause_masks(self, features: Sequence[int]) -> np.ndarray:
+        """Per-clause, per-feature masked literal values (the ``pc`` signals).
+
+        ``pc[j, m] = (e_{2m} OR f_m) AND (e_{2m+1} OR ¬f_m)`` — the OR-mask
+        structure of the paper's partial clause evaluation circuit.
+        """
+        features = np.asarray(features, dtype=np.int8)
+        if features.shape[0] != self.num_features:
+            raise ValueError(
+                f"expected {self.num_features} features, got {features.shape[0]}"
+            )
+        f = features[np.newaxis, :]
+        e_direct = self.exclude[:, 0::2]
+        e_negated = self.exclude[:, 1::2]
+        direct_term = e_direct | (f == 1)
+        negated_term = e_negated | (f == 0)
+        return (direct_term & negated_term).astype(np.int8)
+
+    def clause_outputs(self, features: Sequence[int]) -> np.ndarray:
+        """AND-reduce the partial clause values into one output per clause."""
+        pc = self.partial_clause_masks(features)
+        return pc.all(axis=1).astype(np.int8)
+
+    def vote_counts(self, features: Sequence[int]) -> Tuple[int, int]:
+        """Population counts of the positive- and negative-polarity votes."""
+        outputs = self.clause_outputs(features)
+        return int(outputs[0::2].sum()), int(outputs[1::2].sum())
+
+    def decision(self, features: Sequence[int]) -> int:
+        """Class membership: 1 when positive votes >= negative votes."""
+        pos, neg = self.vote_counts(features)
+        return 1 if pos >= neg else 0
+
+    def trace(self, features: Sequence[int]) -> InferenceTrace:
+        """Full intermediate-value trace for hardware cross-checking."""
+        features = np.asarray(features, dtype=np.int8)
+        outputs = self.clause_outputs(features)
+        pos, neg = int(outputs[0::2].sum()), int(outputs[1::2].sum())
+        return InferenceTrace(
+            features=features,
+            clause_outputs=outputs,
+            positive_votes=pos,
+            negative_votes=neg,
+            decision=1 if pos >= neg else 0,
+        )
+
+    # -------------------------------------------------------------- workloads
+    def exclude_flat(self) -> np.ndarray:
+        """Exclude matrix flattened row-major — the order the hardware ``e`` bus uses."""
+        return self.exclude.astype(np.int8).ravel()
+
+    def vote_difference_distribution(self, samples: np.ndarray) -> Dict[int, int]:
+        """Histogram of ``positive − negative`` votes over a sample set.
+
+        The shape of this distribution is what determines the average-case
+        benefit of the early-propagating comparator (contribution 2 of the
+        paper): large vote differences terminate the comparison at a high
+        order bit, small differences walk further down.
+        """
+        histogram: Dict[int, int] = {}
+        for row in np.asarray(samples, dtype=np.int8):
+            pos, neg = self.vote_counts(row)
+            diff = pos - neg
+            histogram[diff] = histogram.get(diff, 0) + 1
+        return dict(sorted(histogram.items()))

@@ -1,0 +1,155 @@
+"""Tests for the analysis layer (latency, throughput, distributions, tables) and synthesis flow."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Histogram,
+    Table1Row,
+    comparator_decision_depth,
+    dual_rail_throughput,
+    format_figure3,
+    format_histogram,
+    format_table1,
+    latency_histogram,
+    mean_latency_by_depth,
+    operand_distributions,
+    summarize_latencies,
+    synchronous_throughput,
+    throughput_from_period,
+)
+from repro.analysis.tables import Figure3Point
+from repro.circuits import LogicBuilder, umc_ll_library
+from repro.datapath import DualRailDatapath, DatapathConfig
+from repro.sim.handshake import DualRailInferenceResult
+from repro.synth import MappingError, area_report, leakage_report, map_to_library, synthesize
+from repro.tm import InferenceModel
+
+LIB = umc_ll_library()
+
+
+def _result(latency, reset=100.0):
+    return DualRailInferenceResult(
+        operand={}, outputs={}, one_of_n_outputs={}, t_start=0.0,
+        t_s_to_v=latency, t_v_to_s=reset, t_internal_reset=reset,
+    )
+
+
+def test_latency_summary_statistics():
+    results = [_result(l) for l in (100.0, 200.0, 300.0, 400.0)]
+    summary = summarize_latencies(results)
+    assert summary.average == pytest.approx(250.0)
+    assert summary.maximum == 400.0 and summary.minimum == 100.0
+    assert summary.p50 in (200.0, 300.0)
+    assert summary.reset_time == 100.0
+    assert summary.early_propagation_gain == pytest.approx(400.0 / 250.0)
+    with pytest.raises(ValueError):
+        summarize_latencies([])
+
+
+def test_throughput_computations():
+    assert throughput_from_period(1000.0).inferences_per_second == pytest.approx(1e9)
+    assert synchronous_throughput(2000.0).millions_per_second == pytest.approx(500.0)
+    results = [_result(300.0, reset=200.0), _result(500.0, reset=100.0)]
+    summary = dual_rail_throughput(results, grace_period=150.0)
+    # periods: 300+200=500 and 500+150=650 -> mean 575
+    assert summary.period_ps == pytest.approx(575.0)
+    with pytest.raises(ValueError):
+        throughput_from_period(0.0)
+    with pytest.raises(ValueError):
+        dual_rail_throughput([])
+
+
+def test_comparator_decision_depth():
+    assert comparator_decision_depth(8, 0, 4) == 1
+    assert comparator_decision_depth(3, 2, 4) == 4
+    assert comparator_decision_depth(5, 5, 4) == 4
+    assert comparator_decision_depth(4, 3, 4) == 2
+
+
+def test_operand_distributions_and_histograms():
+    model = InferenceModel.random(8, 4, seed=5)
+    samples = np.random.default_rng(5).integers(0, 2, size=(30, 4))
+    dists = operand_distributions(model, samples, count_width=4)
+    assert set(dists) == {"positive_votes", "negative_votes", "vote_difference",
+                          "decision_depth"}
+    assert dists["decision_depth"].total == 30
+    assert 1 <= dists["decision_depth"].mean() <= 4
+    text = format_histogram(dists["vote_difference"].counts, label="diff")
+    assert "diff=" in text
+
+
+def test_latency_histogram_and_depth_correlation():
+    results = [_result(l) for l in (120.0, 130.0, 380.0)]
+    hist = latency_histogram(results, bin_width_ps=100.0)
+    assert hist.total == 3
+    pairs = [(1, 100.0), (1, 120.0), (3, 300.0)]
+    by_depth = mean_latency_by_depth(pairs)
+    assert by_depth[1] == pytest.approx(110.0)
+    assert by_depth[3] == pytest.approx(300.0)
+    with pytest.raises(ValueError):
+        latency_histogram(results, bin_width_ps=0.0)
+
+
+def test_histogram_helper():
+    hist = Histogram()
+    for value in (1, 1, 2):
+        hist.add(value)
+    assert hist.total == 3
+    assert hist.probability(1) == pytest.approx(2 / 3)
+    assert hist.as_sorted_items() == [(1, 2), (2, 1)]
+
+
+def test_table_formatting():
+    row = Table1Row(
+        technology="UMC LL", design="Single-rail", cell_area=1800.0,
+        sequential_area=1300.0, avg_power_uw=470.0, leakage_power_nw=75.0,
+        avg_latency_ps=2100.0, max_latency_ps=2100.0, t_v_to_s_ps=None,
+        avg_inferences_millions=480.0,
+    )
+    text = format_table1([row])
+    assert "Technology" in text and "UMC LL" in text and "--" in text
+    fig = format_figure3([Figure3Point(vdd=0.3, avg_latency_ps=1e5, max_latency_ps=2e5,
+                                       functional=True, correct=True)])
+    assert "0.30" in fig
+
+
+# ---------------------------------------------------------------------------
+# Synthesis flow
+# ---------------------------------------------------------------------------
+
+def test_area_and_leakage_reports():
+    builder = LogicBuilder("rep")
+    a, b = builder.input("a"), builder.input("b")
+    clk = builder.input("clk")
+    builder.output("y", builder.dff(builder.and_(a, b), clk))
+    area = area_report(builder.netlist, LIB)
+    assert area.total > 0
+    assert area.sequential == pytest.approx(LIB.cell("DFF").area)
+    assert area.combinational == pytest.approx(area.total - area.sequential)
+    leak = leakage_report(builder.netlist, LIB)
+    assert leak.total_nw > 0
+
+
+def test_synthesize_dual_rail_is_unate_checked():
+    datapath = DualRailDatapath(DatapathConfig(num_features=2, clauses_per_polarity=2))
+    result = synthesize(datapath.circuit.netlist, LIB, enforce_unate=True)
+    assert result.validation.ok
+    assert result.clock_period is None
+    assert result.area.sequential > 0
+
+
+def test_map_to_library_raises_for_unknown_cells():
+    builder = LogicBuilder("unmappable")
+    d, clk = builder.input("d"), builder.input("clk")
+    builder.output("q", builder.dff(d, clk))
+    from repro.circuits import CellLibrary, CellModel, VoltageModel
+    tiny = CellLibrary(
+        "tiny",
+        {"INV": CellModel("INV", 1, 1, 1, 1, 1, 1)},
+        VoltageModel(),
+    )
+    with pytest.raises(MappingError):
+        map_to_library(builder.netlist, tiny)

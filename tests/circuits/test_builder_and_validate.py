@@ -1,0 +1,134 @@
+"""Unit tests for the netlist builder DSL and the structural design-rule checks."""
+
+import itertools
+
+import pytest
+
+from repro.circuits import (
+    LogicBuilder,
+    NetlistError,
+    check_no_combinational_loops,
+    check_unate_only,
+    find_c_elements,
+    find_flip_flops,
+    validate_dual_rail_netlist,
+    validate_single_rail_netlist,
+)
+from tests.conftest import simulate_combinational
+
+
+def test_builder_and_or_not(umc):
+    builder = LogicBuilder("basic")
+    a, b = builder.input("a"), builder.input("b")
+    builder.output("y", builder.and_(a, b))
+    builder.output("z", builder.or_(builder.not_(a), b))
+    for va, vb in itertools.product([0, 1], repeat=2):
+        out = simulate_combinational(builder.netlist, umc, {"a": va, "b": vb}, ["y", "z"])
+        assert out["y"] == (va & vb)
+        assert out["z"] == ((1 - va) | vb)
+
+
+def test_and_tree_matches_wide_and(umc):
+    builder = LogicBuilder("tree")
+    nets = builder.inputs([f"x{i}" for i in range(9)])
+    builder.output("y", builder.and_tree(nets))
+    all_ones = {f"x{i}": 1 for i in range(9)}
+    assert simulate_combinational(builder.netlist, umc, all_ones, ["y"])["y"] == 1
+    one_zero = dict(all_ones, x5=0)
+    assert simulate_combinational(builder.netlist, umc, one_zero, ["y"])["y"] == 0
+
+
+def test_or_tree_matches_wide_or(umc):
+    builder = LogicBuilder("tree")
+    nets = builder.inputs([f"x{i}" for i in range(6)])
+    builder.output("y", builder.or_tree(nets))
+    all_zero = {f"x{i}": 0 for i in range(6)}
+    assert simulate_combinational(builder.netlist, umc, all_zero, ["y"])["y"] == 0
+    assert simulate_combinational(builder.netlist, umc, dict(all_zero, x3=1), ["y"])["y"] == 1
+
+
+def test_c_tree_behaves_like_completion_aggregator(umc):
+    builder = LogicBuilder("ctree")
+    nets = builder.inputs([f"v{i}" for i in range(4)])
+    builder.output("done", builder.c_tree(nets))
+    all_one = {f"v{i}": 1 for i in range(4)}
+    assert simulate_combinational(builder.netlist, umc, all_one, ["done"])["done"] == 1
+
+
+def test_gate_arity_checks():
+    builder = LogicBuilder("arity")
+    a = builder.input("a")
+    with pytest.raises(NetlistError):
+        builder.and_(a)
+    with pytest.raises(NetlistError):
+        builder.c_element(a)
+
+
+def test_cell_wrong_input_count_rejected():
+    builder = LogicBuilder("wrong")
+    a = builder.input("a")
+    with pytest.raises(NetlistError):
+        builder.cell("AND2", [a])
+
+
+def test_tie_cells(umc):
+    builder = LogicBuilder("tie")
+    builder.input("a")
+    builder.output("one", builder.tie(1))
+    builder.output("zero", builder.tie(0))
+    out = simulate_combinational(builder.netlist, umc, {"a": 0}, ["one", "zero"])
+    assert out == {"one": 1, "zero": 0}
+
+
+def test_check_unate_only_flags_xor():
+    builder = LogicBuilder("nonunate")
+    a, b = builder.input("a"), builder.input("b")
+    builder.output("y", builder.xor(a, b))
+    report = check_unate_only(builder.netlist)
+    assert not report.ok
+    assert "non-unate" in report.errors[0]
+
+
+def test_validate_single_rail_allows_xor():
+    builder = LogicBuilder("baseline")
+    a, b = builder.input("a"), builder.input("b")
+    builder.output("y", builder.xor(a, b))
+    assert validate_single_rail_netlist(builder.netlist).ok
+
+
+def test_combinational_loop_detected():
+    builder = LogicBuilder("loop")
+    a = builder.input("a")
+    # Create a feedback loop through two AND gates by wiring the second's
+    # output back into the first.
+    netlist = builder.netlist
+    netlist.add_cell("AND2", {"A": "a", "B": "loop"}, {"Y": "mid"}, name="g1")
+    netlist.add_cell("AND2", {"A": "mid", "B": "a"}, {"Y": "loop"}, name="g2")
+    netlist.add_output("loop")
+    report = check_no_combinational_loops(netlist)
+    assert not report.ok
+
+
+def test_c_element_feedback_is_not_a_combinational_loop():
+    builder = LogicBuilder("celem")
+    a = builder.input("a")
+    builder.output("q", builder.c_element(a, a))
+    assert check_no_combinational_loops(builder.netlist).ok
+
+
+def test_find_sequential_cells():
+    builder = LogicBuilder("seq")
+    a = builder.input("a")
+    clk = builder.input("clk")
+    builder.output("q", builder.dff(a, clk))
+    builder.output("c", builder.c_element(a, a))
+    assert len(find_flip_flops(builder.netlist)) == 1
+    assert len(find_c_elements(builder.netlist)) == 1
+
+
+def test_validate_dual_rail_checks_library(full_diffusion):
+    builder = LogicBuilder("needs_mapping")
+    a, b = builder.input("a"), builder.input("b")
+    builder.output("y", builder.cell("AOI32", [a, b, a, b, a]))
+    report = validate_dual_rail_netlist(builder.netlist, full_diffusion)
+    assert any("AOI32" in err for err in report.errors)

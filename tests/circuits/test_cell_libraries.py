@@ -1,0 +1,99 @@
+"""Unit tests for the characterised cell libraries and the voltage model."""
+
+import math
+
+import pytest
+
+from repro.circuits import (
+    CellLibrary,
+    CellModel,
+    VoltageModel,
+    default_libraries,
+    full_diffusion_library,
+    umc_ll_library,
+)
+
+
+def test_both_libraries_available():
+    libs = default_libraries()
+    assert set(libs) == {"UMC LL", "FULL DIFFUSION"}
+
+
+def test_library_rejects_unknown_cell_types():
+    model = CellModel("BOGUS", 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+    with pytest.raises(KeyError):
+        CellLibrary("broken", {"BOGUS": model}, VoltageModel())
+
+
+def test_full_diffusion_lacks_aoi32(umc, full_diffusion):
+    assert umc.has_cell("AOI32")
+    assert not full_diffusion.has_cell("AOI32")
+
+
+def test_full_diffusion_cells_are_larger(umc, full_diffusion):
+    for cell in ("INV", "NAND2", "AND2", "C2"):
+        assert full_diffusion.cell(cell).area > umc.cell(cell).area
+
+
+def test_c_element_costs_more_relative_to_dff_in_full_diffusion(umc, full_diffusion):
+    umc_ratio = umc.cell("C2").area / umc.cell("DFF").area
+    fd_ratio = full_diffusion.cell("C2").area / full_diffusion.cell("DFF").area
+    assert fd_ratio > umc_ratio
+
+
+def test_cell_delay_increases_with_load(umc):
+    assert umc.cell_delay("NAND2", 10.0) > umc.cell_delay("NAND2", 0.0)
+
+
+def test_cell_delay_scales_with_voltage(umc):
+    nominal = umc.cell_delay("NAND2", 2.0)
+    low = umc.cell_delay("NAND2", 2.0, vdd=0.6)
+    assert low > nominal
+
+
+def test_unknown_cell_lookup_raises(umc):
+    with pytest.raises(KeyError):
+        umc.cell("FROBNICATOR")
+
+
+def test_voltage_model_delay_factor_monotone_below_nominal():
+    model = full_diffusion_library().voltage_model
+    voltages = [1.2, 1.0, 0.8, 0.6, 0.5, 0.4, 0.3, 0.25]
+    factors = [model.delay_factor(v) for v in voltages]
+    assert factors[0] == pytest.approx(1.0, rel=1e-6)
+    assert all(b > a for a, b in zip(factors, factors[1:]))
+
+
+def test_voltage_model_subthreshold_is_exponential():
+    model = full_diffusion_library().voltage_model
+    # Below threshold, a fixed voltage step should multiply the delay by a
+    # roughly constant (large) factor.
+    r1 = model.delay_factor(0.30) / model.delay_factor(0.35)
+    r2 = model.delay_factor(0.25) / model.delay_factor(0.30)
+    assert r1 > 2.0 and r2 > 2.0
+    assert r2 == pytest.approx(r1, rel=0.5)
+
+
+def test_energy_factor_is_quadratic(umc):
+    model = umc.voltage_model
+    assert model.energy_factor(0.6) == pytest.approx(0.25, rel=1e-6)
+
+
+def test_functional_range_limits():
+    assert not umc_ll_library().voltage_model.is_functional(0.25)
+    assert full_diffusion_library().voltage_model.is_functional(0.25)
+
+
+def test_delay_factor_rejects_nonpositive_voltage(umc):
+    with pytest.raises(ValueError):
+        umc.voltage_model.delay_factor(0.0)
+
+
+def test_leakage_decreases_with_voltage(umc):
+    assert umc.cell_leakage("INV", vdd=0.6) < umc.cell_leakage("INV", vdd=1.2)
+
+
+def test_sequential_classification(umc):
+    assert umc.is_sequential_cell("DFF")
+    assert umc.is_sequential_cell("C2")
+    assert not umc.is_sequential_cell("NAND2")

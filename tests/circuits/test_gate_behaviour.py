@@ -1,0 +1,113 @@
+"""Unit tests for the behavioural gate models (three-valued logic)."""
+
+import itertools
+
+import pytest
+
+from repro.circuits import GATE_REGISTRY, evaluate_gate, gate_spec, is_inverting, is_sequential, is_unate
+
+
+def eval1(cell, **inputs):
+    return evaluate_gate(cell, inputs)["Y"]
+
+
+def test_inverter_truth_table():
+    assert eval1("INV", A=0) == 1
+    assert eval1("INV", A=1) == 0
+    assert eval1("INV", A=None) is None
+
+
+@pytest.mark.parametrize("a,b,expected", [(0, 0, 0), (0, 1, 0), (1, 0, 0), (1, 1, 1)])
+def test_and2_truth_table(a, b, expected):
+    assert eval1("AND2", A=a, B=b) == expected
+
+
+def test_and_controlling_value_beats_unknown():
+    assert eval1("AND2", A=0, B=None) == 0
+    assert eval1("AND2", A=1, B=None) is None
+    assert eval1("OR2", A=1, B=None) == 1
+    assert eval1("OR2", A=0, B=None) is None
+
+
+def test_nand_nor_are_complements_of_and_or():
+    for a, b in itertools.product([0, 1], repeat=2):
+        assert eval1("NAND2", A=a, B=b) == 1 - eval1("AND2", A=a, B=b)
+        assert eval1("NOR2", A=a, B=b) == 1 - eval1("OR2", A=a, B=b)
+
+
+def test_xor_and_xnor():
+    for a, b in itertools.product([0, 1], repeat=2):
+        assert eval1("XOR2", A=a, B=b) == (a ^ b)
+        assert eval1("XNOR2", A=a, B=b) == 1 - (a ^ b)
+    assert eval1("XOR2", A=1, B=None) is None
+
+
+def test_aoi22_matches_boolean_definition():
+    for a1, a2, b1, b2 in itertools.product([0, 1], repeat=4):
+        expected = 1 - ((a1 & a2) | (b1 & b2))
+        assert eval1("AOI22", A1=a1, A2=a2, B1=b1, B2=b2) == expected
+
+
+def test_ao22_matches_boolean_definition():
+    for a1, a2, b1, b2 in itertools.product([0, 1], repeat=4):
+        expected = (a1 & a2) | (b1 & b2)
+        assert eval1("AO22", A1=a1, A2=a2, B1=b1, B2=b2) == expected
+
+
+def test_oai21_matches_boolean_definition():
+    for a1, a2, b in itertools.product([0, 1], repeat=3):
+        expected = 1 - ((a1 | a2) & b)
+        assert eval1("OAI21", A1=a1, A2=a2, B=b) == expected
+
+
+def test_maj3_matches_majority():
+    for a, b, c in itertools.product([0, 1], repeat=3):
+        expected = 1 if (a + b + c) >= 2 else 0
+        assert eval1("MAJ3", A=a, B=b, C=c) == expected
+    # Controlling values: two agreeing inputs decide regardless of the third.
+    assert eval1("MAJ3", A=1, B=1, C=None) == 1
+    assert eval1("MAJ3", A=0, B=0, C=None) == 0
+
+
+def test_c_element_sets_resets_and_holds():
+    assert evaluate_gate("C2", {"A": 1, "B": 1}, state=0)["Y"] == 1
+    assert evaluate_gate("C2", {"A": 0, "B": 0}, state=1)["Y"] == 0
+    assert evaluate_gate("C2", {"A": 1, "B": 0}, state=1)["Y"] == 1
+    assert evaluate_gate("C2", {"A": 0, "B": 1}, state=0)["Y"] == 0
+
+
+def test_c3_requires_all_inputs_to_switch():
+    assert evaluate_gate("C3", {"A": 1, "B": 1, "C": 1}, state=0)["Y"] == 1
+    assert evaluate_gate("C3", {"A": 1, "B": 1, "C": 0}, state=0)["Y"] == 0
+
+
+def test_tie_cells_are_constant():
+    assert evaluate_gate("TIE0", {}, None)["Y"] == 0
+    assert evaluate_gate("TIE1", {}, None)["Y"] == 1
+
+
+def test_unateness_flags():
+    assert is_unate("AND2") and is_unate("NOR3") and is_unate("AOI22") and is_unate("C2")
+    assert not is_unate("XOR2") and not is_unate("XNOR2")
+
+
+def test_inverting_flags():
+    assert is_inverting("INV") and is_inverting("NAND2") and is_inverting("AOI21")
+    assert not is_inverting("AND2") and not is_inverting("AO22") and not is_inverting("BUF")
+
+
+def test_sequential_flags():
+    assert is_sequential("C2") and is_sequential("DFF")
+    assert not is_sequential("AND2")
+
+
+def test_unknown_cell_type_raises():
+    with pytest.raises(KeyError):
+        gate_spec("FROBNICATOR")
+
+
+def test_registry_contains_expected_families():
+    names = set(GATE_REGISTRY)
+    for expected in ("INV", "BUF", "AND2", "OR4", "NAND3", "NOR2", "AOI22", "OAI21",
+                     "AO22", "OA22", "XOR2", "C2", "C3", "DFF", "TIE0", "TIE1", "MAJ3"):
+        assert expected in names

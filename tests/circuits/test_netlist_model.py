@@ -1,0 +1,127 @@
+"""Unit tests for the structural netlist data model."""
+
+import pytest
+
+from repro.circuits import LogicBuilder, Netlist, NetlistError, merge_netlists
+
+
+def test_add_input_and_output_registers_ports():
+    netlist = Netlist("demo")
+    netlist.add_input("a")
+    netlist.add_output("y")
+    assert netlist.primary_inputs == ["a"]
+    assert netlist.primary_outputs == ["y"]
+
+
+def test_add_cell_creates_nets_and_connectivity():
+    netlist = Netlist("demo")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    cell = netlist.add_cell("AND2", {"A": "a", "B": "b"}, {"Y": "y"})
+    assert netlist.nets["y"].driver == (cell.name, "Y")
+    assert ("a" in cell.input_nets()) and ("b" in cell.input_nets())
+    assert netlist.nets["a"].sinks == [(cell.name, "A")]
+
+
+def test_double_driver_rejected():
+    netlist = Netlist("demo")
+    netlist.add_input("a")
+    netlist.add_cell("INV", {"A": "a"}, {"Y": "y"})
+    with pytest.raises(NetlistError):
+        netlist.add_cell("INV", {"A": "a"}, {"Y": "y"})
+
+
+def test_driving_primary_input_rejected():
+    netlist = Netlist("demo")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    with pytest.raises(NetlistError):
+        netlist.add_cell("INV", {"A": "b"}, {"Y": "a"})
+
+
+def test_duplicate_cell_name_rejected():
+    netlist = Netlist("demo")
+    netlist.add_input("a")
+    netlist.add_cell("INV", {"A": "a"}, {"Y": "y"}, name="inv0")
+    with pytest.raises(NetlistError):
+        netlist.add_cell("INV", {"A": "y"}, {"Y": "z"}, name="inv0")
+
+
+def test_topological_order_respects_dependencies():
+    builder = LogicBuilder("topo")
+    a, b = builder.input("a"), builder.input("b")
+    ab = builder.and_(a, b)
+    y = builder.not_(ab)
+    builder.output("y", y)
+    order = [cell.name for cell in builder.netlist.topological_order()]
+    and_cell = builder.netlist.cell_of_driver(ab).name
+    inv_cell = builder.netlist.cell_of_driver(y).name
+    assert order.index(and_cell) < order.index(inv_cell)
+
+
+def test_topological_order_handles_every_cell_despite_feedback():
+    netlist = Netlist("loop")
+    netlist.add_input("a")
+    netlist.add_cell("C2", {"A": "a", "B": "q"}, {"Y": "q"}, name="celem")
+    order = netlist.topological_order()
+    assert [c.name for c in order] == ["celem"]
+
+
+def test_check_structure_reports_floating_inputs():
+    netlist = Netlist("floating")
+    netlist.add_cell("AND2", {"A": "a", "B": "b"}, {"Y": "y"})
+    netlist.add_output("y")
+    problems = netlist.check_structure()
+    assert len(problems) == 2
+    assert any("floating" in p for p in problems)
+
+
+def test_check_structure_reports_undriven_output():
+    netlist = Netlist("undriven")
+    netlist.add_output("y")
+    assert any("undriven" in p for p in netlist.check_structure())
+
+
+def test_count_by_type_histogram():
+    builder = LogicBuilder("hist")
+    a, b = builder.input("a"), builder.input("b")
+    builder.output("y", builder.and_(a, b))
+    builder.output("z", builder.or_(a, b))
+    counts = builder.netlist.count_by_type()
+    assert counts["AND2"] == 1
+    assert counts["OR2"] == 1
+    assert counts["BUF"] == 2  # output aliases
+
+
+def test_internal_nets_excludes_ports():
+    builder = LogicBuilder("internal")
+    a, b = builder.input("a"), builder.input("b")
+    mid = builder.and_(a, b)
+    builder.output("y", builder.not_(mid))
+    internal = builder.netlist.internal_nets()
+    assert mid in internal
+    assert "a" not in internal and "y" not in internal
+
+
+def test_merge_netlists_shares_nets_and_interfaces():
+    first = LogicBuilder("first")
+    a, b = first.input("a"), first.input("b")
+    first.output("mid", first.and_(a, b))
+
+    second = LogicBuilder("second")
+    second.input("mid")
+    second.input("c")
+    second.output("y", second.or_("mid", "c"))
+
+    merged = merge_netlists("merged", [first.netlist, second.netlist])
+    assert "a" in merged.primary_inputs and "c" in merged.primary_inputs
+    # "mid" is driven by the first part and consumed by the second, so it is
+    # no longer an interface output.
+    assert "mid" not in merged.primary_inputs
+    assert "y" in merged.primary_outputs
+
+
+def test_unique_name_never_collides():
+    netlist = Netlist("names")
+    names = {netlist.unique_name("x") for _ in range(100)}
+    assert len(names) == 100

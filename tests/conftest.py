@@ -1,0 +1,69 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.circuits import CellLibrary, Netlist, full_diffusion_library, umc_ll_library
+from repro.core import DualRailCircuit, compute_grace_period
+from repro.sim import DualRailEnvironment, GateLevelSimulator
+
+
+@pytest.fixture(scope="session")
+def umc() -> CellLibrary:
+    """The synthetic UMC LL library (shared across tests)."""
+    return umc_ll_library()
+
+
+@pytest.fixture(scope="session")
+def full_diffusion() -> CellLibrary:
+    """The synthetic FULL DIFFUSION library (shared across tests)."""
+    return full_diffusion_library()
+
+
+def simulate_combinational(
+    netlist: Netlist,
+    library: CellLibrary,
+    inputs: Dict[str, int],
+    outputs: Sequence[str],
+    vdd: Optional[float] = None,
+) -> Dict[str, Optional[int]]:
+    """Drive a combinational single-rail netlist and return settled output values."""
+    sim = GateLevelSimulator(netlist, library, vdd=vdd)
+    sim.set_inputs({net: int(value) for net, value in inputs.items()})
+    sim.settle()
+    return {net: sim.value(net) for net in outputs}
+
+
+def run_dual_rail_operands(
+    circuit: DualRailCircuit,
+    library: CellLibrary,
+    operands: Sequence[Dict[str, int]],
+    vdd: Optional[float] = None,
+    grace: Optional[float] = None,
+):
+    """Simulate a dual-rail circuit through the handshake environment.
+
+    Returns the list of :class:`repro.sim.handshake.DualRailInferenceResult`.
+    """
+    if grace is None:
+        grace = compute_grace_period(circuit, library, vdd=vdd).td
+    sim = GateLevelSimulator(circuit.netlist, library, vdd=vdd)
+    env = DualRailEnvironment(circuit, sim, grace_period=grace)
+    env.reset()
+    return [env.infer(op) for op in operands]
+
+
+# Make the helpers importable from test modules via the conftest plugin object.
+@pytest.fixture(scope="session")
+def combinational_runner():
+    """Fixture handle on :func:`simulate_combinational`."""
+    return simulate_combinational
+
+
+@pytest.fixture(scope="session")
+def dual_rail_runner():
+    """Fixture handle on :func:`run_dual_rail_operands`."""
+    return run_dual_rail_operands

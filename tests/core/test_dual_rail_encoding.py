@@ -1,0 +1,178 @@
+"""Unit and property tests for dual-rail encoding and the gate mappings."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import umc_ll_library
+from repro.core import (
+    DualRailBuilder,
+    SpacerPolarity,
+    decode_pair,
+    encode_bit,
+    is_spacer,
+    is_valid_codeword,
+    spacer_word,
+)
+from repro.core.one_of_n import (
+    decode_one_of_n,
+    encode_one_of_n,
+    is_spacer_one_of_n,
+    is_valid_one_of_n,
+    spacer_one_of_n,
+)
+from tests.conftest import run_dual_rail_operands
+
+
+# ---------------------------------------------------------------------------
+# Encoding helpers
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=1),
+       st.sampled_from(list(SpacerPolarity)))
+def test_encode_decode_roundtrip(value, polarity):
+    pos, neg = encode_bit(value, polarity)
+    assert decode_pair(pos, neg, polarity) == value
+    assert is_valid_codeword(pos, neg)
+
+
+@pytest.mark.parametrize("polarity", list(SpacerPolarity))
+def test_spacer_word_decodes_to_none(polarity):
+    pos, neg = spacer_word(polarity)
+    assert decode_pair(pos, neg, polarity) is None
+    assert is_spacer(pos, neg, polarity)
+
+
+@pytest.mark.parametrize("polarity", list(SpacerPolarity))
+def test_forbidden_state_raises(polarity):
+    forbidden = 1 - polarity.spacer_rail_value
+    with pytest.raises(ValueError):
+        decode_pair(forbidden, forbidden, polarity)
+
+
+def test_unknown_rails_raise():
+    with pytest.raises(ValueError):
+        decode_pair(None, 0)
+
+
+def test_polarity_flip_is_involution():
+    assert SpacerPolarity.ALL_ZERO.flipped().flipped() is SpacerPolarity.ALL_ZERO
+
+
+# ---------------------------------------------------------------------------
+# 1-of-n codes
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=2, max_value=6), st.data(),
+       st.sampled_from(list(SpacerPolarity)))
+def test_one_of_n_roundtrip(n, data, polarity):
+    symbol = data.draw(st.integers(min_value=0, max_value=n - 1))
+    rails = encode_one_of_n(symbol, n, polarity)
+    assert decode_one_of_n(rails, polarity) == symbol
+    assert is_valid_one_of_n(rails, polarity)
+    assert not is_spacer_one_of_n(rails, polarity)
+
+
+def test_one_of_n_spacer_and_errors():
+    assert decode_one_of_n(spacer_one_of_n(3)) is None
+    with pytest.raises(ValueError):
+        decode_one_of_n([1, 1, 0])
+    with pytest.raises(ValueError):
+        encode_one_of_n(5, 3)
+
+
+# ---------------------------------------------------------------------------
+# Dual-rail gate mappings, simulated through the handshake environment
+# ---------------------------------------------------------------------------
+
+def _two_input_circuit(op_name, negative_gates):
+    builder = DualRailBuilder(f"dr_{op_name}", negative_gates=negative_gates)
+    a = builder.input_bit("a")
+    b = builder.input_bit("b")
+    op = getattr(builder, op_name)
+    result = op(a, b)
+    result = builder.align_polarity(result, SpacerPolarity.ALL_ZERO)
+    builder.output_bit("y", result)
+    return builder.build()
+
+
+@pytest.mark.parametrize("negative_gates", [True, False])
+@pytest.mark.parametrize("op_name,func", [
+    ("and_", lambda a, b: a & b),
+    ("or_", lambda a, b: a | b),
+    ("xor", lambda a, b: a ^ b),
+])
+def test_dual_rail_two_input_gates_match_boolean(op_name, func, negative_gates):
+    library = umc_ll_library()
+    circuit = _two_input_circuit(op_name, negative_gates)
+    operands = [{"a": a, "b": b} for a, b in itertools.product([0, 1], repeat=2)]
+    results = run_dual_rail_operands(circuit, library, operands)
+    for operand, result in zip(operands, results):
+        assert result.outputs["y"] == func(operand["a"], operand["b"])
+
+
+def test_dual_rail_not_is_free_rail_swap():
+    builder = DualRailBuilder("dr_not")
+    a = builder.input_bit("a")
+    builder.output_bit("y", builder.not_(a))
+    circuit = builder.build()
+    # No logic cells beyond the interface buffers.
+    types = circuit.netlist.count_by_type()
+    assert set(types) <= {"BUF"}
+    results = run_dual_rail_operands(circuit, umc_ll_library(),
+                                     [{"a": 0}, {"a": 1}])
+    assert [r.outputs["y"] for r in results] == [1, 0]
+
+
+def test_mixed_polarity_inputs_rejected():
+    builder = DualRailBuilder("mixed")
+    a = builder.input_bit("a", SpacerPolarity.ALL_ZERO)
+    b = builder.input_bit("b", SpacerPolarity.ALL_ONE)
+    with pytest.raises(Exception):
+        builder.and_(a, b)
+
+
+def test_spacer_inverter_flips_polarity_and_keeps_value():
+    builder = DualRailBuilder("spinv")
+    a = builder.input_bit("a")
+    flipped = builder.spacer_inverter(a)
+    assert flipped.polarity is SpacerPolarity.ALL_ONE
+    back = builder.spacer_inverter(flipped)
+    builder.output_bit("y", back)
+    circuit = builder.build()
+    results = run_dual_rail_operands(circuit, umc_ll_library(), [{"a": 1}, {"a": 0}])
+    assert [r.outputs["y"] for r in results] == [1, 0]
+
+
+def test_negative_gate_and_flips_polarity():
+    builder = DualRailBuilder("neg", negative_gates=True)
+    a, b = builder.input_bit("a"), builder.input_bit("b")
+    out = builder.and_(a, b)
+    assert out.polarity is SpacerPolarity.ALL_ONE
+    positive = DualRailBuilder("pos", negative_gates=False)
+    a, b = positive.input_bit("a"), positive.input_bit("b")
+    assert positive.and_(a, b).polarity is SpacerPolarity.ALL_ZERO
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=6))
+def test_dual_rail_and_tree_matches_python_all(bits):
+    builder = DualRailBuilder("tree")
+    signals = [builder.input_bit(f"x{i}") for i in range(len(bits))]
+    result = builder.align_polarity(builder.and_tree(signals), SpacerPolarity.ALL_ZERO)
+    builder.output_bit("y", result)
+    circuit = builder.build()
+    operand = {f"x{i}": bit for i, bit in enumerate(bits)}
+    results = run_dual_rail_operands(circuit, umc_ll_library(), [operand])
+    assert results[0].outputs["y"] == int(all(bits))
+
+
+def test_c_element_latch_passes_data_through():
+    builder = DualRailBuilder("latch")
+    a = builder.input_bit("a")
+    builder.output_bit("y", builder.c_element_latch(a))
+    circuit = builder.build()
+    results = run_dual_rail_operands(circuit, umc_ll_library(), [{"a": 1}, {"a": 0}])
+    assert [r.outputs["y"] for r in results] == [1, 0]

@@ -1,0 +1,180 @@
+"""Functional tests for the adder cells and the population counters."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import LogicBuilder, check_unate_only, umc_ll_library
+from repro.core import DualRailBuilder, SpacerPolarity
+from repro.datapath import (
+    dual_rail_full_adder,
+    dual_rail_half_adder,
+    dual_rail_popcount,
+    dual_rail_popcount8,
+    output_width,
+    single_rail_full_adder,
+    single_rail_half_adder,
+    single_rail_popcount,
+    single_rail_popcount8,
+)
+from tests.conftest import run_dual_rail_operands, simulate_combinational
+
+
+LIB = umc_ll_library()
+
+
+# ---------------------------------------------------------------------------
+# Adders
+# ---------------------------------------------------------------------------
+
+def test_single_rail_half_and_full_adder_truth_tables():
+    builder = LogicBuilder("sr_adders")
+    a, b, c = builder.inputs(["a", "b", "c"])
+    hs, hc = single_rail_half_adder(builder, a, b)
+    fs, fc = single_rail_full_adder(builder, a, b, c)
+    for name, net in (("hs", hs), ("hc", hc), ("fs", fs), ("fc", fc)):
+        builder.output(name, net)
+    for va, vb, vc in itertools.product([0, 1], repeat=3):
+        out = simulate_combinational(builder.netlist, LIB, {"a": va, "b": vb, "c": vc},
+                                     ["hs", "hc", "fs", "fc"])
+        assert out["hs"] == (va ^ vb)
+        assert out["hc"] == (va & vb)
+        assert out["fs"] == (va ^ vb ^ vc)
+        assert out["fc"] == int(va + vb + vc >= 2)
+
+
+def test_dual_rail_half_adder_cell_budget_matches_paper():
+    builder = DualRailBuilder("dr_ha")
+    a, b = builder.input_bit("a"), builder.input_bit("b")
+    before = builder.netlist.cell_count()
+    dual_rail_half_adder(builder, a, b)
+    added = builder.netlist.cell_count() - before
+    # Two complex gates (AO22) plus two simple gates (AND2/OR2).
+    assert added == 4
+    types = builder.netlist.count_by_type()
+    assert types.get("AO22") == 2
+
+
+def test_dual_rail_half_adder_preserves_polarity_and_function():
+    builder = DualRailBuilder("dr_ha_f")
+    a, b = builder.input_bit("a"), builder.input_bit("b")
+    result = dual_rail_half_adder(builder, a, b)
+    assert result.sum.polarity is SpacerPolarity.ALL_ZERO
+    assert result.carry.polarity is SpacerPolarity.ALL_ZERO
+    builder.output_bit("s", result.sum)
+    builder.output_bit("c", result.carry)
+    circuit = builder.build()
+    operands = [{"a": x, "b": y} for x, y in itertools.product([0, 1], repeat=2)]
+    results = run_dual_rail_operands(circuit, LIB, operands)
+    for operand, res in zip(operands, results):
+        assert res.outputs["s"] == operand["a"] ^ operand["b"]
+        assert res.outputs["c"] == operand["a"] & operand["b"]
+
+
+def test_dual_rail_full_adder_function():
+    builder = DualRailBuilder("dr_fa")
+    a, b, c = (builder.input_bit(n) for n in "abc")
+    result = dual_rail_full_adder(builder, a, b, c)
+    builder.output_bit("s", result.sum)
+    builder.output_bit("co", result.carry)
+    circuit = builder.build()
+    operands = [{"a": x, "b": y, "c": z} for x, y, z in itertools.product([0, 1], repeat=3)]
+    results = run_dual_rail_operands(circuit, LIB, operands)
+    for operand, res in zip(operands, results):
+        total = operand["a"] + operand["b"] + operand["c"]
+        assert res.outputs["s"] == total % 2
+        assert res.outputs["co"] == total // 2
+
+
+# ---------------------------------------------------------------------------
+# Population counters
+# ---------------------------------------------------------------------------
+
+def _count_from_bits(bits):
+    return sum(b << i for i, b in enumerate(bits))
+
+
+def test_output_width():
+    assert output_width(1) == 1
+    assert output_width(3) == 2
+    assert output_width(8) == 4
+    assert output_width(15) == 4
+
+
+def test_single_rail_popcount8_exhaustive():
+    builder = LogicBuilder("popcount8")
+    inputs = builder.inputs([f"x{i}" for i in range(8)])
+    bits = single_rail_popcount8(builder, inputs)
+    names = [f"y{i}" for i in range(4)]
+    for name, net in zip(names, bits):
+        builder.output(name, net)
+    for pattern in range(256):
+        values = {f"x{i}": (pattern >> i) & 1 for i in range(8)}
+        out = simulate_combinational(builder.netlist, LIB, values, names)
+        assert _count_from_bits([out[n] for n in names]) == bin(pattern).count("1")
+
+
+@pytest.mark.parametrize("width", [2, 3, 5, 6])
+def test_single_rail_generic_popcount_exhaustive(width):
+    builder = LogicBuilder(f"pop{width}")
+    inputs = builder.inputs([f"x{i}" for i in range(width)])
+    bits = single_rail_popcount(builder, inputs)
+    names = [f"y{i}" for i in range(len(bits))]
+    for name, net in zip(names, bits):
+        builder.output(name, net)
+    for pattern in range(2 ** width):
+        values = {f"x{i}": (pattern >> i) & 1 for i in range(width)}
+        out = simulate_combinational(builder.netlist, LIB, values, names)
+        assert _count_from_bits([out[n] for n in names]) == bin(pattern).count("1")
+
+
+def _dual_popcount_circuit(width):
+    builder = DualRailBuilder(f"drpop{width}")
+    inputs = [builder.input_bit(f"x{i}") for i in range(width)]
+    bits = dual_rail_popcount(builder, inputs)
+    for i, bit in enumerate(bits):
+        builder.output_bit(f"y{i}", builder.align_polarity(bit, SpacerPolarity.ALL_ZERO))
+    return builder.build(), len(bits)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=255))
+def test_dual_rail_popcount8_matches_popcount(pattern):
+    circuit, nbits = _dual_popcount_circuit(8)
+    operand = {f"x{i}": (pattern >> i) & 1 for i in range(8)}
+    result = run_dual_rail_operands(circuit, LIB, [operand])[0]
+    value = _count_from_bits([result.outputs[f"y{i}"] for i in range(nbits)])
+    assert value == bin(pattern).count("1")
+
+
+@pytest.mark.parametrize("width", [3, 5])
+def test_dual_rail_generic_popcount_exhaustive(width):
+    circuit, nbits = _dual_popcount_circuit(width)
+    operands = [
+        {f"x{i}": (pattern >> i) & 1 for i in range(width)}
+        for pattern in range(2 ** width)
+    ]
+    results = run_dual_rail_operands(circuit, LIB, operands)
+    for pattern, result in enumerate(results):
+        value = _count_from_bits([result.outputs[f"y{i}"] for i in range(nbits)])
+        assert value == bin(pattern).count("1")
+
+
+def test_dual_rail_popcount8_is_half_adder_dominated():
+    builder = DualRailBuilder("drpop_cells")
+    inputs = [builder.input_bit(f"x{i}") for i in range(8)]
+    dual_rail_popcount8(builder, inputs)
+    types = builder.netlist.count_by_type()
+    # The HA-heavy structure uses AO22 pairs for every half-adder sum.
+    assert types.get("AO22", 0) >= 20
+    report = check_unate_only(builder.netlist)
+    assert report.ok
+
+
+def test_popcount_rejects_empty_input():
+    builder = LogicBuilder("empty")
+    with pytest.raises(ValueError):
+        single_rail_popcount(builder, [])

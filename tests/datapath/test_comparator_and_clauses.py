@@ -1,0 +1,186 @@
+"""Functional tests for the magnitude comparators and the clause logic."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import LogicBuilder, check_unate_only, umc_ll_library
+from repro.core import DualRailBuilder, SpacerPolarity
+from repro.datapath import (
+    comparator_decision_bit,
+    dual_rail_clause,
+    dual_rail_magnitude_comparator,
+    single_rail_clause,
+    single_rail_magnitude_comparator,
+)
+from repro.tm import InferenceModel
+from tests.conftest import run_dual_rail_operands, simulate_combinational
+
+LIB = umc_ll_library()
+VERDICTS = ("less", "equal", "greater")
+
+
+def _expected_verdict(a, b):
+    if a > b:
+        return "greater"
+    if a == b:
+        return "equal"
+    return "less"
+
+
+# ---------------------------------------------------------------------------
+# Single-rail comparator
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("width", [2, 3, 4])
+def test_single_rail_comparator_exhaustive(width):
+    builder = LogicBuilder(f"cmp{width}")
+    a_bits = builder.inputs([f"a{i}" for i in range(width)])
+    b_bits = builder.inputs([f"b{i}" for i in range(width)])
+    greater, equal, less = single_rail_magnitude_comparator(builder, a_bits, b_bits)
+    builder.output("gt", greater)
+    builder.output("eq", equal)
+    builder.output("lt", less)
+    builder.output("ge", comparator_decision_bit(builder, greater, equal))
+    for a, b in itertools.product(range(2 ** width), repeat=2):
+        values = {f"a{i}": (a >> i) & 1 for i in range(width)}
+        values.update({f"b{i}": (b >> i) & 1 for i in range(width)})
+        out = simulate_combinational(builder.netlist, LIB, values, ["gt", "eq", "lt", "ge"])
+        assert out["gt"] == int(a > b)
+        assert out["eq"] == int(a == b)
+        assert out["lt"] == int(a < b)
+        assert out["ge"] == int(a >= b)
+
+
+# ---------------------------------------------------------------------------
+# Dual-rail comparator (1-of-3 output)
+# ---------------------------------------------------------------------------
+
+def _dual_comparator_circuit(width):
+    builder = DualRailBuilder(f"drcmp{width}")
+    a_bits = [builder.input_bit(f"a{i}") for i in range(width)]
+    b_bits = [builder.input_bit(f"b{i}") for i in range(width)]
+    verdict = dual_rail_magnitude_comparator(builder, a_bits, b_bits)
+    aligned = [builder.align_polarity(s, SpacerPolarity.ALL_ZERO)
+               for s in (verdict.less, verdict.equal, verdict.greater)]
+    builder.one_of_n_output("verdict", [s.pos for s in aligned], VERDICTS,
+                            SpacerPolarity.ALL_ZERO)
+    return builder.build()
+
+
+def test_dual_rail_comparator_is_unate_only():
+    circuit = _dual_comparator_circuit(4)
+    assert check_unate_only(circuit.netlist).ok
+
+
+@pytest.mark.parametrize("width", [2, 3])
+def test_dual_rail_comparator_exhaustive(width):
+    circuit = _dual_comparator_circuit(width)
+    operands = []
+    expected = []
+    for a, b in itertools.product(range(2 ** width), repeat=2):
+        op = {f"a{i}": (a >> i) & 1 for i in range(width)}
+        op.update({f"b{i}": (b >> i) & 1 for i in range(width)})
+        operands.append(op)
+        expected.append(_expected_verdict(a, b))
+    results = run_dual_rail_operands(circuit, LIB, operands)
+    for res, exp in zip(results, expected):
+        assert VERDICTS[res.one_of_n_outputs["verdict"]] == exp
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=15), st.integers(min_value=0, max_value=15))
+def test_dual_rail_comparator_4bit_property(a, b):
+    circuit = _dual_comparator_circuit(4)
+    op = {f"a{i}": (a >> i) & 1 for i in range(4)}
+    op.update({f"b{i}": (b >> i) & 1 for i in range(4)})
+    result = run_dual_rail_operands(circuit, LIB, [op])[0]
+    assert VERDICTS[result.one_of_n_outputs["verdict"]] == _expected_verdict(a, b)
+
+
+def test_dual_rail_comparator_early_propagation_latency():
+    """Operands decided at the MSB must finish earlier than equal operands."""
+    circuit = _dual_comparator_circuit(4)
+    msb_decided = {f"a{i}": 1 if i == 3 else 0 for i in range(4)}
+    msb_decided.update({f"b{i}": 0 for i in range(4)})
+    equal = {f"a{i}": 1 for i in range(4)}
+    equal.update({f"b{i}": 1 for i in range(4)})
+    results = run_dual_rail_operands(circuit, LIB, [msb_decided, equal])
+    assert results[0].t_s_to_v < results[1].t_s_to_v
+
+
+def test_comparator_width_mismatch_rejected():
+    builder = DualRailBuilder("bad")
+    a = [builder.input_bit("a0")]
+    b = [builder.input_bit("b0"), builder.input_bit("b1")]
+    with pytest.raises(ValueError):
+        dual_rail_magnitude_comparator(builder, a, b)
+
+
+# ---------------------------------------------------------------------------
+# Clause logic
+# ---------------------------------------------------------------------------
+
+def _clause_reference(features, exclude_row):
+    """Software reference of one clause (hardware ordering of excludes)."""
+    value = 1
+    for m, f in enumerate(features):
+        direct = exclude_row[2 * m] or f == 1
+        negated = exclude_row[2 * m + 1] or f == 0
+        value &= int(direct and negated)
+    return value
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=3, max_size=3),
+       st.lists(st.integers(min_value=0, max_value=1), min_size=6, max_size=6))
+def test_single_rail_clause_matches_reference(features, excludes):
+    builder = LogicBuilder("clause_sr")
+    f_nets = builder.inputs([f"f{i}" for i in range(3)])
+    e_nets = builder.inputs([f"e{i}" for i in range(6)])
+    builder.output("y", single_rail_clause(builder, f_nets, e_nets))
+    values = {f"f{i}": features[i] for i in range(3)}
+    values.update({f"e{i}": excludes[i] for i in range(6)})
+    out = simulate_combinational(builder.netlist, LIB, values, ["y"])
+    assert out["y"] == _clause_reference(features, excludes)
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=2),
+       st.lists(st.integers(min_value=0, max_value=1), min_size=4, max_size=4))
+def test_dual_rail_clause_matches_reference(features, excludes):
+    builder = DualRailBuilder("clause_dr")
+    f_sigs = [builder.input_bit(f"f{i}") for i in range(2)]
+    e_sigs = [builder.input_bit(f"e{i}") for i in range(4)]
+    clause = dual_rail_clause(builder, f_sigs, e_sigs)
+    builder.output_bit("y", builder.align_polarity(clause, SpacerPolarity.ALL_ZERO))
+    circuit = builder.build()
+    operand = {f"f{i}": features[i] for i in range(2)}
+    operand.update({f"e{i}": excludes[i] for i in range(4)})
+    result = run_dual_rail_operands(circuit, LIB, [operand])[0]
+    assert result.outputs["y"] == _clause_reference(features, excludes)
+
+
+def test_clause_matches_inference_model_masking():
+    model = InferenceModel.random(2, 3, include_probability=0.5, seed=17)
+    exclude_row = model.exclude[0]
+    builder = LogicBuilder("clause_vs_model")
+    f_nets = builder.inputs([f"f{i}" for i in range(3)])
+    e_nets = builder.inputs([f"e{i}" for i in range(6)])
+    builder.output("y", single_rail_clause(builder, f_nets, e_nets))
+    for features in itertools.product([0, 1], repeat=3):
+        values = {f"f{i}": features[i] for i in range(3)}
+        values.update({f"e{i}": int(exclude_row[i]) for i in range(6)})
+        out = simulate_combinational(builder.netlist, LIB, values, ["y"])
+        assert out["y"] == model.clause_outputs(list(features))[0]
+
+
+def test_clause_exclude_count_validation():
+    builder = LogicBuilder("bad_clause")
+    f_nets = builder.inputs(["f0", "f1"])
+    e_nets = builder.inputs(["e0", "e1", "e2"])
+    with pytest.raises(ValueError):
+        single_rail_clause(builder, f_nets, e_nets)

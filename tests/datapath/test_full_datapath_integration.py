@@ -1,0 +1,127 @@
+"""Integration tests: the complete dual-rail and single-rail datapaths against the golden model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import measure_dual_rail, measure_single_rail, random_workload
+from repro.circuits import check_unate_only, full_diffusion_library, umc_ll_library
+from repro.core import analyse_circuit_spacers
+from repro.datapath import DatapathConfig, DualRailDatapath, SingleRailDatapath
+from repro.synth import map_to_library, synthesize
+from repro.tm import InferenceModel
+
+LIB = umc_ll_library()
+
+SMALL = DatapathConfig(num_features=2, clauses_per_polarity=2)
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return random_workload(num_features=2, clauses_per_polarity=2, num_operands=8,
+                           include_probability=0.4, seed=23)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DatapathConfig(num_features=0).validate()
+    with pytest.raises(ValueError):
+        DatapathConfig(completion="bogus").validate()
+    assert DatapathConfig().count_width == 4
+
+
+def test_dual_rail_datapath_structure():
+    datapath = DualRailDatapath(SMALL)
+    circuit = datapath.circuit
+    # 2 features + 2 polarities * 2 clauses * 4 excludes = 18 logical inputs.
+    assert datapath.input_bit_count() == 2 + 2 * 2 * 4
+    assert circuit.done_net == "done"
+    assert check_unate_only(circuit.netlist).ok
+    assert analyse_circuit_spacers(circuit).ok
+    assert len(circuit.one_of_n_outputs) == 1
+
+
+def test_dual_rail_datapath_matches_golden_model(small_workload):
+    measurement = measure_dual_rail(small_workload, LIB)
+    assert measurement.correctness == 1.0
+    assert measurement.monotonic
+    assert measurement.latency.average > 0
+    assert measurement.latency.maximum >= measurement.latency.average
+
+
+def test_single_rail_datapath_matches_golden_model(small_workload):
+    measurement = measure_single_rail(small_workload, LIB)
+    assert measurement.correctness == 1.0
+    assert measurement.clock_period_ps > 0
+
+
+def test_dual_rail_runs_on_full_diffusion_library(small_workload):
+    library = full_diffusion_library()
+    measurement = measure_dual_rail(small_workload, library)
+    assert measurement.correctness == 1.0
+    # The mapped netlist must not contain cells missing from the library.
+    for cell in measurement.synthesis.netlist.iter_cells():
+        assert library.has_cell(cell.cell_type)
+
+
+def test_dual_rail_functional_below_threshold_voltage(small_workload):
+    library = full_diffusion_library()
+    measurement = measure_dual_rail(small_workload, library, vdd=0.3,
+                                    check_monotonic=False)
+    assert measurement.correctness == 1.0
+    nominal = measure_dual_rail(small_workload, library, check_monotonic=False)
+    assert measurement.latency.average > 10 * nominal.latency.average
+
+
+def test_operand_assignment_shape_checks():
+    datapath = DualRailDatapath(SMALL)
+    model = InferenceModel.random(SMALL.num_clauses, SMALL.num_features, seed=3)
+    with pytest.raises(ValueError):
+        datapath.operand_assignments([1, 0, 1], model.exclude)
+    with pytest.raises(ValueError):
+        datapath.operand_assignments([1, 0], model.exclude[:, :2])
+    assignments = datapath.operand_assignments([1, 0], model.exclude)
+    assert len(assignments) == datapath.input_bit_count()
+
+
+def test_verdict_decoding():
+    assert DualRailDatapath.decision_from_verdict("greater") == 1
+    assert DualRailDatapath.decision_from_verdict("equal") == 1
+    assert DualRailDatapath.decision_from_verdict("less") == 0
+    with pytest.raises(ValueError):
+        DualRailDatapath.decision_from_verdict("sideways")
+    with pytest.raises(ValueError):
+        DualRailDatapath.decode_verdict({"verdict": None})
+
+
+def test_sequential_area_split_between_designs():
+    dual = DualRailDatapath(SMALL)
+    single = SingleRailDatapath(SMALL)
+    dual_syn = synthesize(dual.circuit.netlist, LIB, enforce_unate=True)
+    single_syn = synthesize(single.netlist, LIB, clocked=True)
+    # Dual-rail sequential cells are C-elements (two per input bit); the
+    # single-rail ones are flip-flops (one per input bit plus the outputs).
+    assert dual_syn.area.sequential_cell_count == 2 * dual.input_bit_count()
+    assert single_syn.area.sequential_cell_count == dual.input_bit_count() + 4
+    # Areas are of the same order (the paper's "similar sequential area").
+    ratio = dual_syn.area.sequential / single_syn.area.sequential
+    assert 0.5 < ratio < 2.0
+
+
+def test_mapping_to_full_diffusion_removes_unavailable_cells():
+    library = full_diffusion_library()
+    dual = DualRailDatapath(SMALL)
+    mapped = map_to_library(dual.circuit.netlist, library)
+    assert all(library.has_cell(t) for t in mapped.count_by_type())
+    # The decomposition rule itself: an AOI32 instance must disappear.
+    from repro.circuits import LogicBuilder
+    builder = LogicBuilder("aoi32")
+    nets = builder.inputs(["a", "b", "c", "d", "e"])
+    builder.output("y", builder.cell("AOI32", nets))
+    decomposed = map_to_library(builder.netlist, library)
+    assert "AOI32" not in decomposed.count_by_type()
+
+
+def test_grace_period_positive_for_reduced_cd(small_workload):
+    measurement = measure_dual_rail(small_workload, LIB)
+    assert measurement.grace.t_int >= measurement.grace.t_io or measurement.grace.td == 0.0
+    assert measurement.grace.t_done_fall >= measurement.grace.t_io

@@ -1,0 +1,168 @@
+"""Unit tests for the event queue, waveform store and gate-level simulator."""
+
+import pytest
+
+from repro.circuits import LogicBuilder
+from repro.sim import EventQueue, GateLevelSimulator, SimulationError, Waveform
+
+
+def test_event_queue_orders_by_time_then_sequence():
+    queue = EventQueue()
+    queue.schedule(10.0, "b", 1)
+    queue.schedule(5.0, "a", 1)
+    queue.schedule(5.0, "c", 0)
+    first = queue.pop()
+    second = queue.pop()
+    third = queue.pop()
+    assert first.net == "a" and second.net == "c" and third.net == "b"
+
+
+def test_event_queue_pop_simultaneous_batches_equal_times():
+    queue = EventQueue()
+    queue.schedule(3.0, "a", 1)
+    queue.schedule(3.0, "b", 0)
+    queue.schedule(7.0, "c", 1)
+    batch = queue.pop_simultaneous()
+    assert {e.net for e in batch} == {"a", "b"}
+    assert len(queue) == 1
+
+
+def test_event_queue_rejects_negative_time():
+    with pytest.raises(ValueError):
+        EventQueue().schedule(-1.0, "a", 1)
+
+
+def test_waveform_records_and_queries_values():
+    wave = Waveform()
+    wave.record("x", 0.0, 0)
+    wave.record("x", 10.0, 1)
+    wave.record("x", 10.0, 1)  # duplicate value is collapsed
+    assert wave.value_at("x", 5.0) == 0
+    assert wave.value_at("x", 15.0) == 1
+    # transition_count counts changes strictly after `since` (default 0.0),
+    # so the power-up assignment at t=0 is excluded.
+    assert wave.trace("x").transition_count() == 1
+    assert wave.trace("x").transition_count(since=-1.0) == 2
+    assert wave.first_transition_after("x", 0.0, lambda v: v == 1) == 10.0
+
+
+def test_simulator_propagates_through_gate_chain(umc):
+    builder = LogicBuilder("chain")
+    a = builder.input("a")
+    y = builder.not_(builder.not_(builder.not_(a)))
+    builder.output("y", y)
+    sim = GateLevelSimulator(builder.netlist, umc)
+    sim.set_input("a", 1)
+    sim.settle()
+    assert sim.value("y") == 0
+    sim.set_input("a", 0)
+    sim.settle()
+    assert sim.value("y") == 1
+
+
+def test_simulator_delay_accumulates_over_levels(umc):
+    builder = LogicBuilder("delay")
+    a = builder.input("a")
+    one = builder.not_(a)
+    two = builder.not_(one)
+    builder.output("y", two)
+    sim = GateLevelSimulator(builder.netlist, umc)
+    sim.set_input("a", 1)
+    end = sim.settle()
+    single_inv = umc.cell_delay("INV", 0.0)
+    assert end > single_inv  # two inverter levels plus the output buffer
+
+
+def test_simulator_respects_supply_voltage_scaling(umc):
+    builder = LogicBuilder("vdd")
+    a = builder.input("a")
+    builder.output("y", builder.not_(a))
+    fast = GateLevelSimulator(builder.netlist, umc, vdd=1.2)
+    slow = GateLevelSimulator(builder.netlist, umc, vdd=0.7)
+    fast.set_input("a", 1)
+    slow.set_input("a", 1)
+    assert slow.settle() > fast.settle()
+
+
+def test_simulator_rejects_non_functional_voltage(umc):
+    builder = LogicBuilder("toolow")
+    a = builder.input("a")
+    builder.output("y", builder.not_(a))
+    with pytest.raises(SimulationError):
+        GateLevelSimulator(builder.netlist, umc, vdd=0.2)
+
+
+def test_simulator_glitch_resolves_to_final_value(umc):
+    # A two-input OR whose inputs swap with different arrival times must end
+    # at the correct steady-state value regardless of intermediate events.
+    builder = LogicBuilder("glitch")
+    a, b = builder.input("a"), builder.input("b")
+    builder.output("y", builder.or_(a, b))
+    sim = GateLevelSimulator(builder.netlist, umc)
+    sim.set_inputs({"a": 1, "b": 0})
+    sim.settle()
+    assert sim.value("y") == 1
+    # Swap the inputs with a slight skew: a falls now, b rises a bit later.
+    sim.set_input("a", 0)
+    sim.set_input("b", 1, at=sim.time + 5.0)
+    sim.settle()
+    assert sim.value("y") == 1
+    # Now both fall with a skew; the output must settle to 0.
+    sim.set_input("b", 0)
+    sim.set_input("a", 0, at=sim.time + 3.0)
+    sim.settle()
+    assert sim.value("y") == 0
+
+
+def test_dff_samples_on_rising_edge(umc):
+    builder = LogicBuilder("ff")
+    d, clk = builder.input("d"), builder.input("clk")
+    builder.output("q", builder.dff(d, clk))
+    sim = GateLevelSimulator(builder.netlist, umc)
+    sim.set_inputs({"d": 1, "clk": 0})
+    sim.settle()
+    assert sim.value("q") is None  # not yet clocked
+    sim.set_input("clk", 1)
+    sim.settle()
+    assert sim.value("q") == 1
+    # Changing D with the clock high must not propagate until the next edge.
+    sim.set_input("d", 0)
+    sim.settle()
+    assert sim.value("q") == 1
+    sim.set_input("clk", 0)
+    sim.settle()
+    sim.set_input("clk", 1)
+    sim.settle()
+    assert sim.value("q") == 0
+
+
+def test_c_element_holds_state(umc):
+    builder = LogicBuilder("celem")
+    a, b = builder.input("a"), builder.input("b")
+    builder.output("q", builder.c_element(a, b))
+    sim = GateLevelSimulator(builder.netlist, umc)
+    sim.set_inputs({"a": 0, "b": 0})
+    sim.settle()
+    assert sim.value("q") == 0
+    sim.set_inputs({"a": 1, "b": 0})
+    sim.settle()
+    assert sim.value("q") == 0  # holds until both inputs agree
+    sim.set_input("b", 1)
+    sim.settle()
+    assert sim.value("q") == 1
+    sim.set_input("a", 0)
+    sim.settle()
+    assert sim.value("q") == 1  # holds again
+
+
+def test_transition_log_and_statistics(umc):
+    builder = LogicBuilder("stats")
+    a = builder.input("a")
+    builder.output("y", builder.not_(a))
+    sim = GateLevelSimulator(builder.netlist, umc)
+    sim.set_input("a", 1)
+    sim.settle()
+    histogram = sim.transition_count_by_cell_type()
+    assert histogram.get("INV") == 1
+    sim.reset_statistics()
+    assert sim.transition_count_by_cell_type() == {}

@@ -1,0 +1,233 @@
+"""Tests for the Tsetlin machine substrate: automata, clauses, training, inference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tm import (
+    InferenceModel,
+    MultiClassTsetlinMachine,
+    ThermometerBooleanizer,
+    ThresholdBooleanizer,
+    TsetlinAutomatonTeam,
+    TsetlinMachine,
+    clause_outputs,
+    literals_from_features,
+    majority,
+    noisy_xor,
+    parity,
+    random_operand_stream,
+    sensor_blobs,
+    threshold_pattern,
+    vote_counts,
+    vote_sum,
+)
+
+
+# ---------------------------------------------------------------------------
+# Automata
+# ---------------------------------------------------------------------------
+
+def test_team_initial_states_on_boundary():
+    team = TsetlinAutomatonTeam(4, 6, num_states=10, rng=np.random.default_rng(0))
+    assert set(np.unique(team.state)) <= {10, 11}
+
+
+def test_reward_strengthens_and_penalty_weakens_actions():
+    team = TsetlinAutomatonTeam(1, 2, num_states=5, rng=np.random.default_rng(0))
+    team.set_actions(np.array([[True, False]]))
+    include_before = team.state.copy()
+    mask = np.ones_like(team.state, dtype=bool)
+    team.reward(mask)
+    assert team.state[0, 0] > include_before[0, 0]      # include reinforced upward
+    assert team.state[0, 1] < include_before[0, 1]      # exclude reinforced downward
+    for _ in range(20):
+        team.penalize(mask)
+    # Heavy penalties flip both actions.
+    assert team.include_actions()[0, 0] == False  # noqa: E712
+    assert team.include_actions()[0, 1] == True   # noqa: E712
+
+
+def test_states_stay_within_bounds():
+    team = TsetlinAutomatonTeam(2, 4, num_states=3, rng=np.random.default_rng(1))
+    mask = np.ones_like(team.state, dtype=bool)
+    for _ in range(20):
+        team.reward(mask)
+    assert team.state.max() <= 6 and team.state.min() >= 1
+    for _ in range(40):
+        team.penalize(mask)
+    assert team.state.max() <= 6 and team.state.min() >= 1
+
+
+def test_set_actions_shape_check():
+    team = TsetlinAutomatonTeam(2, 4)
+    with pytest.raises(ValueError):
+        team.set_actions(np.zeros((3, 4), dtype=bool))
+
+
+# ---------------------------------------------------------------------------
+# Clause evaluation
+# ---------------------------------------------------------------------------
+
+def test_literals_from_features_appends_negations():
+    lits = literals_from_features(np.array([1, 0, 1], dtype=np.int8))
+    assert list(lits) == [1, 0, 1, 0, 1, 0]
+
+
+def test_clause_outputs_and_semantics():
+    include = np.array([
+        [True, False, False, False],   # clause needs f0
+        [False, False, True, False],   # clause needs NOT f0
+        [False, False, False, False],  # empty clause
+    ])
+    lits = literals_from_features(np.array([1, 0], dtype=np.int8))
+    outs = clause_outputs(include, lits, empty_clause_output=0)
+    assert list(outs) == [1, 0, 0]
+    outs_training = clause_outputs(include, lits, empty_clause_output=1)
+    assert list(outs_training) == [1, 0, 1]
+
+
+def test_vote_sum_and_counts_follow_polarity_convention():
+    outputs = np.array([1, 0, 1, 1])  # clauses 0,2 positive; 1,3 negative
+    assert vote_counts(outputs) == (2, 1)
+    assert vote_sum(outputs) == 1
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=16)
+       .filter(lambda x: len(x) % 2 == 0))
+def test_vote_sum_equals_counts_difference(outputs):
+    outputs = np.array(outputs)
+    pos, neg = vote_counts(outputs)
+    assert vote_sum(outputs) == pos - neg
+
+
+# ---------------------------------------------------------------------------
+# Training
+# ---------------------------------------------------------------------------
+
+def test_machine_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        TsetlinMachine(num_features=4, num_clauses=5)
+    with pytest.raises(ValueError):
+        TsetlinMachine(num_features=0)
+    with pytest.raises(ValueError):
+        TsetlinMachine(num_features=4, s=0.5)
+
+
+def test_training_learns_noisy_xor():
+    dataset = noisy_xor(num_samples=300, num_features=4, noise=0.05, seed=11)
+    machine = TsetlinMachine(num_features=4, num_clauses=16, threshold=8, s=3.0, seed=11)
+    history = machine.fit(dataset.train_x, dataset.train_y, epochs=30)
+    assert history.final_accuracy > 0.85
+    assert machine.accuracy(dataset.test_x, dataset.test_y) > 0.80
+
+
+def test_exclude_masks_roundtrip():
+    machine = TsetlinMachine(num_features=3, num_clauses=4, seed=5)
+    exclude = machine.exclude_masks()
+    assert exclude.shape == (4, 6)
+    other = TsetlinMachine(num_features=3, num_clauses=4, seed=99)
+    other.set_exclude_masks(exclude)
+    np.testing.assert_array_equal(other.exclude_masks(), exclude)
+
+
+def test_multiclass_machine_trains_and_predicts():
+    dataset = sensor_blobs(num_samples=200, num_raw_features=3, num_classes=3,
+                           thermometer_levels=2, seed=3)
+    machine = MultiClassTsetlinMachine(
+        num_classes=3, num_features=dataset.num_features, num_clauses=10,
+        threshold=5, seed=3,
+    )
+    machine.fit(dataset.train_x, dataset.train_y, epochs=15)
+    assert machine.accuracy(dataset.test_x, dataset.test_y) > 0.6
+
+
+# ---------------------------------------------------------------------------
+# Inference model (the hardware golden reference)
+# ---------------------------------------------------------------------------
+
+def test_inference_model_matches_trained_machine_clauses():
+    dataset = noisy_xor(num_samples=200, num_features=4, noise=0.05, seed=21)
+    machine = TsetlinMachine(num_features=4, num_clauses=8, threshold=4, seed=21)
+    machine.fit(dataset.train_x, dataset.train_y, epochs=15)
+    model = InferenceModel.from_machine(machine)
+    # When no clause is empty, the model's clause outputs equal the machine's.
+    if model.exclude.all(axis=1).any():
+        pytest.skip("trained machine produced an empty clause; conventions differ")
+    for row in dataset.test_x[:20]:
+        np.testing.assert_array_equal(model.clause_outputs(row),
+                                      machine.clause_outputs(row))
+
+
+def test_inference_model_shape_checks():
+    with pytest.raises(ValueError):
+        InferenceModel(np.zeros((3, 4), dtype=bool))   # odd clause count
+    with pytest.raises(ValueError):
+        InferenceModel(np.zeros((2, 3), dtype=bool))   # odd literal count
+    model = InferenceModel.random(4, 3, seed=1)
+    with pytest.raises(ValueError):
+        model.decision([1, 0])                          # wrong feature count
+
+
+def test_inference_model_trace_consistency():
+    model = InferenceModel.random(6, 4, include_probability=0.4, seed=9)
+    features = [1, 0, 1, 1]
+    trace = model.trace(features)
+    assert trace.positive_votes == int(trace.clause_outputs[0::2].sum())
+    assert trace.negative_votes == int(trace.clause_outputs[1::2].sum())
+    assert trace.decision == (1 if trace.positive_votes >= trace.negative_votes else 0)
+    assert trace.comparator_verdict in ("greater", "equal", "less")
+
+
+def test_vote_difference_distribution_sums_to_sample_count():
+    model = InferenceModel.random(8, 4, seed=13)
+    samples = random_operand_stream(4, 25, seed=13)
+    hist = model.vote_difference_distribution(samples)
+    assert sum(hist.values()) == 25
+
+
+# ---------------------------------------------------------------------------
+# Datasets and booleanisation
+# ---------------------------------------------------------------------------
+
+def test_datasets_have_consistent_shapes():
+    for dataset in (noisy_xor(seed=1), parity(seed=2), majority(seed=3),
+                    threshold_pattern(seed=4), sensor_blobs(seed=5)):
+        assert dataset.train_x.shape[1] == dataset.test_x.shape[1]
+        assert dataset.train_x.shape[0] == dataset.train_y.shape[0]
+        assert set(np.unique(dataset.train_x)) <= {0, 1}
+        assert dataset.num_classes >= 2
+        assert dataset.summary()
+
+
+def test_noisy_xor_labels_follow_xor_mostly():
+    dataset = noisy_xor(num_samples=2000, noise=0.0, seed=7)
+    x, y = dataset.train_x, dataset.train_y
+    xor = np.logical_xor(x[:, 0], x[:, 1]).astype(np.int8)
+    assert (xor == y).mean() == 1.0
+
+
+def test_threshold_booleanizer_roundtrip():
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(50, 3))
+    encoder = ThresholdBooleanizer()
+    bits = encoder.fit_transform(data)
+    assert bits.shape == (50, 3)
+    assert set(np.unique(bits)) <= {0, 1}
+    with pytest.raises(RuntimeError):
+        ThresholdBooleanizer().transform(data)
+
+
+def test_thermometer_booleanizer_is_monotone_per_feature():
+    rng = np.random.default_rng(1)
+    data = rng.normal(size=(60, 2))
+    encoder = ThermometerBooleanizer(levels=3)
+    bits = encoder.fit_transform(data)
+    assert bits.shape == (60, 6)
+    # Thermometer property: within a feature, a set bit implies all lower
+    # thresholds are also set.
+    for f in range(2):
+        chunk = bits[:, f * 3:(f + 1) * 3]
+        assert np.all(chunk[:, 0] >= chunk[:, 1])
+        assert np.all(chunk[:, 1] >= chunk[:, 2])

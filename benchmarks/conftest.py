@@ -5,14 +5,53 @@ and the operand/latency distribution analysis).  They use a reduced operand
 count so the whole suite completes in minutes on a laptop; the experiment
 functions in :mod:`repro.analysis.experiments` accept larger streams for
 higher-fidelity runs.
+
+Benchmark regression tracking
+-----------------------------
+Benchmarks may record throughput figures into the session-scoped
+``bench_records`` fixture; at session end they are written as JSON to
+``BENCH_sim.json`` (override the path with the ``BENCH_SIM_OUT`` environment
+variable).  CI uploads the file as an artifact, so every PR leaves a perf
+trajectory — currently events/sec for the event-driven backend and
+samples/sec for the vectorized batch backend — that future changes can be
+compared against.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
 
 import pytest
 
 from repro.analysis import default_workload
 from repro.circuits import full_diffusion_library, umc_ll_library
+
+#: Session-wide accumulator behind the ``bench_records`` fixture.
+_BENCH_RECORDS = {}
+
+
+@pytest.fixture(scope="session")
+def bench_records():
+    """Mutable mapping benchmarks drop ``metric name -> value`` entries into."""
+    return _BENCH_RECORDS
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the collected benchmark records to ``BENCH_sim.json``."""
+    if not _BENCH_RECORDS:
+        return
+    out_path = Path(os.environ.get(
+        "BENCH_SIM_OUT", Path(__file__).resolve().parent / "BENCH_sim.json"
+    ))
+    payload = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "metrics": dict(sorted(_BENCH_RECORDS.items())),
+    }
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,98 @@
+"""Benchmark: event-driven vs vectorized batch backend throughput.
+
+Pushes the paper-scale datapath's full operand encoding through both
+simulation backends and records the regression-tracking figures that end up
+in ``BENCH_sim.json``:
+
+* ``event_backend_events_per_sec`` / ``event_backend_samples_per_sec`` —
+  the event-driven reference, measured over a small operand subset (it is
+  the slow path; extrapolating its rate keeps the bench fast);
+* ``batch_backend_samples_per_sec`` — the levelized NumPy engine over the
+  full 1000-sample batch;
+* ``batch_vs_event_speedup`` — the headline ratio, asserted to be >= 10x
+  (in practice it is two to three orders of magnitude).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.analysis import random_workload
+from repro.analysis.experiments import workload_input_planes
+from repro.core.dual_rail import encode_bit
+from repro.datapath.datapath import DualRailDatapath
+from repro.sim.backends import BatchBackend, EventBackend
+
+#: Batch size of the vectorized measurement (the acceptance criterion's 1k).
+BATCH_SAMPLES = int(os.environ.get("BENCH_BATCH_SAMPLES", "1000"))
+#: Operands pushed through the (slow) event backend to estimate its rate.
+EVENT_SAMPLES = int(os.environ.get("BENCH_EVENT_SAMPLES", "8"))
+
+
+def _rail_assignments(circuit, operand):
+    assignments = {}
+    for sig in circuit.inputs:
+        pos, neg = encode_bit(operand[sig.name])
+        assignments[sig.pos] = pos
+        assignments[sig.neg] = neg
+    return assignments
+
+
+def test_batch_backend_speedup(benchmark, umc, bench_records):
+    workload = random_workload(
+        num_features=4, clauses_per_polarity=8, num_operands=BATCH_SAMPLES, seed=5
+    )
+    datapath = DualRailDatapath(workload.config)
+    netlist = datapath.circuit.netlist
+
+    # Event backend rate over a subset of the stream.
+    event = EventBackend(netlist, umc)
+    event_batch = [
+        _rail_assignments(
+            datapath.circuit, datapath.operand_assignments(f, workload.exclude)
+        )
+        for f in workload.feature_vectors[:EVENT_SAMPLES]
+    ]
+    start = time.perf_counter()
+    event_result = event.run_batch(event_batch)
+    event_elapsed = time.perf_counter() - start
+    event_rate = event_result.samples / event_elapsed
+    events_rate = event_result.transitions / event_elapsed
+
+    # Batch backend over the full 1000-sample stream (compile + run, via
+    # pytest-benchmark so the timing lands in the benchmark report too).
+    planes = workload_input_planes(datapath.circuit, datapath, workload)
+
+    def run_batch():
+        backend = BatchBackend(netlist, umc)
+        return backend.run_arrays(planes)
+
+    start = time.perf_counter()
+    batch_result = benchmark.pedantic(run_batch, rounds=1, iterations=1)
+    batch_elapsed = time.perf_counter() - start
+    batch_rate = batch_result.samples / batch_elapsed
+
+    speedup = batch_rate / event_rate
+    print(
+        f"\nBackend throughput: event={event_rate:.1f} samples/s "
+        f"({events_rate:.0f} events/s), batch={batch_rate:.0f} samples/s "
+        f"({batch_result.samples} samples) -> {speedup:.0f}x"
+    )
+    bench_records["event_backend_samples_per_sec"] = event_rate
+    bench_records["event_backend_events_per_sec"] = events_rate
+    bench_records["batch_backend_samples_per_sec"] = batch_rate
+    bench_records["batch_backend_batch_size"] = batch_result.samples
+    bench_records["batch_vs_event_speedup"] = speedup
+
+    assert batch_result.samples == BATCH_SAMPLES
+    # Acceptance criterion: >= 10x samples/sec on the batch backend at 1k
+    # samples.  Real measurements sit around 100-1000x; 10x leaves headroom
+    # for slow CI machines.
+    assert speedup >= 10.0
+
+    # The two backends agree on the verdict rails for the shared subset.
+    verdict = datapath.circuit.one_of_n_outputs[0]
+    for k in range(event_result.samples):
+        for rail in verdict.rails:
+            assert event_result.net_values[rail][k] == batch_result.value_of(rail, k)

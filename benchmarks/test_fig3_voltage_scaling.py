@@ -13,9 +13,7 @@ paper's claims:
 
 from __future__ import annotations
 
-import math
-
-import pytest
+import os
 
 from repro.analysis import format_figure3, run_figure3
 from repro.sim import exponential_region_slope
@@ -23,6 +21,10 @@ from repro.sim.voltage import VoltagePoint
 
 #: Reduced voltage grid (a subset of the paper's sweep) to keep runtime low.
 SWEEP_VOLTAGES = (0.25, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0, 1.2)
+
+#: Voltage points are independent work units; REPRO_SIM_JOBS sweeps them in
+#: parallel (results are identical for every value, so CI may raise it).
+SWEEP_JOBS = int(os.environ.get("REPRO_SIM_JOBS", "1"))
 
 
 def test_figure3_voltage_sweep(benchmark, small_workload, full_diffusion):
@@ -33,6 +35,8 @@ def test_figure3_voltage_sweep(benchmark, small_workload, full_diffusion):
             "voltages": SWEEP_VOLTAGES,
             "library": full_diffusion,
             "operands_per_point": 4,
+            "backend": "batch",
+            "jobs": SWEEP_JOBS,
         },
         rounds=1,
         iterations=1,

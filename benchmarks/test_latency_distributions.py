@@ -15,47 +15,20 @@ noisy-XOR workload:
 
 from __future__ import annotations
 
-import pytest
-
 from repro.analysis import (
     format_histogram,
     latency_histogram,
     latency_vs_decision_depth,
     mean_latency_by_depth,
-    measure_dual_rail,
     operand_distributions,
+    run_latency_distribution,
 )
-from repro.core import compute_grace_period, DualRailCircuit
-from repro.datapath import DualRailDatapath
-from repro.sim import DualRailEnvironment, GateLevelSimulator
-from repro.synth import synthesize
-
-
-def _simulate_with_results(workload, library):
-    datapath = DualRailDatapath(workload.config, library=library)
-    synthesis = synthesize(datapath.circuit.netlist, library, enforce_unate=True)
-    circuit = DualRailCircuit(
-        netlist=synthesis.netlist,
-        inputs=datapath.circuit.inputs,
-        outputs=datapath.circuit.outputs,
-        one_of_n_outputs=datapath.circuit.one_of_n_outputs,
-        done_net=datapath.circuit.done_net,
-    )
-    grace = compute_grace_period(circuit, library)
-    simulator = GateLevelSimulator(circuit.netlist, library)
-    environment = DualRailEnvironment(circuit, simulator, grace_period=grace.td)
-    environment.reset()
-    results = []
-    for features in workload.feature_vectors:
-        results.append(environment.infer(
-            datapath.operand_assignments(features, workload.exclude)))
-    return results
 
 
 def test_operand_and_latency_distributions(benchmark, small_workload, umc):
     workload = small_workload
     results = benchmark.pedantic(
-        _simulate_with_results, args=(workload, umc), rounds=1, iterations=1
+        run_latency_distribution, args=(workload, umc), rounds=1, iterations=1
     )
 
     width = workload.config.count_width

@@ -18,17 +18,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.circuits import umc_ll_library
-from repro.core import (
-    DualRailBuilder,
-    SpacerPolarity,
-    add_completion_detection,
-    completion_overhead_area,
-    compute_grace_period,
-)
+from repro.analysis import run_reduced_cd_comparison
+from repro.core import DualRailBuilder, SpacerPolarity
 from repro.datapath import (
     DatapathConfig,
-    build_dual_rail_datapath,
     dual_rail_clause,
     dual_rail_popcount8,
 )
@@ -39,47 +32,26 @@ from repro.synth import area_report
 CONFIG = DatapathConfig(num_features=4, clauses_per_polarity=8)
 
 
-def _datapath_with_cd(scheme):
-    config = DatapathConfig(num_features=CONFIG.num_features,
-                            clauses_per_polarity=CONFIG.clauses_per_polarity,
-                            completion=scheme)
-    return build_dual_rail_datapath(config)
-
-
-def _popcount_block_with_cd(scheme, library):
-    """A multi-output dual-rail block (8-input counter) with the chosen CD scheme."""
-    builder = DualRailBuilder(f"pop_cd_{scheme}")
-    inputs = [builder.input_bit(f"x{i}") for i in range(8)]
-    bits = dual_rail_popcount8(builder, inputs)
-    for i, bit in enumerate(bits):
-        builder.output_bit(f"y{i}", builder.align_polarity(bit, SpacerPolarity.ALL_ZERO))
-    circuit = builder.build()
-    add_completion_detection(circuit, scheme=scheme)
-    return circuit
-
-
 def test_reduced_vs_full_completion_overhead(benchmark, umc):
-    reduced_dp = benchmark.pedantic(_datapath_with_cd, args=("reduced",), rounds=1, iterations=1)
-    full_dp = _datapath_with_cd("full")
+    comparison = benchmark.pedantic(
+        run_reduced_cd_comparison,
+        kwargs={"library": umc, "config": CONFIG},
+        rounds=1, iterations=1,
+    )
 
     # On the full datapath (a single 1-of-3 output) both schemes are tiny;
     # the cell-count relation must still hold.
-    reduced_info = reduced_dp.metadata["completion"]
-    full_info = full_dp.metadata["completion"]
-    assert reduced_info.total_cells <= full_info.total_cells
+    assert comparison.datapath_reduced_cells <= comparison.datapath_full_cells
 
-    # On a multi-output block (the 4-bit population counter) the reduced
+    # On a multi-output block (the 8-input population counter) the reduced
     # scheme's AND-tree aggregation is strictly cheaper than the C-element
     # tree of full output completion detection.
-    reduced_pop = _popcount_block_with_cd("reduced", umc)
-    full_pop = _popcount_block_with_cd("full", umc)
-    reduced_area = completion_overhead_area(reduced_pop, umc)
-    full_area = completion_overhead_area(full_pop, umc)
     print(f"\nCompletion-detection overhead (4-output counter): "
-          f"reduced={reduced_area:.1f} um^2, full={full_area:.1f} um^2")
-    assert reduced_area < full_area
+          f"reduced={comparison.block_reduced_area_um2:.1f} um^2, "
+          f"full={comparison.block_full_area_um2:.1f} um^2")
+    assert comparison.block_reduced_area_um2 < comparison.block_full_area_um2
 
-    grace = compute_grace_period(reduced_dp, umc)
+    grace = comparison.grace
     print(f"Grace period: t_int={grace.t_int:.1f} ps, t_io={grace.t_io:.1f} ps, "
           f"td={grace.td:.1f} ps, t_done_fall={grace.t_done_fall:.1f} ps")
     assert grace.t_io > 0

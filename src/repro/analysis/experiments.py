@@ -7,11 +7,31 @@ designs the same way:
 * :func:`measure_dual_rail` — build, map, and simulate the dual-rail
   datapath for a workload; returns latency/power/area/correctness figures.
 * :func:`measure_single_rail` — the same for the clocked baseline.
+* :func:`functional_sweep` — decisions + switching activity only, through
+  the vectorized batch backend (no timing, orders of magnitude faster).
 * :func:`run_table1` — both designs on both libraries → Table-I rows.
 * :func:`run_figure3` — the dual-rail design on the subthreshold library
   across the 0.25–1.2 V supply range → Figure-3 points.
+* :func:`run_latency_distribution` — the per-operand latency stream behind
+  the latency-distribution analysis (contribution 2).
+* :func:`run_reduced_cd_comparison` — reduced vs full completion detection.
 * :func:`default_workload` — a trained-Tsetlin-machine workload (noisy-XOR)
   with the exclude matrix and feature stream the experiments run on.
+
+Backends and parallelism
+------------------------
+The sweep harnesses accept ``backend=`` and ``jobs=`` arguments:
+
+* ``backend="event"`` (default) is the seed behaviour: every quantity comes
+  from the timing-accurate event-driven simulation.
+* ``backend="batch"`` obtains the *functional* quantities (verdicts,
+  decisions, correctness) from the vectorized batch backend while all timing
+  quantities (latency, grace, power windows) still come from the event
+  simulation — so the numbers are identical to the event path, by
+  construction and by test.
+* ``jobs=N`` fans independent work units (voltage points, library×design
+  measurements, operand chunks) out over :func:`repro.analysis.runner.run_parallel`;
+  results are deterministic and identical for every ``jobs`` value.
 """
 
 from __future__ import annotations
@@ -23,9 +43,15 @@ import numpy as np
 
 from repro.circuits.library import CellLibrary, default_libraries, full_diffusion_library
 from repro.core.completion import GracePeriod, compute_grace_period
-from repro.core.dual_rail import DualRailCircuit
-from repro.datapath.datapath import DatapathConfig, DualRailDatapath
+from repro.core.dual_rail import DualRailCircuit, OneOfNSignal
+from repro.datapath.datapath import (
+    DatapathConfig,
+    DualRailDatapath,
+    VERDICT_LABELS,
+    feature_input_name,
+)
 from repro.datapath.sync_datapath import SingleRailDatapath
+from repro.sim.backends import ArrayBatchResult, BatchBackend
 from repro.sim.handshake import DualRailEnvironment, SynchronousEnvironment
 from repro.sim.monitors import ForbiddenStateMonitor, MonotonicityMonitor
 from repro.sim.power import PowerAccountant, PowerReport
@@ -37,8 +63,23 @@ from repro.tm.machine import TsetlinMachine
 from repro.tm.datasets import noisy_xor
 
 from .latency import LatencySummary, summarize_latencies
+from .runner import run_parallel
 from .tables import Figure3Point, Table1Row
 from .throughput import dual_rail_throughput, synchronous_throughput
+
+#: Backends the experiment harnesses can schedule.  Deliberately a subset of
+#: :func:`repro.sim.backends.available_backends`: the harness must know which
+#: quantities each backend can produce (timing always stays event-driven), so
+#: a backend registered with the generic registry is not automatically usable
+#: here.
+EXPERIMENT_BACKENDS = ("event", "batch")
+
+
+def _check_backend(backend: str) -> None:
+    if backend not in EXPERIMENT_BACKENDS:
+        raise ValueError(
+            f"unknown experiment backend {backend!r}; expected one of {EXPERIMENT_BACKENDS}"
+        )
 
 
 @dataclass
@@ -169,13 +210,197 @@ def _mapped_circuit(circuit: DualRailCircuit, synthesis: SynthesisResult) -> Dua
     )
 
 
+@dataclass
+class FunctionalSweep:
+    """Functional-only result of pushing a workload through a backend.
+
+    Produced by :func:`functional_sweep`; carries everything Table-I style
+    correctness accounting and batch energy estimation need, but no timing
+    (use :func:`measure_dual_rail` when latency matters).
+    """
+
+    library: str
+    backend: str
+    samples: int
+    verdicts: List[str]
+    decisions: List[int]
+    correctness: float
+    activity_by_cell_type: Dict[str, int] = field(default_factory=dict)
+    energy_per_inference_fj: float = 0.0
+
+
+def workload_input_planes(
+    circuit: DualRailCircuit, datapath: DualRailDatapath, workload: Workload
+) -> Dict[str, np.ndarray]:
+    """Per-rail input arrays for the whole operand stream of *workload*.
+
+    Feature inputs vary per sample (column *m* of the feature matrix);
+    exclude inputs are constant across the stream, so they broadcast from
+    the first operand's assignment.  That broadcast assumption is checked
+    against the last operand — if any non-feature input ever varied over the
+    stream, this raises instead of silently computing wrong batch verdicts.
+    """
+    features = np.asarray(workload.feature_vectors, dtype=np.uint8)
+    samples = features.shape[0]
+    if samples == 0:
+        # Zero-length planes give a well-formed empty sweep downstream.
+        empty = np.zeros(0, dtype=np.uint8)
+        return {rail: empty for sig in circuit.inputs for rail in sig.rails()}
+    constants = datapath.operand_assignments(workload.feature_vectors[0], workload.exclude)
+    if samples > 1:
+        check = datapath.operand_assignments(workload.feature_vectors[-1], workload.exclude)
+        feature_names = {
+            feature_input_name(m) for m in range(workload.config.num_features)
+        }
+        varying = [name for name, value in constants.items()
+                   if name not in feature_names and check[name] != value]
+        if varying:
+            raise ValueError(
+                f"non-feature inputs vary across the operand stream "
+                f"(e.g. {varying[:3]}); the batch plane broadcast would be wrong"
+            )
+    feature_index = {
+        feature_input_name(m): m for m in range(workload.config.num_features)
+    }
+    planes: Dict[str, np.ndarray] = {}
+    for sig in circuit.inputs:
+        if sig.name in feature_index:
+            bits = features[:, feature_index[sig.name]]
+        else:
+            bits = np.full(samples, int(constants[sig.name]), dtype=np.uint8)
+        # encode_bit: the pos rail carries the bit, the neg rail its complement.
+        planes[sig.pos] = bits
+        planes[sig.neg] = (1 - bits).astype(np.uint8)
+    return planes
+
+
+def _spacer_assignments(circuit: DualRailCircuit) -> Dict[str, int]:
+    """The all-spacer input word (the rest state activity is counted from)."""
+    spacer: Dict[str, int] = {}
+    for sig in circuit.inputs:
+        value = sig.polarity.spacer_rail_value
+        spacer[sig.pos] = value
+        spacer[sig.neg] = value
+    return spacer
+
+
+def _decode_verdict_planes(result: ArrayBatchResult, sig: OneOfNSignal) -> List[str]:
+    """Vectorized 1-of-n decode of the verdict rails over a whole batch."""
+    rails = np.stack([result.values[rail] for rail in sig.rails])
+    if np.any(rails > 1):
+        raise ValueError(f"1-of-n output {sig.name!r} carries unknown values")
+    active = rails != sig.polarity.spacer_rail_value
+    active_counts = active.sum(axis=0)
+    if np.any(active_counts != 1):
+        bad = int(np.argmax(active_counts != 1))
+        raise ValueError(
+            f"invalid 1-of-{len(sig.rails)} codeword for sample {bad}: "
+            f"{[int(v) for v in rails[:, bad]]}"
+        )
+    indices = active.argmax(axis=0)
+    return [sig.labels[int(i)] for i in indices]
+
+
+def _batch_functional_pass(
+    datapath: DualRailDatapath,
+    circuit: DualRailCircuit,
+    workload: Workload,
+    library: CellLibrary,
+    vdd: Optional[float] = None,
+    with_activity: bool = True,
+) -> FunctionalSweep:
+    """Run the whole operand stream through the batch backend at once.
+
+    ``with_activity=False`` skips the spacer-baseline evaluation and energy
+    pricing — the right mode when only verdicts are wanted (e.g. when the
+    event simulation is computing power anyway).
+    """
+    backend = BatchBackend(circuit.netlist, library, vdd=vdd)
+    planes = workload_input_planes(circuit, datapath, workload)
+    baseline = _spacer_assignments(circuit) if with_activity else None
+    result = backend.run_arrays(planes, baseline=baseline)
+    verdict_sig = next(
+        sig for sig in circuit.one_of_n_outputs if tuple(sig.labels) == VERDICT_LABELS
+    )
+    verdicts = _decode_verdict_planes(result, verdict_sig)
+    decisions = [DualRailDatapath.decision_from_verdict(v) for v in verdicts]
+    golden = [workload.model.decision(f) for f in workload.feature_vectors]
+    correct = sum(1 for d, g in zip(decisions, golden) if d == g)
+    if with_activity:
+        accountant = PowerAccountant(circuit.netlist, library, vdd=vdd)
+        energy = accountant.energy_from_activity(result.activity_by_cell_type)
+    else:
+        energy = None
+    samples = len(verdicts)
+    return FunctionalSweep(
+        library=library.name,
+        backend="batch",
+        samples=samples,
+        verdicts=verdicts,
+        decisions=decisions,
+        correctness=correct / samples if samples else 0.0,
+        activity_by_cell_type=result.activity_by_cell_type,
+        energy_per_inference_fj=(
+            energy.total_fj / samples if energy is not None and samples else 0.0
+        ),
+    )
+
+
+def functional_sweep(
+    workload: Workload,
+    library: Optional[CellLibrary] = None,
+    vdd: Optional[float] = None,
+    synthesize_netlist: bool = True,
+) -> FunctionalSweep:
+    """Decisions, verdicts and switching activity for a workload — no timing.
+
+    This is the fast path for correctness sweeps and energy estimation over
+    large operand streams: the whole stream is evaluated in one vectorized
+    pass through the batch backend (see the ``BENCH_sim.json`` numbers for
+    the samples/sec gap versus the event backend).
+
+    Parameters
+    ----------
+    synthesize_netlist:
+        When ``True`` (default) the technology-mapped netlist is evaluated —
+        the same netlist :func:`measure_dual_rail` simulates; ``False`` skips
+        synthesis and evaluates the as-built netlist (faster setup, same
+        functional results).
+    """
+    library = library if library is not None else full_diffusion_library()
+    datapath = DualRailDatapath(workload.config, library=library)
+    circuit = datapath.circuit
+    if synthesize_netlist:
+        synthesis = synthesize(
+            circuit.netlist, library, vdd=vdd, clocked=False, enforce_unate=True
+        )
+        circuit = _mapped_circuit(circuit, synthesis)
+    return _batch_functional_pass(datapath, circuit, workload, library, vdd=vdd)
+
+
 def measure_dual_rail(
     workload: Workload,
     library: CellLibrary,
     vdd: Optional[float] = None,
     check_monotonic: bool = True,
+    backend: str = "event",
 ) -> DualRailMeasurement:
-    """Build, synthesise and simulate the dual-rail datapath on *workload*."""
+    """Build, synthesise and simulate the dual-rail datapath on *workload*.
+
+    With ``backend="batch"`` the verdicts and correctness come from the
+    vectorized batch backend (one pass over the whole operand stream) while
+    every timing quantity — latency, reset times, grace period, power
+    windows — still comes from the event-driven simulation, as timing must.
+    Both backends settle to identical values net-for-net, so the returned
+    measurement is numerically identical either way.
+
+    Note that this makes ``backend="batch"`` a *decision source and live
+    cross-check*, not a speed optimisation: the event loop still simulates
+    every operand for the timing columns, and the vectorized pass is a small
+    additional cost.  The wall-clock levers are ``jobs=`` on the sweep
+    harnesses and :func:`functional_sweep` when no timing is needed.
+    """
+    _check_backend(backend)
     datapath = DualRailDatapath(workload.config, library=library)
     synthesis = synthesize(
         datapath.circuit.netlist, library, vdd=vdd, clocked=False, enforce_unate=True
@@ -199,11 +424,23 @@ def measure_dual_rail(
     results = []
     correct = 0
     verdicts: List[str] = []
-    for features in workload.feature_vectors:
+    functional: Optional[FunctionalSweep] = None
+    if backend == "batch":
+        # One vectorized pass answers every functional question; the event
+        # loop below is then purely for the timing quantities.  Activity and
+        # energy come from the event transition log here, so the batch pass
+        # skips its own (with_activity=False).
+        functional = _batch_functional_pass(
+            datapath, circuit, workload, library, vdd=vdd, with_activity=False
+        )
+    for index, features in enumerate(workload.feature_vectors):
         assignments = datapath.operand_assignments(features, workload.exclude)
         result = environment.infer(assignments)
         results.append(result)
-        verdict = DualRailDatapath.decode_verdict(result.one_of_n_outputs)
+        if functional is not None:
+            verdict = functional.verdicts[index]
+        else:
+            verdict = DualRailDatapath.decode_verdict(result.one_of_n_outputs)
         verdicts.append(verdict)
         decision = DualRailDatapath.decision_from_verdict(verdict)
         if decision == workload.model.decision(features):
@@ -316,27 +553,66 @@ def single_rail_table_row(measurement: SingleRailMeasurement) -> Table1Row:
     )
 
 
+def _table1_worker(item: Tuple[Workload, CellLibrary, str, str]) -> object:
+    """Process-pool work unit of :func:`run_table1`: one library × design."""
+    workload, library, design, backend = item
+    if design == "single-rail":
+        return measure_single_rail(workload, library)
+    return measure_dual_rail(workload, library, backend=backend)
+
+
 def run_table1(
     workload: Optional[Workload] = None,
     libraries: Optional[Sequence[CellLibrary]] = None,
+    backend: str = "event",
+    jobs: int = 1,
 ) -> Tuple[List[Table1Row], Dict[str, object]]:
     """Reproduce Table I: single-rail vs dual-rail on both libraries.
 
     Returns the table rows plus the raw measurement objects keyed by
-    ``"<library>/<design>"`` for deeper inspection.
+    ``"<library>/<design>"`` for deeper inspection.  The four measurements
+    are independent work units, so ``jobs=4`` runs them concurrently; the
+    single-rail baseline is clocked (flip-flops) and therefore always uses
+    the event backend regardless of *backend*.
     """
+    _check_backend(backend)
     workload = workload if workload is not None else default_workload()
     libs = list(libraries) if libraries is not None else list(default_libraries().values())
+    items = []
+    for library in libs:
+        items.append((workload, library, "single-rail", backend))
+        items.append((workload, library, "dual-rail", backend))
+    measurements = run_parallel(_table1_worker, items, jobs=jobs)
     rows: List[Table1Row] = []
     raw: Dict[str, object] = {}
-    for library in libs:
-        single = measure_single_rail(workload, library)
-        dual = measure_dual_rail(workload, library)
-        rows.append(single_rail_table_row(single))
-        rows.append(dual_rail_table_row(dual))
-        raw[f"{library.name}/single-rail"] = single
-        raw[f"{library.name}/dual-rail"] = dual
+    for (workload, library, design, _backend), measurement in zip(items, measurements):
+        if design == "single-rail":
+            rows.append(single_rail_table_row(measurement))
+        else:
+            rows.append(dual_rail_table_row(measurement))
+        raw[f"{library.name}/{design}"] = measurement
     return rows, raw
+
+
+def _figure3_worker(
+    item: Tuple[Workload, CellLibrary, float, str]
+) -> Figure3Point:
+    """Process-pool work unit of :func:`run_figure3`: one voltage point."""
+    workload, library, vdd, backend = item
+    if not library.voltage_model.is_functional(vdd):
+        return Figure3Point(vdd=vdd, avg_latency_ps=float("nan"),
+                            max_latency_ps=float("nan"),
+                            functional=False, correct=False)
+    measurement = measure_dual_rail(
+        workload, library, vdd=vdd, check_monotonic=False, backend=backend
+    )
+    return Figure3Point(
+        vdd=vdd,
+        avg_latency_ps=measurement.latency.average,
+        max_latency_ps=measurement.latency.maximum,
+        functional=True,
+        correct=measurement.correctness == 1.0,
+    )
 
 
 def run_figure3(
@@ -344,39 +620,180 @@ def run_figure3(
     voltages: Sequence[float] = FIGURE3_VOLTAGES,
     library: Optional[CellLibrary] = None,
     operands_per_point: Optional[int] = None,
+    backend: str = "event",
+    jobs: int = 1,
 ) -> List[Figure3Point]:
     """Reproduce Figure 3: dual-rail latency versus supply voltage.
 
     The dual-rail datapath is simulated on the subthreshold-capable
     FULL DIFFUSION library at every supply point; functional correctness is
     checked at each voltage (the paper's headline robustness claim).
+
+    Every voltage point is an independent work unit: ``jobs=N`` sweeps N
+    supplies concurrently with identical results — that is the wall-clock
+    lever.  ``backend="batch"`` sources the per-point correctness check from
+    the vectorized backend as a live cross-check (latencies stay
+    event-driven — they are what the figure plots — so this knob does not
+    make a point cheaper).
     """
+    _check_backend(backend)
     workload = workload if workload is not None else default_workload(num_operands=12)
     library = library if library is not None else full_diffusion_library()
-    points: List[Figure3Point] = []
-    for vdd in voltages:
-        if not library.voltage_model.is_functional(vdd):
-            points.append(Figure3Point(vdd=vdd, avg_latency_ps=float("nan"),
-                                       max_latency_ps=float("nan"),
-                                       functional=False, correct=False))
-            continue
-        sub_workload = workload
-        if operands_per_point is not None and operands_per_point < workload.num_operands:
-            sub_workload = Workload(
-                config=workload.config,
-                exclude=workload.exclude,
-                feature_vectors=workload.feature_vectors[:operands_per_point],
-                model=workload.model,
-                description=workload.description,
-            )
-        measurement = measure_dual_rail(sub_workload, library, vdd=vdd, check_monotonic=False)
-        points.append(
-            Figure3Point(
-                vdd=vdd,
-                avg_latency_ps=measurement.latency.average,
-                max_latency_ps=measurement.latency.maximum,
-                functional=True,
-                correct=measurement.correctness == 1.0,
-            )
+    sub_workload = workload
+    if operands_per_point is not None and operands_per_point < workload.num_operands:
+        sub_workload = Workload(
+            config=workload.config,
+            exclude=workload.exclude,
+            feature_vectors=workload.feature_vectors[:operands_per_point],
+            model=workload.model,
+            description=workload.description,
         )
-    return points
+    items = [(sub_workload, library, float(vdd), backend) for vdd in voltages]
+    return run_parallel(_figure3_worker, items, jobs=jobs)
+
+
+def _latency_chunk_worker(
+    item: Tuple[Workload, CellLibrary, Optional[float], np.ndarray]
+) -> List[object]:
+    """Work unit of :func:`run_latency_distribution`: one operand chunk.
+
+    Builds a private datapath + simulator (work units share nothing, so any
+    chunking gives identical per-operand measurements: every inference
+    starts from the fully-settled spacer state).
+    """
+    workload, library, vdd, chunk_features = item
+    datapath = DualRailDatapath(workload.config, library=library)
+    synthesis = synthesize(
+        datapath.circuit.netlist, library, vdd=vdd, clocked=False, enforce_unate=True
+    )
+    circuit = _mapped_circuit(datapath.circuit, synthesis)
+    grace = compute_grace_period(circuit, library, vdd=vdd)
+    simulator = GateLevelSimulator(circuit.netlist, library, vdd=vdd)
+    environment = DualRailEnvironment(circuit, simulator, grace_period=grace.td)
+    environment.reset()
+    results = []
+    for features in chunk_features:
+        assignments = datapath.operand_assignments(features, workload.exclude)
+        results.append(environment.infer(assignments))
+    return results
+
+
+#: Default operands per latency-distribution chunk.  A *constant* (rather
+#: than an even split across ``jobs``) so that chunk boundaries — and hence
+#: the absolute simulation time of every operand — are identical for every
+#: ``jobs`` value, making the parallel sweep bit-reproducible.  Each chunk
+#: pays one datapath build + synthesis, so the default is sized to cover the
+#: paper-scale streams (<= 64 operands) in a single chunk — serial runs cost
+#: exactly what the seed's single-environment loop did; pass a smaller
+#: ``chunk_size`` to trade setup overhead for parallelism on short streams.
+LATENCY_CHUNK_OPERANDS = 64
+
+
+def run_latency_distribution(
+    workload: Workload,
+    library: CellLibrary,
+    vdd: Optional[float] = None,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+) -> List[object]:
+    """Per-operand dual-rail inference results for distribution analysis.
+
+    Returns one :class:`~repro.sim.handshake.DualRailInferenceResult` per
+    operand, in stream order — the input to ``latency_histogram`` and
+    friends.  The stream is split into chunks of *chunk_size* operands
+    (default :data:`LATENCY_CHUNK_OPERANDS`); each chunk simulates on its
+    own datapath instance.  Chunk boundaries depend only on *chunk_size* —
+    never on *jobs* — so ``jobs=1`` and ``jobs=N`` return bit-identical
+    measurements (operands land at the same absolute simulation times).
+    """
+    features = list(workload.feature_vectors)
+    if not features:
+        return []
+    if chunk_size is None:
+        chunk_size = LATENCY_CHUNK_OPERANDS
+    chunks = [
+        np.asarray(features[start: start + chunk_size])
+        for start in range(0, len(features), chunk_size)
+    ]
+    items = [(workload, library, vdd, chunk) for chunk in chunks]
+    nested = run_parallel(_latency_chunk_worker, items, jobs=jobs)
+    return [result for chunk_results in nested for result in chunk_results]
+
+
+@dataclass
+class ReducedCDComparison:
+    """Reduced vs full completion detection, quantified (Section III-A).
+
+    ``datapath_*_cells`` compare the schemes on the full inference datapath
+    (a single 1-of-3 output, where both are tiny); ``block_*_area_um2``
+    compare them on a multi-output block (the 8-input population counter),
+    where the reduced scheme's AND-tree aggregation beats the C-element
+    tree.  ``grace`` carries the timing-assumption numbers
+    ``td = t_int − t_io`` and ``t_done(1→0)``.
+    """
+
+    datapath_reduced_cells: int
+    datapath_full_cells: int
+    block_reduced_area_um2: float
+    block_full_area_um2: float
+    grace: GracePeriod
+
+
+def _cd_scheme_worker(
+    item: Tuple[str, CellLibrary, DatapathConfig]
+) -> Tuple[int, float, Optional[GracePeriod]]:
+    """Work unit of :func:`run_reduced_cd_comparison`: one CD scheme.
+
+    Returns the datapath completion cell count, the popcount-block CD area
+    overhead, and — for the reduced scheme, whose timing assumption needs
+    it — the grace period of the datapath just built.
+    """
+    from repro.core.completion import add_completion_detection, completion_overhead_area
+    from repro.core.dual_rail import DualRailBuilder, SpacerPolarity
+    from repro.datapath.popcount import dual_rail_popcount8
+
+    scheme, library, config = item
+    datapath_config = DatapathConfig(
+        num_features=config.num_features,
+        clauses_per_polarity=config.clauses_per_polarity,
+        completion=scheme,
+    )
+    datapath = DualRailDatapath(datapath_config, library=library)
+    info = datapath.circuit.metadata["completion"]
+    grace = compute_grace_period(datapath.circuit, library) if scheme == "reduced" else None
+
+    builder = DualRailBuilder(f"pop_cd_{scheme}")
+    inputs = [builder.input_bit(f"x{i}") for i in range(8)]
+    bits = dual_rail_popcount8(builder, inputs)
+    for i, bit in enumerate(bits):
+        builder.output_bit(f"y{i}", builder.align_polarity(bit, SpacerPolarity.ALL_ZERO))
+    block = builder.build()
+    add_completion_detection(block, scheme=scheme)
+    return info.total_cells, completion_overhead_area(block, library), grace
+
+
+def run_reduced_cd_comparison(
+    library: Optional[CellLibrary] = None,
+    config: Optional[DatapathConfig] = None,
+    jobs: int = 1,
+) -> ReducedCDComparison:
+    """Quantify the reduced completion-detection proposal against full CD.
+
+    The two schemes are independent work units (``jobs=2`` builds them
+    concurrently); the returned grace period is computed for the reduced
+    scheme, which is the one whose timing assumption needs it.
+    """
+    library = library if library is not None else default_libraries()["UMC LL"]
+    config = config if config is not None else DatapathConfig(num_features=4,
+                                                              clauses_per_polarity=8)
+    items = [("reduced", library, config), ("full", library, config)]
+    (reduced_cells, reduced_area, grace), (full_cells, full_area, _) = run_parallel(
+        _cd_scheme_worker, items, jobs=jobs
+    )
+    return ReducedCDComparison(
+        datapath_reduced_cells=reduced_cells,
+        datapath_full_cells=full_cells,
+        block_reduced_area_um2=reduced_area,
+        block_full_area_um2=full_area,
+        grace=grace,
+    )

@@ -24,6 +24,7 @@ from .gates import (
     is_sequential,
     is_unate,
 )
+from .levelize import combinational_depth, levelize
 from .library import (
     CellLibrary,
     CellModel,
@@ -62,6 +63,7 @@ __all__ = [
     "check_no_combinational_loops",
     "check_structure",
     "check_unate_only",
+    "combinational_depth",
     "default_libraries",
     "evaluate_gate",
     "find_c_elements",
@@ -71,6 +73,7 @@ __all__ = [
     "is_inverting",
     "is_sequential",
     "is_unate",
+    "levelize",
     "merge_netlists",
     "umc_ll_library",
     "validate_dual_rail_netlist",

@@ -169,7 +169,6 @@ class LogicBuilder:
 
     def dff(self, d: str, ck: str, output: Optional[str] = None, name: Optional[str] = None) -> str:
         """Positive-edge D flip-flop (synchronous baseline register)."""
-        spec = gate_spec("DFF")
         out = output if output is not None else self.fresh_net("q")
         self.netlist.add_cell(
             "DFF",

@@ -23,7 +23,7 @@ are still at spacer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 LogicValue = Optional[int]  # 0, 1, or None for unknown (X)
 

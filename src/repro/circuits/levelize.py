@@ -1,0 +1,75 @@
+"""Netlist levelization for single-pass (vectorized) evaluation.
+
+The event-driven simulator tolerates any cell ordering because it reacts to
+net changes; a *vectorized* functional backend instead wants the cells
+arranged into **levels**: level 0 cells read only primary inputs (or are
+constants), level *k* cells read only nets driven by levels ``< k``.  A
+whole batch of input vectors can then be pushed through the netlist with one
+NumPy evaluation per cell, visiting each cell exactly once.
+
+Levelization is only defined for acyclic netlists.  Self-loops (a cell
+reading its own output, as cross-coupled structures do) and combinational
+cycles raise :class:`~repro.circuits.netlist.NetlistError` — such designs
+must use the event-driven backend.  C-elements whose inputs all come from
+upstream levels (the dual-rail input-latch idiom, where both C inputs are
+tied to the same rail) levelize fine and evaluate deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .netlist import Cell, Netlist, NetlistError
+
+
+def levelize(netlist: Netlist) -> List[List[Cell]]:
+    """Partition *netlist*'s cells into topological levels.
+
+    Returns a list of levels; each level is a list of cells (sorted by name
+    for determinism) whose input nets are all primary inputs or outputs of
+    earlier levels.  Raises :class:`NetlistError` when the netlist contains
+    a combinational cycle or a self-loop and therefore cannot be levelized.
+    """
+    in_degree: Dict[str, int] = {}
+    dependents: Dict[str, List[str]] = {name: [] for name in netlist.cells}
+    for cell in netlist.cells.values():
+        deg = 0
+        for net_name in cell.inputs.values():
+            net = netlist.nets[net_name]
+            if net.driver is None:
+                continue
+            driver_cell = net.driver[0]
+            if driver_cell == cell.name:
+                raise NetlistError(
+                    f"cell {cell.name!r} reads its own output net {net_name!r}; "
+                    "self-loops cannot be levelized"
+                )
+            dependents[driver_cell].append(cell.name)
+            deg += 1
+        in_degree[cell.name] = deg
+
+    current = sorted(name for name, deg in in_degree.items() if deg == 0)
+    levels: List[List[Cell]] = []
+    emitted = 0
+    while current:
+        levels.append([netlist.cells[name] for name in current])
+        emitted += len(current)
+        ready: List[str] = []
+        for name in current:
+            for dep in dependents[name]:
+                in_degree[dep] -= 1
+                if in_degree[dep] == 0:
+                    ready.append(dep)
+        current = sorted(set(ready))
+    if emitted != len(netlist.cells):
+        stuck = sorted(name for name, deg in in_degree.items() if deg > 0)
+        raise NetlistError(
+            f"netlist {netlist.name!r} contains a combinational cycle through "
+            f"{len(stuck)} cell(s) (e.g. {stuck[:4]}); it cannot be levelized"
+        )
+    return levels
+
+
+def combinational_depth(netlist: Netlist) -> int:
+    """Number of levels of :func:`levelize` (0 for an empty netlist)."""
+    return len(levelize(netlist))

@@ -32,7 +32,7 @@ subthreshold model), which is what produces the Figure-3 latency curve.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
 from .gates import GATE_REGISTRY, gate_spec

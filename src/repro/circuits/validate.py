@@ -21,9 +21,9 @@ grace periods) are monitored during simulation by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
-from .gates import gate_spec, is_sequential, is_unate
+from .gates import is_sequential, is_unate
 from .library import CellLibrary
 from .netlist import Netlist
 

@@ -28,11 +28,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.circuits.builder import LogicBuilder
 from repro.circuits.library import CellLibrary
-from repro.circuits.netlist import Netlist
 
 from .dual_rail import DualRailCircuit, DualRailSignal, OneOfNSignal, SpacerPolarity
 

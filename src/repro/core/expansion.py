@@ -36,7 +36,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.circuits.gates import gate_spec
-from repro.circuits.netlist import Netlist, NetlistError
+from repro.circuits.netlist import Netlist
 
 from .dual_rail import DualRailBuilder, DualRailCircuit, DualRailSignal, SpacerPolarity
 

@@ -21,9 +21,9 @@ the constructed datapaths are consistent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
-from repro.circuits.gates import is_inverting, is_sequential
+from repro.circuits.gates import is_inverting
 from repro.circuits.netlist import Netlist
 
 from .dual_rail import DualRailCircuit, SpacerPolarity

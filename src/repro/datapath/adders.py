@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from repro.circuits.builder import LogicBuilder
-from repro.core.dual_rail import DualRailBuilder, DualRailSignal, SpacerPolarity
+from repro.core.dual_rail import DualRailBuilder, DualRailSignal
 
 
 @dataclass(frozen=True)

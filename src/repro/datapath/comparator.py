@@ -33,10 +33,10 @@ recurrence is provided for the synchronous baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.circuits.builder import LogicBuilder
-from repro.core.dual_rail import DualRailBuilder, DualRailSignal, SpacerPolarity
+from repro.core.dual_rail import DualRailBuilder, DualRailSignal
 
 
 @dataclass

@@ -22,14 +22,13 @@ the verdict back into a classification.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.circuits.library import CellLibrary
-from repro.core.completion import CompletionInfo, add_completion_detection
+from repro.core.completion import add_completion_detection
 from repro.core.dual_rail import (
     DualRailBuilder,
     DualRailCircuit,

@@ -22,7 +22,7 @@ same role as the two explicit ``spinv`` blocks in the paper's Figure 2.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.circuits.builder import LogicBuilder
 from repro.core.dual_rail import DualRailBuilder, DualRailSignal
@@ -98,7 +98,6 @@ def dual_rail_popcount(
         return dual_rail_popcount8(builder, inputs, name=name)
     width = output_width(len(inputs))
     columns: Dict[int, List[DualRailSignal]] = {0: list(inputs)}
-    level = 0
     stage = 0
     while True:
         work_remaining = any(len(col) > 1 for col in columns.values())

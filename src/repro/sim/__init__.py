@@ -10,9 +10,21 @@ Contents:
   requirements (monotonicity, forbidden states, completion ordering);
 * :mod:`repro.sim.power` — switching-activity energy and power accounting;
 * :mod:`repro.sim.sta` — static timing analysis (grace periods, clock period);
-* :mod:`repro.sim.voltage` — supply-voltage sweep machinery (Figure 3).
+* :mod:`repro.sim.voltage` — supply-voltage sweep machinery (Figure 3);
+* :mod:`repro.sim.backends` — pluggable simulation backends: the
+  event-driven reference (``"event"``) and the levelized vectorized batch
+  engine (``"batch"``) behind the fast experiment sweeps.
 """
 
+from .backends import (
+    BackendError,
+    BatchBackend,
+    BatchResult,
+    EventBackend,
+    SimulationBackend,
+    available_backends,
+    get_backend,
+)
 from .events import Event, EventQueue
 from .handshake import (
     DualRailEnvironment,
@@ -49,11 +61,15 @@ from .waveform import NetTrace, Waveform
 
 __all__ = [
     "ActivityCounter",
+    "BackendError",
+    "BatchBackend",
+    "BatchResult",
     "CompletionObserver",
     "DualRailEnvironment",
     "DualRailInferenceResult",
     "EnergyBreakdown",
     "Event",
+    "EventBackend",
     "EventQueue",
     "FIGURE3_VOLTAGES",
     "ForbiddenStateMonitor",
@@ -64,6 +80,7 @@ __all__ = [
     "PowerAccountant",
     "PowerReport",
     "ProtocolViolation",
+    "SimulationBackend",
     "SimulationError",
     "SynchronousCycleResult",
     "SynchronousEnvironment",
@@ -74,8 +91,10 @@ __all__ = [
     "WIRE_CAP_PER_FANOUT_FF",
     "Waveform",
     "arrival_of_nets",
+    "available_backends",
     "delay_scaling_curve",
     "exponential_region_slope",
+    "get_backend",
     "latency_ratio",
     "register_to_register_period",
     "static_timing_analysis",

@@ -1,0 +1,34 @@
+"""Pluggable simulation backends (event-driven vs vectorized batch).
+
+See :mod:`repro.sim.backends.base` for the protocol and the guidance on when
+to use which backend.  Summary:
+
+* ``get_backend("event", netlist, library)`` — timing-accurate event-driven
+  reference (latency, grace periods, waveforms, glitch-accurate power);
+* ``get_backend("batch", netlist, library)`` — levelized NumPy engine for
+  whole batches of input vectors (functional sweeps, correctness checks,
+  cycle-level switching activity) at orders-of-magnitude higher throughput.
+"""
+
+from .base import (
+    BackendError,
+    BatchResult,
+    SimulationBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .batch import ArrayBatchResult, BatchBackend
+from .event import EventBackend
+
+__all__ = [
+    "ArrayBatchResult",
+    "BackendError",
+    "BatchBackend",
+    "BatchResult",
+    "EventBackend",
+    "SimulationBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]

@@ -1,0 +1,140 @@
+"""The pluggable simulation-backend contract.
+
+A *backend* answers the question "what do the nets of this netlist settle to
+for these primary-input assignments?" — possibly for a whole batch of input
+vectors at once, and possibly with per-gate switching-activity counts on the
+side.  Two implementations ship with the repo:
+
+``"event"``
+    :class:`~repro.sim.backends.event.EventBackend` — wraps the timing-
+    accurate event-driven :class:`~repro.sim.simulator.GateLevelSimulator`.
+    Use it whenever *when* something switches matters (latency, grace
+    periods, monotonicity checking, glitch-accurate power).
+
+``"batch"``
+    :class:`~repro.sim.backends.batch.BatchBackend` — levelizes the netlist
+    once and evaluates each cell as a vectorized NumPy operation over the
+    whole sample batch.  Use it whenever only the *functional* outputs and
+    cycle-level transition counts are needed (correctness sweeps, energy
+    estimation, workload statistics); it is orders of magnitude faster.
+
+Backends are looked up by name through :func:`get_backend`, so experiment
+harnesses can take a ``backend="event"|"batch"`` argument without importing
+concrete classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+try:  # Protocol is 3.8+; keep an import guard for exotic interpreters.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - typing_extensions fallback
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+from repro.circuits.gates import LogicValue
+from repro.circuits.library import CellLibrary
+from repro.circuits.netlist import Netlist
+
+
+class BackendError(Exception):
+    """Raised when a backend cannot simulate the given netlist or stimulus."""
+
+
+@dataclass
+class BatchResult:
+    """Outcome of pushing a batch of input vectors through a backend.
+
+    Attributes
+    ----------
+    samples:
+        Number of input vectors evaluated.
+    outputs:
+        Per-sample settled values of the primary outputs:
+        ``outputs[k][net] -> LogicValue`` for sample ``k``.
+    activity_by_cell:
+        Committed output-transition count per cell instance, summed over the
+        batch (the quantity energy estimation needs).
+    activity_by_cell_type:
+        The same activity aggregated by cell type (the granularity
+        :class:`~repro.sim.power.PowerAccountant` prices energy at).
+    net_values:
+        Optional per-net settled values for the whole batch (backends that
+        keep them expose the full matrix for gate-for-gate cross-checking):
+        ``net_values[net][k] -> LogicValue`` for sample ``k``.
+    """
+
+    samples: int
+    outputs: List[Dict[str, LogicValue]]
+    activity_by_cell: Dict[str, int] = field(default_factory=dict)
+    activity_by_cell_type: Dict[str, int] = field(default_factory=dict)
+    net_values: Optional[Dict[str, List[LogicValue]]] = None
+
+    @property
+    def transitions(self) -> int:
+        """Total committed transitions across the batch."""
+        return sum(self.activity_by_cell_type.values())
+
+
+@runtime_checkable
+class SimulationBackend(Protocol):
+    """Structural protocol every simulation backend implements.
+
+    Construction is ``Backend(netlist, library, vdd=None)``; afterwards the
+    backend is reusable across any number of evaluations of that netlist.
+    """
+
+    #: Registry name ("event", "batch", ...).
+    name: str
+
+    def evaluate(self, assignments: Mapping[str, int]) -> Dict[str, LogicValue]:
+        """Settled value of every net for one full primary-input assignment."""
+        ...
+
+    def run_batch(
+        self,
+        batch: Sequence[Mapping[str, int]],
+        baseline: Optional[Mapping[str, int]] = None,
+    ) -> BatchResult:
+        """Evaluate a batch of assignments; see :class:`BatchResult`.
+
+        ``baseline`` is the rest-state assignment transitions are counted
+        against (for spacer-separated dual-rail cycles, the spacer input
+        word); backends that measure transitions directly may ignore it.
+        """
+        ...
+
+
+#: name -> factory(netlist, library, vdd) for the built-in backends.
+_REGISTRY: Dict[str, Callable[..., SimulationBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., SimulationBackend]) -> None:
+    """Register a backend factory under *name* (last registration wins)."""
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> List[str]:
+    """Names of all registered backends, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_backend(
+    name: str,
+    netlist: Netlist,
+    library: CellLibrary,
+    vdd: Optional[float] = None,
+) -> SimulationBackend:
+    """Instantiate the backend registered as *name* for *netlist*."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown simulation backend {name!r}; available: {available_backends()}"
+        ) from None
+    return factory(netlist, library, vdd=vdd)

@@ -1,0 +1,406 @@
+"""Levelized vectorized simulation backend.
+
+:class:`BatchBackend` trades the event simulator's timing fidelity for
+throughput: the netlist is topologically levelized **once** (see
+:mod:`repro.circuits.levelize`), each cell is compiled to a vectorized
+three-valued NumPy operation, and an entire batch of input vectors is pushed
+through every cell exactly once.  Evaluating *B* samples therefore costs one
+NumPy op sequence over ``(B,)`` arrays instead of ``B`` full event-driven
+settles — two to three orders of magnitude faster in practice.
+
+Value encoding
+--------------
+Nets are ``uint8`` arrays over the batch with ``0``, ``1`` and ``2`` (the
+``X``/unknown sentinel).  Every gate uses the same controlling-value
+three-valued semantics as :mod:`repro.circuits.gates`, so the settled values
+match the event backend **gate for gate** (the equivalence tests assert
+this).
+
+Sequential cells
+----------------
+C-elements are evaluated with their *final* input values: all-1 → 1,
+all-0 → 0, otherwise ``X`` (the state a from-scratch event settle would also
+hold).  This is exact for monotonically-settling netlists — which dual-rail
+circuits are by construction (paper Requirement 2) — and for the input-latch
+idiom where both C inputs share one rail.  Clocked flip-flops have no
+single-pass functional meaning, so netlists containing ``DFF`` cells are
+rejected: use the event backend for the synchronous baseline.
+
+Switching activity
+------------------
+For spacer-separated protocols each handshake cycle toggles a cell output
+away from its rest value and back, i.e. **two** committed transitions per
+cell whose valid-phase value differs from its spacer-phase value.  Passing
+the spacer input word as ``baseline`` makes :meth:`BatchBackend.run_arrays`
+count exactly that, giving the per-gate activity that energy estimation
+needs without simulating the return-to-spacer phase.  (Glitches, which the
+event simulator does capture, are not modelled — dual-rail switching is
+glitch-free by monotonicity.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.circuits.gates import LogicValue, gate_spec
+from repro.circuits.levelize import levelize
+from repro.circuits.library import CellLibrary
+from repro.circuits.netlist import Netlist, NetlistError
+
+from .base import BackendError, BatchResult, register_backend
+
+#: Batch-plane encoding of the unknown (``X``) logic value.
+X = np.uint8(2)
+_ZERO = np.uint8(0)
+_ONE = np.uint8(1)
+#: Three-valued NOT as a lookup table over {0, 1, X}.
+_NOT_LUT = np.array([1, 0, 2], dtype=np.uint8)
+
+_ArrayFn = Callable[[List[np.ndarray]], np.ndarray]
+
+
+def _and_arrays(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Vectorized three-valued AND: 0 dominates, all-1 gives 1, else X."""
+    any0 = arrays[0] == 0
+    all1 = arrays[0] == 1
+    for a in arrays[1:]:
+        any0 = any0 | (a == 0)
+        all1 = all1 & (a == 1)
+    return np.where(any0, _ZERO, np.where(all1, _ONE, X)).astype(np.uint8)
+
+
+def _or_arrays(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Vectorized three-valued OR: 1 dominates, all-0 gives 0, else X."""
+    any1 = arrays[0] == 1
+    all0 = arrays[0] == 0
+    for a in arrays[1:]:
+        any1 = any1 | (a == 1)
+        all0 = all0 & (a == 0)
+    return np.where(any1, _ONE, np.where(all0, _ZERO, X)).astype(np.uint8)
+
+
+def _xor_arrays(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Vectorized three-valued XOR: any X poisons the result."""
+    unknown = arrays[0] == X
+    acc = arrays[0].copy()
+    for a in arrays[1:]:
+        unknown = unknown | (a == X)
+        acc = acc ^ a
+    return np.where(unknown, X, acc & 1).astype(np.uint8)
+
+
+def _maj3_arrays(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Vectorized three-valued 3-input majority (controlling 2-of-3)."""
+    ones = (arrays[0] == 1).astype(np.uint8)
+    zeros = (arrays[0] == 0).astype(np.uint8)
+    for a in arrays[1:]:
+        ones = ones + (a == 1)
+        zeros = zeros + (a == 0)
+    return np.where(ones >= 2, _ONE, np.where(zeros >= 2, _ZERO, X)).astype(np.uint8)
+
+
+def _c_element_arrays(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """C-element with final input values: all-1 → 1, all-0 → 0, else X (hold)."""
+    all1 = arrays[0] == 1
+    all0 = arrays[0] == 0
+    for a in arrays[1:]:
+        all1 = all1 & (a == 1)
+        all0 = all0 & (a == 0)
+    return np.where(all1, _ONE, np.where(all0, _ZERO, X)).astype(np.uint8)
+
+
+def _grouped_fn(groups: Tuple[int, ...], inner: _ArrayFn, outer: _ArrayFn,
+                invert: bool) -> _ArrayFn:
+    """Complex-gate evaluator: *inner* per pin group, *outer* across groups."""
+
+    def fn(arrays: List[np.ndarray]) -> np.ndarray:
+        terms: List[np.ndarray] = []
+        idx = 0
+        for width in groups:
+            terms.append(arrays[idx] if width == 1 else inner(arrays[idx: idx + width]))
+            idx += width
+        out = outer(terms)
+        return _NOT_LUT[out] if invert else out
+
+    return fn
+
+
+def _compile_cell_type(cell_type: str) -> _ArrayFn:
+    """Return the vectorized evaluator for *cell_type* (input order = pin order)."""
+    if cell_type == "INV":
+        return lambda arrays: _NOT_LUT[arrays[0]]
+    if cell_type == "BUF":
+        return lambda arrays: arrays[0]
+    if cell_type == "MAJ3":
+        return _maj3_arrays
+    if cell_type == "XOR2":
+        return _xor_arrays
+    if cell_type == "XNOR2":
+        return lambda arrays: _NOT_LUT[_xor_arrays(arrays)]
+    if cell_type.startswith("AND"):
+        return _and_arrays
+    if cell_type.startswith("NAND"):
+        return lambda arrays: _NOT_LUT[_and_arrays(arrays)]
+    if cell_type.startswith("OR"):
+        return _or_arrays
+    if cell_type.startswith("NOR"):
+        return lambda arrays: _NOT_LUT[_or_arrays(arrays)]
+    if cell_type.startswith("C") and cell_type[1:].isdigit():
+        return _c_element_arrays
+    for prefix, inner, outer, invert in (
+        ("AOI", _and_arrays, _or_arrays, True),
+        ("OAI", _or_arrays, _and_arrays, True),
+        ("AO", _and_arrays, _or_arrays, False),
+        ("OA", _or_arrays, _and_arrays, False),
+    ):
+        if cell_type.startswith(prefix) and cell_type[len(prefix):].isdigit():
+            groups = tuple(int(d) for d in cell_type[len(prefix):])
+            return _grouped_fn(groups, inner, outer, invert)
+    raise BackendError(f"batch backend cannot vectorize cell type {cell_type!r}")
+
+
+@dataclass
+class _CellOp:
+    """One compiled cell: pull *in_nets*, apply *fn*, store into *out_net*."""
+
+    cell_name: str
+    cell_type: str
+    in_nets: Tuple[str, ...]
+    out_net: str
+    fn: _ArrayFn
+
+
+@dataclass
+class ArrayBatchResult:
+    """Raw array-plane result of a :meth:`BatchBackend.run_arrays` call.
+
+    ``values[net]`` is the ``(samples,)`` ``uint8`` plane of every net
+    (``2`` encodes X).  This is the zero-copy interface the experiment
+    harnesses decode verdicts from; :class:`~repro.sim.backends.base.BatchResult`
+    is the boxed per-sample view used for protocol-level interop.
+    """
+
+    samples: int
+    values: Dict[str, np.ndarray]
+    activity_by_cell: Dict[str, int] = field(default_factory=dict)
+    activity_by_cell_type: Dict[str, int] = field(default_factory=dict)
+
+    def value_of(self, net: str, sample: int) -> LogicValue:
+        """Decode one net value back into the scalar LogicValue domain."""
+        v = int(self.values[net][sample])
+        return None if v == int(X) else v
+
+    def sample_values(self, sample: int, nets: Sequence[str]) -> Dict[str, LogicValue]:
+        """Scalar values of *nets* for one sample."""
+        return {net: self.value_of(net, sample) for net in nets}
+
+
+class BatchBackend:
+    """Vectorized levelized functional backend (``name="batch"``).
+
+    Parameters
+    ----------
+    netlist:
+        Combinational (levelizable) netlist; may contain C-elements but not
+        flip-flops.
+    library:
+        Accepted for interface parity with the event backend; the batch
+        engine is purely functional, so only :class:`~repro.circuits.library.VoltageModel.is_functional`
+        gating by callers applies.
+    vdd:
+        Recorded for reporting; does not change functional results.
+    """
+
+    name = "batch"
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        library: Optional[CellLibrary] = None,
+        vdd: Optional[float] = None,
+    ) -> None:
+        self.netlist = netlist
+        self.library = library
+        self.vdd = vdd
+        self._constants: List[Tuple[str, int]] = []
+        self._ops: List[_CellOp] = []
+        self._compile()
+
+    # ------------------------------------------------------------- compile
+    def _compile(self) -> None:
+        for cell in self.netlist.iter_cells():
+            if cell.cell_type == "DFF":
+                raise BackendError(
+                    "batch backend does not support clocked netlists (DFF found); "
+                    "use the event backend for the synchronous baseline"
+                )
+        fn_cache: Dict[str, _ArrayFn] = {}
+        try:
+            levels = levelize(self.netlist)
+        except NetlistError as err:
+            raise BackendError(
+                f"batch backend requires a levelizable netlist: {err}; "
+                "use the event backend for cyclic designs"
+            ) from err
+        for level in levels:
+            for cell in level:
+                if cell.cell_type in ("TIE0", "TIE1"):
+                    value = 1 if cell.cell_type == "TIE1" else 0
+                    for net in cell.outputs.values():
+                        self._constants.append((net, value))
+                    continue
+                spec = gate_spec(cell.cell_type)
+                if len(spec.output_pins) != 1:
+                    raise BackendError(
+                        f"batch backend expects single-output cells, got {cell.cell_type!r}"
+                    )
+                fn = fn_cache.get(cell.cell_type)
+                if fn is None:
+                    fn = _compile_cell_type(cell.cell_type)
+                    fn_cache[cell.cell_type] = fn
+                self._ops.append(
+                    _CellOp(
+                        cell_name=cell.name,
+                        cell_type=cell.cell_type,
+                        in_nets=tuple(cell.inputs[pin] for pin in spec.input_pins),
+                        out_net=cell.outputs[spec.output_pins[0]],
+                        fn=fn,
+                    )
+                )
+
+    # ------------------------------------------------------------ planes
+    def _input_planes(
+        self,
+        inputs: Mapping[str, Union[int, np.ndarray, Sequence[int]]],
+    ) -> Tuple[Dict[str, np.ndarray], int]:
+        """Normalize the stimulus into uint8 planes and infer the batch size."""
+        samples: Optional[int] = None
+        for value in inputs.values():
+            if np.ndim(value) > 0:
+                n = int(np.shape(value)[0])
+                if samples is not None and samples != n:
+                    raise BackendError(
+                        f"inconsistent batch sizes in input arrays ({samples} vs {n})"
+                    )
+                samples = n
+        if samples is None:
+            samples = 1
+        planes: Dict[str, np.ndarray] = {}
+        for net, value in inputs.items():
+            if net not in self.netlist.nets:
+                raise KeyError(f"unknown net {net!r}")
+            plane = np.asarray(value, dtype=np.uint8)
+            if plane.ndim == 0:
+                plane = np.full(samples, int(plane), dtype=np.uint8)
+            if np.any(plane > 1):
+                raise BackendError(f"input plane for {net!r} contains non-Boolean values")
+            planes[net] = plane
+        return planes, samples
+
+    def run_arrays(
+        self,
+        inputs: Mapping[str, Union[int, np.ndarray, Sequence[int]]],
+        baseline: Optional[Mapping[str, int]] = None,
+        transitions_per_toggle: int = 2,
+    ) -> ArrayBatchResult:
+        """Push a batch through the netlist; the workhorse entry point.
+
+        Parameters
+        ----------
+        inputs:
+            Primary-input net → per-sample value array (or a scalar,
+            broadcast over the batch).  Unassigned primary inputs evaluate
+            as X, exactly like an undriven input in the event simulator.
+        baseline:
+            Optional rest-state assignment.  When given, it is evaluated
+            once and every cell whose batch value differs from its baseline
+            value contributes ``transitions_per_toggle`` transitions per
+            differing sample (2 models one spacer→valid→spacer handshake).
+        """
+        planes, samples = self._input_planes(inputs)
+        x_plane = np.full(samples, X, dtype=np.uint8)
+        values: Dict[str, np.ndarray] = {}
+        for name in self.netlist.primary_inputs:
+            values[name] = planes.pop(name, x_plane)
+        # Stimulus may also force internal nets that are actually inputs of
+        # sub-blocks under test; remaining planes are applied verbatim.
+        values.update(planes)
+        for net, constant in self._constants:
+            values[net] = np.full(samples, constant, dtype=np.uint8)
+        for op in self._ops:
+            arrays = [values.get(net, x_plane) for net in op.in_nets]
+            values[op.out_net] = op.fn(arrays)
+        for net in self.netlist.nets:
+            if net not in values:
+                values[net] = x_plane
+
+        activity_by_cell: Dict[str, int] = {}
+        activity_by_type: Dict[str, int] = {}
+        if baseline is not None:
+            rest = self.run_arrays(baseline, baseline=None)
+            for op in self._ops:
+                plane = values[op.out_net]
+                rest_value = rest.values[op.out_net][0]
+                toggles = int(np.count_nonzero(
+                    (plane != rest_value) & (plane != X) & (rest_value != X)
+                ))
+                if toggles:
+                    transitions = toggles * transitions_per_toggle
+                    activity_by_cell[op.cell_name] = transitions
+                    activity_by_type[op.cell_type] = (
+                        activity_by_type.get(op.cell_type, 0) + transitions
+                    )
+        return ArrayBatchResult(
+            samples=samples,
+            values=values,
+            activity_by_cell=activity_by_cell,
+            activity_by_cell_type=activity_by_type,
+        )
+
+    # ----------------------------------------------------------- protocol
+    def evaluate(self, assignments: Mapping[str, int]) -> Dict[str, LogicValue]:
+        """Settled value of every net for one primary-input assignment."""
+        result = self.run_arrays(assignments)
+        return {net: result.value_of(net, 0) for net in self.netlist.nets}
+
+    def run_batch(
+        self,
+        batch: Sequence[Mapping[str, int]],
+        baseline: Optional[Mapping[str, int]] = None,
+    ) -> BatchResult:
+        """Protocol-compliant batched evaluation over per-sample mappings."""
+        if not batch:
+            return BatchResult(samples=0, outputs=[])
+        nets = sorted({net for assignments in batch for net in assignments})
+        inputs = {
+            net: np.array([int(assignments[net]) for assignments in batch], dtype=np.uint8)
+            for net in nets
+            if all(net in assignments for assignments in batch)
+        }
+        missing = [net for net in nets if net not in inputs]
+        if missing:
+            raise BackendError(
+                f"ragged batch: nets {missing[:4]} are not assigned in every sample"
+            )
+        result = self.run_arrays(inputs, baseline=baseline)
+        outputs = [
+            result.sample_values(k, self.netlist.primary_outputs)
+            for k in range(result.samples)
+        ]
+        net_values = {
+            net: [result.value_of(net, k) for k in range(result.samples)]
+            for net in self.netlist.nets
+        }
+        return BatchResult(
+            samples=result.samples,
+            outputs=outputs,
+            activity_by_cell=result.activity_by_cell,
+            activity_by_cell_type=result.activity_by_cell_type,
+            net_values=net_values,
+        )
+
+
+register_backend("batch", BatchBackend)

@@ -23,14 +23,13 @@ operand per cycle and samples the registered outputs after each edge.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.circuits.gates import LogicValue
 from repro.core.dual_rail import (
     DualRailCircuit,
     DualRailSignal,
-    SpacerPolarity,
     decode_pair,
     encode_bit,
     is_spacer,

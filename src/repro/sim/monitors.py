@@ -21,11 +21,11 @@ simulation:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.circuits.gates import LogicValue
-from repro.core.dual_rail import DualRailSignal, SpacerPolarity
+from repro.core.dual_rail import DualRailSignal
 
 from .simulator import GateLevelSimulator, Monitor
 

@@ -21,7 +21,7 @@ by early propagation when the comparator stops toggling low-order bits.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Optional
 
 from repro.circuits.library import CellLibrary
 from repro.circuits.netlist import Netlist
@@ -101,6 +101,27 @@ class PowerAccountant:
     def energy_of_window(self, simulator: GateLevelSimulator, start: float, end: float) -> EnergyBreakdown:
         """Dynamic energy of the simulator's transitions in ``(start, end]``."""
         return self.dynamic_energy(simulator.transitions_between(start, end))
+
+    def energy_from_activity(self, activity_by_cell_type: Dict[str, int]) -> EnergyBreakdown:
+        """Dynamic energy (fJ) of aggregate transition counts per cell type.
+
+        This is how the vectorized batch backend's cycle-level switching
+        activity (see :mod:`repro.sim.backends.batch`) is priced: the batch
+        engine counts committed transitions per cell type and this method
+        applies the same per-transition energies the event-driven accounting
+        uses.
+        """
+        total = 0.0
+        by_type: Dict[str, float] = {}
+        count = 0
+        for cell_type, transitions in activity_by_cell_type.items():
+            if not self.library.has_cell(cell_type) or transitions <= 0:
+                continue
+            energy = self.library.cell_energy(cell_type, vdd=self.vdd) * transitions
+            total += energy
+            by_type[cell_type] = by_type.get(cell_type, 0.0) + energy
+            count += int(transitions)
+        return EnergyBreakdown(total_fj=total, by_cell_type=by_type, transitions=count)
 
     # -------------------------------------------------------------- reports
     def report(

@@ -24,8 +24,8 @@ Design notes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuits.gates import LogicValue, gate_spec, is_sequential
 from repro.circuits.library import CellLibrary
@@ -117,8 +117,12 @@ class GateLevelSimulator:
 
         # Pending scheduled value per (net) to suppress duplicate events.
         self._pending: Dict[str, LogicValue] = {}
-        # Cache: per-cell output load and delay at the configured supply.
-        self._delay_cache: Dict[str, float] = {}
+        # Delay cache keyed by (cell name, output net) — tuple keys cannot
+        # collide the way the old "name:net" f-string keys could for names
+        # containing the separator.  The fanout load and the supply/variation
+        # scaling are folded in on the single miss per key, so repeated
+        # switching of a cell never recomputes the load.
+        self._delay_cache: Dict[Tuple[str, str], float] = {}
         self._specs = {cell.name: gate_spec(cell.cell_type) for cell in netlist.iter_cells()}
         self._sequential = {
             cell.name for cell in netlist.iter_cells() if is_sequential(cell.cell_type)
@@ -151,7 +155,7 @@ class GateLevelSimulator:
 
     def cell_delay(self, cell: Cell, output_net: str) -> float:
         """Switching delay of *cell* driving *output_net* at the current supply."""
-        cache_key = f"{cell.name}:{output_net}"
+        cache_key = (cell.name, output_net)
         cached = self._delay_cache.get(cache_key)
         if cached is None:
             load = self.output_load(cell, output_net)

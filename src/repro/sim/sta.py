@@ -21,12 +21,11 @@ bound the dual-rail worst case.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
 
-from repro.circuits.gates import is_sequential
 from repro.circuits.library import CellLibrary
-from repro.circuits.netlist import Cell, Netlist
+from repro.circuits.netlist import Netlist
 
 from .simulator import WIRE_CAP_PER_FANOUT_FF
 

@@ -11,7 +11,7 @@ mapping plus reporting.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.circuits.library import CellLibrary
 from repro.circuits.netlist import Netlist

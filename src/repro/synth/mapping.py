@@ -11,12 +11,12 @@ untouched — the same job logic synthesis performs after technology mapping.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict
 
 from repro.circuits.builder import LogicBuilder
 from repro.circuits.gates import gate_spec
 from repro.circuits.library import CellLibrary
-from repro.circuits.netlist import Cell, Netlist, NetlistError
+from repro.circuits.netlist import Cell, Netlist
 
 
 class MappingError(Exception):

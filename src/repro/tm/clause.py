@@ -13,7 +13,7 @@ hardware datapath is verified against (:mod:`repro.tm.inference`).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 

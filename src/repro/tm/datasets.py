@@ -19,7 +19,7 @@ with train/test splits, so experiments are reproducible end to end.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -1,6 +1,5 @@
 """Tests for the analysis layer (latency, throughput, distributions, tables) and synthesis flow."""
 
-import math
 
 import numpy as np
 import pytest

@@ -98,7 +98,7 @@ def test_validate_single_rail_allows_xor():
 
 def test_combinational_loop_detected():
     builder = LogicBuilder("loop")
-    a = builder.input("a")
+    builder.input("a")
     # Create a feedback loop through two AND gates by wiring the second's
     # output back into the first.
     netlist = builder.netlist

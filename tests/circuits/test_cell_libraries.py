@@ -1,6 +1,5 @@
 """Unit tests for the characterised cell libraries and the voltage model."""
 
-import math
 
 import pytest
 

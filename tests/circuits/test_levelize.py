@@ -1,0 +1,63 @@
+"""Tests for the netlist levelization utility behind the batch backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import Netlist, NetlistError, combinational_depth, levelize
+
+
+def _chain_netlist() -> Netlist:
+    net = Netlist("chain")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_cell("AND2", {"A": "a", "B": "b"}, {"Y": "n1"}, name="g0")
+    net.add_cell("INV", {"A": "n1"}, {"Y": "n2"}, name="g1")
+    net.add_cell("OR2", {"A": "n2", "B": "a"}, {"Y": "y"}, name="g2")
+    net.add_output("y")
+    return net
+
+
+def test_levelize_orders_cells_by_dependency():
+    levels = levelize(_chain_netlist())
+    assert [[c.name for c in level] for level in levels] == [["g0"], ["g1"], ["g2"]]
+    assert combinational_depth(_chain_netlist()) == 3
+
+
+def test_levelize_groups_independent_cells_into_one_level():
+    net = Netlist("wide")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_cell("INV", {"A": "a"}, {"Y": "na"}, name="inv_a")
+    net.add_cell("INV", {"A": "b"}, {"Y": "nb"}, name="inv_b")
+    net.add_cell("AND2", {"A": "na", "B": "nb"}, {"Y": "y"}, name="g")
+    levels = levelize(net)
+    assert [c.name for c in levels[0]] == ["inv_a", "inv_b"]  # sorted, same level
+    assert [c.name for c in levels[1]] == ["g"]
+
+
+def test_levelize_rejects_combinational_cycles():
+    net = Netlist("loop")
+    net.add_input("a")
+    net.add_cell("OR2", {"A": "a", "B": "fb"}, {"Y": "n1"}, name="g0")
+    net.add_cell("INV", {"A": "n1"}, {"Y": "fb"}, name="g1")
+    with pytest.raises(NetlistError, match="cycle"):
+        levelize(net)
+
+
+def test_levelize_rejects_self_loops():
+    net = Netlist("self")
+    net.add_input("a")
+    net.add_cell("C2", {"A": "a", "B": "q"}, {"Y": "q"}, name="c")
+    with pytest.raises(NetlistError, match="self-loop"):
+        levelize(net)
+
+
+def test_levelize_accepts_c_element_latch_idiom():
+    # The dual-rail input-latch idiom: both C inputs tied to the same rail.
+    net = Netlist("latch")
+    net.add_input("a")
+    net.add_cell("C2", {"A": "a", "B": "a"}, {"Y": "q"}, name="lat")
+    net.add_cell("INV", {"A": "q"}, {"Y": "y"}, name="inv")
+    levels = levelize(net)
+    assert [[c.name for c in level] for level in levels] == [["lat"], ["inv"]]

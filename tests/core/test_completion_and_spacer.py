@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.circuits import umc_ll_library
 from repro.core import (
     REQUIREMENTS,
     DualRailBuilder,
@@ -19,7 +18,6 @@ from repro.core import (
 )
 from repro.core.completion import GracePeriod
 from repro.sim import CompletionObserver, DualRailEnvironment, GateLevelSimulator
-from tests.conftest import run_dual_rail_operands
 
 
 def _small_circuit(completion=None):

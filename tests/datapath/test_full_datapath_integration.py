@@ -1,6 +1,5 @@
 """Integration tests: the complete dual-rail and single-rail datapaths against the golden model."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import measure_dual_rail, measure_single_rail, random_workload

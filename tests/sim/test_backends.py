@@ -1,0 +1,178 @@
+"""Equivalence and contract tests for the pluggable simulation backends.
+
+The load-bearing property: the vectorized batch backend, the event-driven
+simulator and the software golden model (:class:`InferenceModel`) must agree
+on every functional quantity — settled net values gate for gate, decoded
+verdicts, and classification decisions — across randomized datapath shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dual_rail import encode_bit
+from repro.datapath.datapath import DualRailDatapath
+from repro.analysis import random_workload
+from repro.sim.backends import (
+    BackendError,
+    BatchBackend,
+    EventBackend,
+    available_backends,
+    get_backend,
+)
+
+
+def _rail_assignments(circuit, operand):
+    """Logical operand values -> primary-input rail assignments."""
+    assignments = {}
+    for sig in circuit.inputs:
+        pos, neg = encode_bit(operand[sig.name])
+        assignments[sig.pos] = pos
+        assignments[sig.neg] = neg
+    return assignments
+
+
+def _spacer_assignments(circuit):
+    spacer = {}
+    for sig in circuit.inputs:
+        value = sig.polarity.spacer_rail_value
+        spacer[sig.pos] = value
+        spacer[sig.neg] = value
+    return spacer
+
+
+def test_backend_registry_names():
+    assert "event" in available_backends()
+    assert "batch" in available_backends()
+    with pytest.raises(BackendError, match="unknown simulation backend"):
+        get_backend("nope", None, None)
+
+
+@pytest.mark.parametrize(
+    "num_features,clauses_per_polarity,seed",
+    [(2, 2, 11), (3, 4, 23), (4, 8, 47)],
+)
+def test_batch_matches_event_gate_for_gate(umc, num_features, clauses_per_polarity, seed):
+    """Settled values of *every* net agree between the two backends."""
+    workload = random_workload(
+        num_features=num_features,
+        clauses_per_polarity=clauses_per_polarity,
+        num_operands=4,
+        seed=seed,
+    )
+    datapath = DualRailDatapath(workload.config)
+    netlist = datapath.circuit.netlist
+    batch = get_backend("batch", netlist, umc)
+    event = get_backend("event", netlist, umc)
+    for features in workload.feature_vectors:
+        assignments = _rail_assignments(
+            datapath.circuit, datapath.operand_assignments(features, workload.exclude)
+        )
+        event_values = event.evaluate(assignments)
+        batch_values = batch.evaluate(assignments)
+        assert event_values == batch_values
+
+
+@pytest.mark.parametrize(
+    "num_features,clauses_per_polarity,seed",
+    [(2, 2, 3), (3, 4, 5), (4, 8, 7), (5, 3, 13)],
+)
+def test_batch_decisions_match_inference_model(umc, num_features, clauses_per_polarity, seed):
+    """The batch backend's decoded verdicts reproduce the golden model."""
+    workload = random_workload(
+        num_features=num_features,
+        clauses_per_polarity=clauses_per_polarity,
+        num_operands=24,
+        seed=seed,
+    )
+    datapath = DualRailDatapath(workload.config)
+    circuit = datapath.circuit
+    backend = BatchBackend(circuit.netlist, umc)
+    batch = [
+        _rail_assignments(circuit, datapath.operand_assignments(f, workload.exclude))
+        for f in workload.feature_vectors
+    ]
+    result = backend.run_batch(batch, baseline=_spacer_assignments(circuit))
+    verdict = circuit.one_of_n_outputs[0]
+    for k, features in enumerate(workload.feature_vectors):
+        rails = [result.net_values[r][k] for r in verdict.rails]
+        assert None not in rails
+        active = [i for i, v in enumerate(rails) if v != verdict.polarity.spacer_rail_value]
+        assert len(active) == 1
+        decision = DualRailDatapath.decision_from_verdict(verdict.labels[active[0]])
+        assert decision == workload.model.decision(features)
+    # Each handshake cycle toggles every switching gate exactly twice.
+    assert result.transitions > 0
+    assert result.transitions % 2 == 0
+
+
+def test_event_backend_batch_interface(umc):
+    """EventBackend.run_batch returns per-sample outputs and activity."""
+    workload = random_workload(num_features=2, clauses_per_polarity=2, num_operands=3, seed=2)
+    datapath = DualRailDatapath(workload.config)
+    backend = EventBackend(datapath.circuit.netlist, umc)
+    batch = [
+        _rail_assignments(
+            datapath.circuit, datapath.operand_assignments(f, workload.exclude)
+        )
+        for f in workload.feature_vectors
+    ]
+    result = backend.run_batch(batch)
+    assert result.samples == 3
+    assert len(result.outputs) == 3
+    assert result.transitions > 0
+
+
+def test_batch_backend_wraps_cycles_in_backend_error(umc):
+    """Unsupported-netlist cases all surface as BackendError (the contract)."""
+    from repro.circuits import Netlist
+
+    net = Netlist("loop")
+    net.add_input("a")
+    net.add_cell("OR2", {"A": "a", "B": "fb"}, {"Y": "n1"}, name="g0")
+    net.add_cell("INV", {"A": "n1"}, {"Y": "fb"}, name="g1")
+    with pytest.raises(BackendError, match="levelizable"):
+        BatchBackend(net, umc)
+
+
+def test_batch_backend_rejects_clocked_netlists(umc):
+    from repro.circuits import Netlist
+
+    net = Netlist("clocked")
+    net.add_input("d")
+    net.add_input("ck")
+    net.add_cell("DFF", {"D": "d", "CK": "ck"}, {"Q": "q"}, name="ff")
+    with pytest.raises(BackendError, match="DFF"):
+        BatchBackend(net, umc)
+
+
+def test_batch_backend_broadcasts_scalars_and_checks_batch_sizes(umc):
+    from repro.circuits import Netlist
+
+    net = Netlist("and")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_cell("AND2", {"A": "a", "B": "b"}, {"Y": "y"}, name="g")
+    net.add_output("y")
+    backend = BatchBackend(net, umc)
+    result = backend.run_arrays({"a": np.array([0, 1, 1, 0]), "b": 1})
+    assert list(result.values["y"]) == [0, 1, 1, 0]
+    with pytest.raises(BackendError, match="inconsistent batch"):
+        backend.run_arrays({"a": np.array([0, 1]), "b": np.array([1, 0, 1])})
+
+
+def test_batch_unassigned_inputs_propagate_unknown(umc):
+    """An undriven primary input behaves like the event simulator's X."""
+    from repro.circuits import Netlist
+
+    net = Netlist("x")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_cell("AND2", {"A": "a", "B": "b"}, {"Y": "y"}, name="g")
+    net.add_output("y")
+    backend = BatchBackend(net, umc)
+    # b unassigned: 0 AND X = 0 (controlling value), 1 AND X = X.
+    result = backend.run_arrays({"a": np.array([0, 1])})
+    assert result.value_of("y", 0) == 0
+    assert result.value_of("y", 1) is None

@@ -1,0 +1,50 @@
+"""Micro-tests for the simulator's per-(cell, net) delay/load caches."""
+
+from __future__ import annotations
+
+from repro.circuits import Netlist, umc_ll_library
+from repro.sim import GateLevelSimulator
+
+
+def _inverter_netlist() -> Netlist:
+    net = Netlist("inv")
+    net.add_input("a")
+    net.add_cell("INV", {"A": "a"}, {"Y": "y"}, name="inv0")
+    net.add_output("y")
+    return net
+
+
+def test_cell_delay_cache_hit_on_repeated_switching():
+    """The fanout load is computed once per (cell, net), not per event."""
+    library = umc_ll_library()
+    sim = GateLevelSimulator(_inverter_netlist(), library)
+    load_calls = []
+    original = sim.output_load
+
+    def counting_output_load(cell, net):
+        load_calls.append((cell.name, net))
+        return original(cell, net)
+
+    sim.output_load = counting_output_load
+    for value in (0, 1, 0, 1, 0, 1):
+        sim.set_input("a", value)
+        sim.settle()
+    assert sim.value("y") == 0
+    # Six input edges drove six output events, but the load (and the delay
+    # derived from it) was computed exactly once.
+    assert load_calls == [("inv0", "y")]
+    assert ("inv0", "y") in sim._delay_cache
+
+
+def test_cell_delay_cache_uses_tuple_keys():
+    """Tuple keys cannot collide the way 'name:net' f-string keys could."""
+    library = umc_ll_library()
+    net = Netlist("two")
+    net.add_input("a")
+    net.add_cell("INV", {"A": "a"}, {"Y": "x:y"}, name="g")
+    net.add_cell("INV", {"A": "x:y"}, {"Y": "z"}, name="g:x")
+    net.add_output("z")
+    sim = GateLevelSimulator(net, library)
+    sim.set_input("a", 1)
+    sim.settle()
+    assert set(sim._delay_cache) == {("g", "x:y"), ("g:x", "z")}

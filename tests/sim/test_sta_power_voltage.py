@@ -1,6 +1,5 @@
 """Unit tests for static timing analysis, power accounting and voltage sweeps."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,69 @@
+"""End-to-end HDL export: train, build, map, emit, round-trip verify.
+
+The full pipeline from software model to verified RTL:
+
+1. train a Tsetlin machine on noisy-XOR and extract its exclude masks,
+2. generate the self-timed dual-rail inference datapath,
+3. technology-map it onto the UMC LL library,
+4. emit structural Verilog (flat + per-block hierarchical) with behavioral
+   primitives and a self-checking spacer/valid handshake testbench,
+5. prove the emission correct by re-parsing the RTL and batch-equivalence
+   checking it gate-for-gate against the mapped netlist (plus byte-stable
+   re-emission).
+
+Run with:  python examples/export_verilog.py [--out DIR] [--operands N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import default_workload, run_hdl_export
+from repro.circuits import umc_ll_library
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="hdl_export",
+                        help="directory for the generated RTL (default: hdl_export)")
+    parser.add_argument("--operands", type=int, default=12,
+                        help="testbench operand count (default: 12)")
+    parser.add_argument("--vectors", type=int, default=256,
+                        help="round-trip equivalence vectors (default: 256)")
+    args = parser.parse_args(argv)
+
+    library = umc_ll_library()
+    print("Training a Tsetlin machine on noisy-XOR and building its datapath...")
+    workload = default_workload(num_features=4, clauses_per_polarity=8,
+                                num_operands=args.operands)
+    print(f"  workload: {workload.description}")
+
+    print(f"Mapping onto {library.name} and exporting Verilog to {args.out!r}...")
+    report = run_hdl_export(
+        workload=workload,
+        library=library,
+        directory=args.out,
+        testbench_operands=args.operands,
+        roundtrip_vectors=args.vectors,
+    )
+
+    print()
+    print(report.summary())
+    print()
+    roundtrip = report.export.roundtrip
+    print("Round-trip proof:")
+    print(f"  parsed netlist equivalent : {roundtrip.equivalence.equivalent} "
+          f"({roundtrip.equivalence.mode}, {roundtrip.equivalence.vectors} vectors, "
+          f"{roundtrip.equivalence.compared_nets} nets compared)")
+    print(f"  re-emission byte-identical: {roundtrip.byte_stable}")
+    print()
+    if not report.ok:
+        print("HDL EXPORT FAILED")
+        return 1
+    print("HDL EXPORT OK — RTL, primitives and testbench written to", args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

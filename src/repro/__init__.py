@@ -19,6 +19,8 @@ builds and evaluates:
   (clause logic, population counters, early-propagating magnitude
   comparator) in both dual-rail and single-rail styles;
 * :mod:`repro.synth` — technology mapping and area/leakage/timing reports;
+* :mod:`repro.hdl` — structural Verilog export with behavioral primitives,
+  self-checking testbenches and in-process round-trip equivalence proofs;
 * :mod:`repro.analysis` — the experiment harnesses that regenerate Table I,
   Figure 3 and the operand/latency distribution analyses.
 
@@ -32,15 +34,16 @@ Quickstart
 1.0
 """
 
-from . import analysis, circuits, core, datapath, sim, synth, tm
+from . import analysis, circuits, core, datapath, hdl, sim, synth, tm
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
     "circuits",
     "core",
     "datapath",
+    "hdl",
     "sim",
     "synth",
     "tm",

@@ -15,6 +15,9 @@ designs the same way:
 * :func:`run_latency_distribution` — the per-operand latency stream behind
   the latency-distribution analysis (contribution 2).
 * :func:`run_reduced_cd_comparison` — reduced vs full completion detection.
+* :func:`run_hdl_export` — map a trained workload's datapath, emit it as
+  structural Verilog with a self-checking handshake testbench, and prove
+  the emission correct via the round-trip equivalence check.
 * :func:`default_workload` — a trained-Tsetlin-machine workload (noisy-XOR)
   with the exclude matrix and feature stream the experiments run on.
 
@@ -36,6 +39,7 @@ The sweep harnesses accept ``backend=`` and ``jobs=`` arguments:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -57,10 +61,10 @@ from repro.sim.monitors import ForbiddenStateMonitor, MonotonicityMonitor
 from repro.sim.power import PowerAccountant, PowerReport
 from repro.sim.simulator import GateLevelSimulator
 from repro.sim.voltage import FIGURE3_VOLTAGES
-from repro.synth.flow import SynthesisResult, synthesize
+from repro.synth.flow import HdlExportOptions, SynthesisResult, synthesize
 from repro.tm.inference import InferenceModel
 from repro.tm.machine import TsetlinMachine
-from repro.tm.datasets import noisy_xor
+from repro.tm.datasets import noisy_xor, random_operand_stream
 
 from .latency import LatencySummary, summarize_latencies
 from .runner import run_parallel
@@ -770,6 +774,151 @@ def _cd_scheme_worker(
     block = builder.build()
     add_completion_detection(block, scheme=scheme)
     return info.total_cells, completion_overhead_area(block, library), grace
+
+
+@dataclass
+class HdlExportReport:
+    """Everything :func:`run_hdl_export` produced for one workload.
+
+    Attributes
+    ----------
+    library:
+        Target library the netlist was mapped onto before emission.
+    design:
+        Name of the exported top module.
+    export:
+        The :class:`repro.hdl.export.HdlExport` bundle (design text,
+        primitives, round-trip report, file paths).
+    testbench_bytes:
+        Size of the generated handshake testbench.
+    blocks:
+        ``{block name: cell count}`` of the hierarchical partitioning.
+    hierarchical_equivalent:
+        ``True`` when the hierarchical emission flattens back into a
+        gate-for-gate equivalent netlist as well.
+    paths:
+        All files written (empty when no directory was given).
+    """
+
+    library: str
+    design: str
+    export: object
+    testbench_bytes: int
+    blocks: Dict[str, int]
+    hierarchical_equivalent: bool
+    paths: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when every verification step passed."""
+        return bool(self.export.verified and self.hierarchical_equivalent)
+
+    def summary(self) -> str:
+        """Multi-line report used by ``examples/export_verilog.py`` and CI."""
+        lines = [
+            f"HDL export report — {self.design} on {self.library}",
+            self.export.summary(),
+            f"  testbench  : {self.testbench_bytes} bytes (handshake, self-checking)",
+            f"  hierarchy  : {len(self.blocks)} blocks "
+            f"({', '.join(f'{k}:{v}' for k, v in self.blocks.items())})",
+            f"  hier check : "
+            f"{'EQUIVALENT' if self.hierarchical_equivalent else 'NOT EQUIVALENT'}",
+            f"  verdict    : {'OK' if self.ok else 'FAILED'}",
+        ]
+        return "\n".join(lines)
+
+
+def run_hdl_export(
+    workload: Optional[Workload] = None,
+    library: Optional[CellLibrary] = None,
+    directory: Optional[str] = None,
+    testbench_operands: int = 16,
+    roundtrip_vectors: int = 256,
+    seed: int = 2021,
+) -> HdlExportReport:
+    """Export a workload's mapped dual-rail datapath as verified Verilog.
+
+    The full pipeline: build the datapath for *workload* (default: the
+    trained noisy-XOR workload), technology-map it onto *library* (default
+    UMC LL), emit flat structural Verilog + behavioral primitives through
+    the :func:`repro.synth.flow.synthesize` export hook (which also runs
+    the round-trip equivalence proof), generate the self-checking
+    spacer/valid handshake testbench, and additionally emit + flatten the
+    per-block hierarchical form as a second equivalence witness.
+
+    Parameters
+    ----------
+    directory:
+        When given, all artefacts are written there: ``<design>.v``,
+        ``primitives.v``, ``tb_<design>.v`` and ``<design>_hier.v``.
+    """
+    from repro.hdl import (
+        check_equivalence,
+        emit_verilog,
+        generate_datapath_testbench,
+        netlist_from_verilog,
+        partition_by_attr,
+    )
+
+    workload = workload if workload is not None else default_workload()
+    library = library if library is not None else default_libraries()["UMC LL"]
+    datapath = DualRailDatapath(workload.config, library=library)
+    synthesis = synthesize(
+        datapath.circuit.netlist,
+        library,
+        clocked=False,
+        enforce_unate=True,
+        export=HdlExportOptions(
+            directory=directory,
+            testbench=False,  # the handshake testbench below replaces it
+            verify=True,
+            roundtrip_vectors=roundtrip_vectors,
+            seed=seed,
+        ),
+    )
+    mapped = synthesis.netlist
+    export = synthesis.hdl
+
+    stimulus = random_operand_stream(
+        workload.config.num_features, testbench_operands, seed=seed
+    )
+    testbench = generate_datapath_testbench(
+        datapath,
+        workload.model,
+        exclude=workload.exclude,
+        feature_vectors=stimulus,
+        seed=seed,
+        netlist=mapped,
+    )
+
+    blocks = partition_by_attr(mapped)
+    hier_text = emit_verilog(mapped, blocks=blocks)
+    flattened = netlist_from_verilog(hier_text)
+    hier_equivalence = check_equivalence(
+        mapped, flattened, vectors=roundtrip_vectors, seed=seed
+    )
+
+    paths = dict(export.paths)
+    if directory is not None:
+        safe_name = mapped.name.replace("/", "_")
+        tb_path = os.path.join(directory, f"tb_{safe_name}.v")
+        hier_path = os.path.join(directory, f"{safe_name}_hier.v")
+        with open(tb_path, "w", encoding="utf-8") as handle:
+            handle.write(testbench)
+        with open(hier_path, "w", encoding="utf-8") as handle:
+            handle.write(hier_text)
+        paths["testbench"] = tb_path
+        paths["hierarchical"] = hier_path
+
+    return HdlExportReport(
+        library=library.name,
+        design=mapped.name,
+        export=export,
+        testbench_bytes=len(testbench),
+        blocks={name: len(cells) for name, cells in blocks.items()},
+        hierarchical_equivalent=hier_equivalence.equivalent,
+        paths=paths,
+    )
 
 
 def run_reduced_cd_comparison(

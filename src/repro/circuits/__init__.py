@@ -36,6 +36,7 @@ from .library import (
 from .netlist import Cell, Net, Netlist, NetlistError, merge_netlists
 from .validate import (
     ValidationReport,
+    check_connectivity,
     check_library_mappable,
     check_no_combinational_loops,
     check_structure,
@@ -59,6 +60,7 @@ __all__ = [
     "NetlistError",
     "ValidationReport",
     "VoltageModel",
+    "check_connectivity",
     "check_library_mappable",
     "check_no_combinational_loops",
     "check_structure",

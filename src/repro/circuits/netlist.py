@@ -105,6 +105,18 @@ class Netlist:
     Nets are created implicitly the first time they are referenced by
     :meth:`add_cell`, :meth:`add_input` or :meth:`add_output`.  A net may have
     at most one driver; multiple drivers raise :class:`NetlistError`.
+
+    **Iteration order is part of the contract**: :meth:`iter_cells`,
+    :meth:`iter_nets`, :meth:`internal_nets`, :attr:`primary_inputs` and
+    :attr:`primary_outputs` all iterate in insertion order (Python dicts and
+    lists preserve it), and every derived ordering — levelization, reports,
+    :meth:`topological_order`, the HDL emission in :mod:`repro.hdl` — is a
+    pure function of that order plus explicit sorting.  Building the same
+    design twice therefore yields byte-identical Verilog and identical
+    area/leakage/timing reports across runs, interpreters and
+    ``PYTHONHASHSEED`` values; the determinism tests assert this.  Code that
+    extends this class must not iterate over ``set``/``frozenset`` when the
+    result reaches any output.
     """
 
     def __init__(self, name: str) -> None:
@@ -210,15 +222,19 @@ class Netlist:
         return [self.cells[cell_name] for cell_name, _pin in net.sinks]
 
     def iter_cells(self) -> Iterator[Cell]:
-        """Iterate over all cell instances."""
+        """Iterate over all cell instances in deterministic insertion order."""
         return iter(self.cells.values())
 
     def iter_nets(self) -> Iterator[Net]:
-        """Iterate over all nets."""
+        """Iterate over all nets in deterministic insertion order."""
         return iter(self.nets.values())
 
     def internal_nets(self) -> List[str]:
-        """Return nets that are neither primary inputs nor primary outputs."""
+        """Nets that are neither primary inputs nor primary outputs.
+
+        Returned in net insertion order (deterministic; the HDL emitter's
+        wire-declaration order relies on it).
+        """
         io = set(self.primary_inputs) | set(self.primary_outputs)
         return [n for n in self.nets if n not in io]
 

@@ -61,6 +61,60 @@ def check_structure(netlist: Netlist) -> ValidationReport:
     return report
 
 
+def check_connectivity(netlist: Netlist) -> ValidationReport:
+    """Reject dangling and multiply-driven nets with actionable messages.
+
+    Checks performed (beyond :func:`check_structure`):
+
+    * **dangling nets** — a net with neither driver nor sinks that is not a
+      primary input or output serves no purpose and usually indicates a
+      generator bug (a signal built but never connected); such netlists
+      previously reached the simulator silently and now fail validation and
+      HDL export;
+    * **multiply-driven nets** — every net must be driven by at most one
+      cell output pin.  :meth:`~repro.circuits.netlist.Netlist.add_cell`
+      enforces this during construction, but netlists assembled or mutated
+      by hand (or parsed from external sources) can violate it;
+    * **driver bookkeeping** — each net's recorded ``driver`` must agree
+      with the cell that actually lists the net on an output pin, so stale
+      manual edits are caught instead of confusing the simulator.
+    """
+    report = ValidationReport()
+    io = set(netlist.primary_inputs) | set(netlist.primary_outputs)
+    for net in netlist.iter_nets():
+        if net.driver is None and not net.sinks and net.name not in io:
+            report.errors.append(
+                f"net {net.name!r} is dangling (no driver, no sinks, not a port); "
+                "remove it or connect it before simulation/export"
+            )
+    drivers: Dict[str, List[str]] = {}
+    for cell in netlist.iter_cells():
+        for pin, net_name in cell.outputs.items():
+            drivers.setdefault(net_name, []).append(f"{cell.name}.{pin}")
+    for net_name, pins in drivers.items():
+        if len(pins) > 1:
+            report.errors.append(
+                f"net {net_name!r} is multiply driven by {pins}; "
+                "a net must have exactly one driver"
+            )
+    for net in netlist.iter_nets():
+        recorded = net.driver
+        actual = drivers.get(net.name, [])
+        if recorded is not None:
+            expected = f"{recorded[0]}.{recorded[1]}"
+            if expected not in actual:
+                report.errors.append(
+                    f"net {net.name!r} records driver {expected} but no cell "
+                    "drives it from that pin; the netlist was mutated inconsistently"
+                )
+        elif actual and net.name not in netlist.primary_inputs:
+            report.errors.append(
+                f"net {net.name!r} is driven by {actual[0]} but its driver "
+                "field is unset; rebuild the net via Netlist.add_cell"
+            )
+    return report
+
+
 def check_unate_only(netlist: Netlist) -> ValidationReport:
     """Check Requirement 2: the netlist contains no non-unate cells.
 
@@ -163,6 +217,7 @@ def validate_dual_rail_netlist(netlist: Netlist, library: CellLibrary = None) ->
     """Run every structural check relevant to a dual-rail netlist."""
     report = ValidationReport()
     report.extend(check_structure(netlist))
+    report.extend(check_connectivity(netlist))
     report.extend(check_unate_only(netlist))
     report.extend(check_no_combinational_loops(netlist))
     if library is not None:
@@ -174,6 +229,7 @@ def validate_single_rail_netlist(netlist: Netlist, library: CellLibrary = None) 
     """Run the structural checks relevant to the synchronous baseline."""
     report = ValidationReport()
     report.extend(check_structure(netlist))
+    report.extend(check_connectivity(netlist))
     report.extend(check_no_combinational_loops(netlist))
     if library is not None:
         report.extend(check_library_mappable(netlist, library))

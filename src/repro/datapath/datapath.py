@@ -129,6 +129,21 @@ def build_dual_rail_datapath(
         f"tm_dual_rail_f{config.num_features}_c{config.clauses_per_polarity}",
         negative_gates=config.negative_gates,
     )
+    netlist = builder.netlist
+
+    def tag_block(block: str, start: int) -> int:
+        """Tag every cell added since *start* with its datapath block.
+
+        The ``"block"`` attribute drives the hierarchical Verilog emission
+        (:func:`repro.hdl.verilog.partition_by_attr`): each tagged stage
+        becomes its own module in the exported RTL.
+        """
+        names = list(netlist.cells)
+        for cell_name in names[start:]:
+            netlist.cells[cell_name].attrs.setdefault("block", block)
+        return len(names)
+
+    mark = 0
 
     # ----------------------------------------------------------- inputs
     features = [builder.input_bit(feature_input_name(m)) for m in range(config.num_features)]
@@ -157,20 +172,25 @@ def build_dual_rail_datapath(
              for k, sig in enumerate(bank)]
             for j, bank in enumerate(excludes_neg)
         ]
+    mark = tag_block("latches", mark)
 
     # ----------------------------------------------------------- clauses
     positive_votes = [
         dual_rail_clause(builder, features, excludes_pos[j], name=f"clp{j}")
         for j in range(config.clauses_per_polarity)
     ]
+    mark = tag_block("clauses_pos", mark)
     negative_votes = [
         dual_rail_clause(builder, features, excludes_neg[j], name=f"cln{j}")
         for j in range(config.clauses_per_polarity)
     ]
+    mark = tag_block("clauses_neg", mark)
 
     # ----------------------------------------------------- population counts
     pos_count = dual_rail_popcount(builder, positive_votes, name="popp")
+    mark = tag_block("popcount_pos", mark)
     neg_count = dual_rail_popcount(builder, negative_votes, name="popn")
+    mark = tag_block("popcount_neg", mark)
 
     # ---------------------------------------------------------- comparator
     verdict = dual_rail_magnitude_comparator(builder, pos_count, neg_count, name="cmp")
@@ -184,6 +204,7 @@ def build_dual_rail_datapath(
         VERDICT_LABELS,
         SpacerPolarity.ALL_ZERO,
     )
+    mark = tag_block("comparator", mark)
 
     circuit = builder.build(
         metadata={
@@ -201,6 +222,7 @@ def build_dual_rail_datapath(
             done_fall_delay=done_fall_delay,
             library=library,
         )
+        tag_block("completion", mark)
     return circuit
 
 

@@ -1,0 +1,71 @@
+"""repro.hdl — HDL export: Verilog emission, testbenches, round-trip proof.
+
+The paper's designs are hardware, but the seed repository could only
+simulate them in Python.  This package closes that gap without requiring
+any external EDA tool:
+
+* :mod:`repro.hdl.verilog` — deterministic structural Verilog emission for
+  any mapped :class:`~repro.circuits.netlist.Netlist` (flat byte-stable
+  canonical form, plus per-block hierarchy via tagged cells);
+* :mod:`repro.hdl.primitives` — behavioral Verilog models for every cell in
+  the gate registry, derived from the same specs the simulators use;
+* :mod:`repro.hdl.testbench` — self-checking testbench generators (random
+  operand streams, golden outputs from the batch backend and the
+  :class:`~repro.tm.inference.InferenceModel`);
+* :mod:`repro.hdl.roundtrip` — a structural-Verilog parser plus
+  gate-for-gate equivalence checking, proving in-process that the emitted
+  RTL means exactly what the netlist does;
+* :mod:`repro.hdl.export` — the one-call bundle used by
+  :func:`repro.synth.flow.synthesize` (its ``export=`` hook) and
+  :func:`repro.analysis.experiments.run_hdl_export`.
+
+Quickstart
+----------
+>>> from repro.circuits.builder import LogicBuilder
+>>> from repro.hdl import export_netlist
+>>> b = LogicBuilder("demo")
+>>> b.output("y", b.and_(b.input("a"), b.input("c")))
+'y'
+>>> export_netlist(b.netlist).verified
+True
+"""
+
+from .export import HdlExport, export_netlist
+from .primitives import emit_primitives, primitive_module, primitives_for_netlist
+from .roundtrip import (
+    EquivalenceReport,
+    RoundTripReport,
+    VerilogParseError,
+    check_equivalence,
+    netlist_from_verilog,
+    parse_verilog,
+    verify_roundtrip,
+)
+from .testbench import generate_datapath_testbench, generate_testbench
+from .verilog import (
+    VerilogEmissionError,
+    emit_verilog,
+    partition_by_attr,
+    verilog_identifier,
+)
+
+__all__ = [
+    "EquivalenceReport",
+    "HdlExport",
+    "RoundTripReport",
+    "VerilogEmissionError",
+    "VerilogParseError",
+    "check_equivalence",
+    "emit_primitives",
+    "emit_verilog",
+    "export_netlist",
+    "generate_datapath_testbench",
+    "generate_testbench",
+    "netlist_from_verilog",
+    "parse_verilog",
+    "partition_by_attr",
+    "primitive_module",
+    "primitives_for_netlist",
+    "verify_roundtrip",
+    "verilog_identifier",
+]

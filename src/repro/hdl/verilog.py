@@ -1,0 +1,294 @@
+"""Deterministic structural Verilog emission for :class:`~repro.circuits.netlist.Netlist`.
+
+The emitter turns any mapped netlist — dual-rail asynchronous datapaths
+(TH/C-element completion-detection structures included) as well as the
+clocked single-rail baseline — into synthesizable structural Verilog:
+one module instantiation per cell, one wire per net, nothing behavioral
+(the behavioral cell models live in :mod:`repro.hdl.primitives`).
+
+Determinism and naming
+----------------------
+* Net and instance names pass through **verbatim**: names that are not plain
+  Verilog identifiers (the datapath uses names like ``f[0]_p``) are emitted
+  as Verilog *escaped identifiers* (``\\f[0]_p`` followed by whitespace),
+  which every Verilog tool accepts and which round-trip losslessly.
+* Ports, wires, instances and pin connections are emitted in the netlist's
+  deterministic iteration order (see :class:`repro.circuits.netlist.Netlist`),
+  with pins in gate-spec declaration order.  Emitting the same netlist twice
+  therefore produces byte-identical text, and re-emitting a netlist parsed
+  back by :mod:`repro.hdl.roundtrip` reproduces the original bytes exactly
+  (the golden-file tests assert both).
+
+Hierarchy
+---------
+``emit_verilog(netlist, blocks=...)`` groups cells into one submodule per
+named block (ports are the nets crossing the block boundary, sorted by
+name); :func:`partition_by_attr` derives that grouping from the ``"block"``
+cell attribute the datapath generator tags its stages with.  The flat form
+(``blocks=None``) is the canonical byte-stable round-trip format; the
+hierarchical form is for human/tool consumption and round-trips via
+flattening (functionally gate-for-gate, not byte-for-byte).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.circuits.gates import gate_spec
+from repro.circuits.netlist import Cell, Netlist, NetlistError
+
+__all__ = [
+    "VerilogEmissionError",
+    "emit_verilog",
+    "partition_by_attr",
+    "verilog_identifier",
+]
+
+_SIMPLE_ID = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+#: Verilog keywords that must not be used as plain identifiers.  Only the
+#: words the emitter/parser subset can actually collide with are listed.
+_KEYWORDS = frozenset({
+    "always", "assign", "begin", "case", "default", "else", "end", "endcase",
+    "endmodule", "for", "if", "initial", "inout", "input", "module", "negedge",
+    "output", "posedge", "reg", "wire",
+    # Verilog gate-level primitives shadow plain identifiers too.
+    "and", "buf", "bufif0", "bufif1", "nand", "nor", "not", "notif0",
+    "notif1", "or", "tri", "wand", "wor", "xnor", "xor",
+})
+
+
+class VerilogEmissionError(NetlistError):
+    """Raised when a netlist cannot be expressed as structural Verilog."""
+
+
+def verilog_identifier(name: str) -> str:
+    """Render *name* as a Verilog identifier.
+
+    Plain identifiers pass through; anything else (bus-style names such as
+    ``f[0]_p``, or keyword collisions) becomes an escaped identifier with
+    its mandatory trailing space.
+    """
+    if _SIMPLE_ID.match(name) and name not in _KEYWORDS:
+        return name
+    if any(ch.isspace() for ch in name) or not name:
+        raise VerilogEmissionError(
+            f"name {name!r} contains whitespace or is empty; it cannot be a "
+            "Verilog identifier (escaped identifiers end at whitespace)"
+        )
+    return f"\\{name} "
+
+
+def _spaced(identifier: str) -> str:
+    """Ensure *identifier* ends in exactly one space (escaped ids already do)."""
+    return identifier if identifier.endswith(" ") else identifier + " "
+
+
+def _check_exportable(netlist: Netlist) -> None:
+    """Reject netlists that structural Verilog cannot represent faithfully."""
+    overlap = sorted(set(netlist.primary_inputs) & set(netlist.primary_outputs))
+    if overlap:
+        raise VerilogEmissionError(
+            f"nets {overlap[:4]} are both primary inputs and primary outputs; "
+            "split the feedthrough with a BUF cell before export"
+        )
+    # Imported here (not at module top) to keep circuits free of hdl imports.
+    from repro.circuits.validate import check_connectivity, check_structure
+
+    report = check_structure(netlist)
+    report.extend(check_connectivity(netlist))
+    if report.errors:
+        details = "; ".join(report.errors[:4])
+        raise VerilogEmissionError(
+            f"netlist {netlist.name!r} fails export validation "
+            f"({len(report.errors)} error(s)): {details}"
+        )
+
+
+#: Prefix applied to every emitted instance name.  Verilog nets and
+#: instances share one namespace per module, and the netlist builders reuse
+#: the same ``<type>_<k>`` scheme for both cells and nets — the prefix keeps
+#: them apart.  The round-trip parser strips exactly one occurrence.
+INSTANCE_PREFIX = "u$"
+
+
+def _instance_line(cell: Cell, indent: str = "  ") -> str:
+    """One structural instantiation, pins in gate-spec declaration order."""
+    spec = gate_spec(cell.cell_type)
+    conns: List[str] = []
+    for pin in spec.input_pins:
+        conns.append(f".{pin}({verilog_identifier(cell.inputs[pin])})")
+    for pin in spec.output_pins:
+        conns.append(f".{pin}({verilog_identifier(cell.outputs[pin])})")
+    joined = ", ".join(conns)
+    inst = _spaced(verilog_identifier(INSTANCE_PREFIX + cell.name))
+    return f"{indent}{cell.cell_type} {inst}({joined});"
+
+
+def _module_text(
+    name: str,
+    inputs: Sequence[str],
+    outputs: Sequence[str],
+    wires: Sequence[str],
+    body_lines: Sequence[str],
+) -> str:
+    lines: List[str] = []
+    ports: List[str] = []
+    for net in inputs:
+        ports.append(f"  input {verilog_identifier(net)}")
+    for net in outputs:
+        ports.append(f"  output {verilog_identifier(net)}")
+    lines.append(f"module {verilog_identifier(name)}(")
+    lines.append(",\n".join(ports))
+    lines.append(");")
+    if wires:
+        lines.append("")
+        for net in wires:
+            lines.append(f"  wire {verilog_identifier(net)};")
+    if body_lines:
+        lines.append("")
+        lines.extend(body_lines)
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def partition_by_attr(netlist: Netlist, attr: str = "block") -> Dict[str, List[str]]:
+    """Group cell names by a string-valued cell attribute.
+
+    Returns an ordered mapping ``{block_name: [cell names]}`` in order of
+    first appearance (the netlist's deterministic cell order).  Cells
+    without the attribute are omitted — the emitter keeps them in the top
+    module.
+    """
+    blocks: Dict[str, List[str]] = {}
+    for cell in netlist.iter_cells():
+        value = cell.attrs.get(attr)
+        if isinstance(value, str):
+            blocks.setdefault(value, []).append(cell.name)
+    return blocks
+
+
+def _block_interface(
+    netlist: Netlist, members: Sequence[str]
+) -> Dict[str, List[str]]:
+    """Classify the nets a block touches into inputs/outputs/internal."""
+    member_set = set(members)
+    read: Dict[str, None] = {}
+    driven: Dict[str, None] = {}
+    for cell_name in members:
+        cell = netlist.cells[cell_name]
+        for net in cell.inputs.values():
+            read.setdefault(net)
+        for net in cell.outputs.values():
+            driven.setdefault(net)
+    pos = set(netlist.primary_outputs)
+    inputs: List[str] = []
+    outputs: List[str] = []
+    internal: List[str] = []
+    for net in sorted(set(read) | set(driven)):
+        net_obj = netlist.nets[net]
+        driven_inside = net in driven
+        if not driven_inside:
+            inputs.append(net)
+            continue
+        read_outside = any(sink_cell not in member_set for sink_cell, _pin in net_obj.sinks)
+        if net in pos or read_outside:
+            outputs.append(net)
+        else:
+            internal.append(net)
+    return {"inputs": inputs, "outputs": outputs, "internal": internal}
+
+
+def emit_verilog(
+    netlist: Netlist,
+    blocks: Optional[Mapping[str, Sequence[str]]] = None,
+    check: bool = True,
+) -> str:
+    """Emit *netlist* as deterministic structural Verilog.
+
+    Parameters
+    ----------
+    netlist:
+        A mapped netlist.  Every cell type must exist in the gate registry;
+        the companion behavioral models come from
+        :func:`repro.hdl.primitives.primitives_for_netlist`.
+    blocks:
+        Optional ordered mapping ``{block_name: cell names}``.  When given,
+        each block becomes its own submodule (ports named after the nets
+        they carry) and the top module instantiates them — use
+        :func:`partition_by_attr` to derive this from tagged cells.  Cells
+        in no block stay in the top module.  ``None`` (default) emits the
+        canonical flat, byte-stable form.
+    check:
+        Run export validation (connectivity + structure) first and raise
+        :class:`VerilogEmissionError` with the findings on failure.
+
+    Returns
+    -------
+    str
+        Verilog source.  Same netlist → same bytes, always.
+    """
+    if check:
+        _check_exportable(netlist)
+    for cell in netlist.iter_cells():
+        gate_spec(cell.cell_type)  # raises KeyError with known-type list
+
+    header = (
+        f"// Design: {netlist.name}\n"
+        f"// Structural Verilog emitted by repro.hdl.verilog (deterministic).\n"
+        f"// cells={netlist.cell_count()} nets={len(netlist.nets)} "
+        f"inputs={len(netlist.primary_inputs)} outputs={len(netlist.primary_outputs)}\n"
+    )
+    if not blocks:
+        body = [_instance_line(cell) for cell in netlist.iter_cells()]
+        return header + "\n" + _module_text(
+            netlist.name, netlist.primary_inputs, netlist.primary_outputs,
+            netlist.internal_nets(), body
+        )
+
+    # ----------------------------------------------------------- hierarchical
+    owner: Dict[str, str] = {}
+    for block_name, members in blocks.items():
+        for cell_name in members:
+            if cell_name not in netlist.cells:
+                raise VerilogEmissionError(
+                    f"block {block_name!r} lists unknown cell {cell_name!r}"
+                )
+            if cell_name in owner:
+                raise VerilogEmissionError(
+                    f"cell {cell_name!r} assigned to blocks {owner[cell_name]!r} "
+                    f"and {block_name!r}; blocks must be disjoint"
+                )
+            owner[cell_name] = block_name
+
+    modules: List[str] = []
+    top_body: List[str] = []
+    block_internal: Dict[str, None] = {}
+    for block_name, members in blocks.items():
+        iface = _block_interface(netlist, members)
+        sub_name = f"{netlist.name}__{block_name}"
+        member_set = set(members)
+        ordered = [c.name for c in netlist.iter_cells() if c.name in member_set]
+        body = [_instance_line(netlist.cells[c]) for c in ordered]
+        modules.append(
+            _module_text(sub_name, iface["inputs"], iface["outputs"], iface["internal"], body)
+        )
+        for net in iface["internal"]:
+            block_internal.setdefault(net)
+        conns = ", ".join(
+            f".{verilog_identifier(net)}({verilog_identifier(net)})"
+            for net in iface["inputs"] + iface["outputs"]
+        )
+        top_body.append(
+            f"  {_spaced(verilog_identifier(sub_name))}"
+            f"{_spaced(verilog_identifier(INSTANCE_PREFIX + block_name))}({conns});"
+        )
+    for cell in netlist.iter_cells():
+        if cell.name not in owner:
+            top_body.append(_instance_line(cell))
+    top_wires = [n for n in netlist.internal_nets() if n not in block_internal]
+    top = _module_text(
+        netlist.name, netlist.primary_inputs, netlist.primary_outputs, top_wires, top_body
+    )
+    return header + "\n" + "\n".join(modules) + "\n" + top

@@ -1,6 +1,6 @@
 """Technology mapping and synthesis-style reporting (the Design Compiler stand-in)."""
 
-from .flow import SynthesisResult, synthesize
+from .flow import HdlExportOptions, SynthesisResult, synthesize
 from .mapping import DECOMPOSITIONS, MappingError, map_to_library
 from .reports import (
     AreaReport,
@@ -13,6 +13,7 @@ from .reports import (
 __all__ = [
     "AreaReport",
     "DECOMPOSITIONS",
+    "HdlExportOptions",
     "LeakageReport",
     "MappingError",
     "SynthesisResult",

@@ -10,16 +10,47 @@ mapping plus reporting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Optional, Union
 
 from repro.circuits.library import CellLibrary
 from repro.circuits.netlist import Netlist
-from repro.circuits.validate import ValidationReport, check_structure, check_unate_only
+from repro.circuits.validate import (
+    ValidationReport,
+    check_connectivity,
+    check_structure,
+    check_unate_only,
+)
 from repro.sim.sta import TimingReport, register_to_register_period
 
 from .mapping import map_to_library
 from .reports import AreaReport, LeakageReport, area_report, leakage_report, timing_report
+
+
+@dataclass
+class HdlExportOptions:
+    """Configuration of the post-mapping HDL export hook of :func:`synthesize`.
+
+    Attributes
+    ----------
+    directory:
+        Where to write ``<design>.v`` / ``primitives.v`` / ``tb_<design>.v``;
+        ``None`` keeps the export in memory only.
+    testbench:
+        Generate the self-checking testbench (skipped automatically for
+        clocked netlists).
+    testbench_vectors / roundtrip_vectors / seed:
+        Passed through to :func:`repro.hdl.export.export_netlist`.
+    verify:
+        Run the emit → parse → equivalence round trip on the mapped netlist.
+    """
+
+    directory: Optional[str] = None
+    testbench: bool = True
+    testbench_vectors: int = 32
+    verify: bool = True
+    roundtrip_vectors: int = 256
+    seed: int = 2021
 
 
 @dataclass
@@ -34,6 +65,7 @@ class SynthesisResult:
     timing: TimingReport
     clock_period: Optional[float]
     validation: ValidationReport
+    hdl: Optional[object] = field(default=None, repr=False)
 
     @property
     def is_sequentially_clocked(self) -> bool:
@@ -47,6 +79,7 @@ def synthesize(
     vdd: Optional[float] = None,
     clocked: bool = False,
     enforce_unate: bool = False,
+    export: Optional[Union[str, HdlExportOptions]] = None,
 ) -> SynthesisResult:
     """Map *netlist* onto *library* and produce its reports.
 
@@ -59,9 +92,17 @@ def synthesize(
         ``True`` for dual-rail designs: the mapped netlist is checked to
         contain unate cells only (Requirement 2), and a violation is
         recorded in the validation report.
+    export:
+        Post-mapping HDL export hook.  Pass a directory path (shorthand) or
+        an :class:`HdlExportOptions` to emit the mapped netlist as
+        structural Verilog plus behavioral primitives and a self-checking
+        testbench, round-trip verified in-process.  The resulting
+        :class:`repro.hdl.export.HdlExport` lands on ``result.hdl``.
+        Export refuses netlists whose validation found errors.
     """
     mapped = map_to_library(netlist, library)
     validation = check_structure(mapped)
+    validation.extend(check_connectivity(mapped))
     if enforce_unate:
         validation.extend(check_unate_only(mapped))
     area = area_report(mapped, library)
@@ -70,6 +111,30 @@ def synthesize(
     clock_period = (
         register_to_register_period(mapped, library, vdd=vdd) if clocked else None
     )
+    hdl = None
+    if export is not None:
+        if validation.errors:
+            raise ValueError(
+                f"refusing HDL export of {netlist.name!r}: validation found "
+                f"{len(validation.errors)} error(s), e.g. {validation.errors[0]}"
+            )
+        options = (
+            export if isinstance(export, HdlExportOptions)
+            else HdlExportOptions(directory=export)
+        )
+        # Imported here so repro.synth stays importable without repro.hdl
+        # (and to keep the dependency direction hdl -> circuits one-way).
+        from repro.hdl.export import export_netlist
+
+        hdl = export_netlist(
+            mapped,
+            directory=options.directory,
+            testbench=options.testbench,
+            testbench_vectors=options.testbench_vectors,
+            verify=options.verify,
+            roundtrip_vectors=options.roundtrip_vectors,
+            seed=options.seed,
+        )
     return SynthesisResult(
         design_name=netlist.name,
         library_name=library.name,
@@ -79,4 +144,5 @@ def synthesize(
         timing=timing,
         clock_period=clock_period,
         validation=validation,
+        hdl=hdl,
     )

@@ -11,6 +11,7 @@ untouched — the same job logic synthesis performs after technology mapping.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Callable, Dict
 
 from repro.circuits.builder import LogicBuilder
@@ -121,6 +122,15 @@ def map_to_library(netlist: Netlist, library: CellLibrary) -> Netlist:
                     attrs=dict(cell.attrs),
                 )
             else:
+                before = len(mapped.cells)
                 DECOMPOSITIONS[cell.cell_type](builder, cell)
+                if cell.attrs:
+                    # Replacement cells inherit the original cell's
+                    # attributes (block/role tags survive decomposition, so
+                    # hierarchical HDL export and CD/area accounting keep
+                    # working on mapped netlists).
+                    for new_name in islice(mapped.cells, before, None):
+                        for key, value in cell.attrs.items():
+                            mapped.cells[new_name].attrs.setdefault(key, value)
         current = mapped
     raise MappingError("technology mapping did not converge after four rounds")

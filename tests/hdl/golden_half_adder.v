@@ -1,0 +1,29 @@
+// Design: ha_block
+// Structural Verilog emitted by repro.hdl.verilog (deterministic).
+// cells=8 nets=12 inputs=4 outputs=4
+
+module ha_block(
+  input a_p,
+  input a_n,
+  input b_p,
+  input b_n,
+  output s_p,
+  output s_n,
+  output c_p,
+  output c_n
+);
+
+  wire ao22_0;
+  wire ao22_1;
+  wire and2_2;
+  wire or2_3;
+
+  AO22 u$ao22_0 (.A1(a_p), .A2(b_n), .B1(a_n), .B2(b_p), .Y(ao22_0));
+  AO22 u$ao22_1 (.A1(a_p), .A2(b_p), .B1(a_n), .B2(b_n), .Y(ao22_1));
+  AND2 u$and2_2 (.A(a_p), .B(b_p), .Y(and2_2));
+  OR2 u$or2_3 (.A(a_n), .B(b_n), .Y(or2_3));
+  BUF u$buf_4 (.A(ao22_0), .Y(s_p));
+  BUF u$buf_5 (.A(ao22_1), .Y(s_n));
+  BUF u$buf_6 (.A(and2_2), .Y(c_p));
+  BUF u$buf_7 (.A(or2_3), .Y(c_n));
+endmodule

@@ -1,0 +1,65 @@
+"""Builders for the datapath-block netlists the HDL tests round-trip."""
+
+from __future__ import annotations
+
+from repro.circuits.netlist import Netlist
+from repro.core.dual_rail import DualRailBuilder, SpacerPolarity
+from repro.datapath.adders import dual_rail_full_adder, dual_rail_half_adder
+from repro.datapath.clause_logic import dual_rail_clause
+from repro.datapath.comparator import dual_rail_magnitude_comparator
+from repro.datapath.popcount import dual_rail_popcount
+
+
+def half_adder_netlist() -> Netlist:
+    """The paper's dual-rail half adder as a standalone design."""
+    builder = DualRailBuilder("ha_block")
+    a = builder.input_bit("a")
+    b = builder.input_bit("b")
+    out = dual_rail_half_adder(builder, a, b)
+    builder.output_bit("s", builder.align_polarity(out.sum, SpacerPolarity.ALL_ZERO))
+    builder.output_bit("c", builder.align_polarity(out.carry, SpacerPolarity.ALL_ZERO))
+    return builder.build().netlist
+
+
+def full_adder_netlist() -> Netlist:
+    """Dual-rail full adder (two half adders + carry merge)."""
+    builder = DualRailBuilder("fa_block")
+    a = builder.input_bit("a")
+    b = builder.input_bit("b")
+    cin = builder.input_bit("cin")
+    out = dual_rail_full_adder(builder, a, b, cin)
+    builder.output_bit("s", builder.align_polarity(out.sum, SpacerPolarity.ALL_ZERO))
+    builder.output_bit("c", builder.align_polarity(out.carry, SpacerPolarity.ALL_ZERO))
+    return builder.build().netlist
+
+
+def popcount_netlist(num_inputs: int) -> Netlist:
+    """Generic dual-rail population counter over *num_inputs* votes."""
+    builder = DualRailBuilder(f"pop{num_inputs}_block")
+    inputs = [builder.input_bit(f"x{i}") for i in range(num_inputs)]
+    bits = dual_rail_popcount(builder, inputs)
+    for i, bit in enumerate(bits):
+        builder.output_bit(f"y{i}", builder.align_polarity(bit, SpacerPolarity.ALL_ZERO))
+    return builder.build().netlist
+
+
+def comparator_netlist(width: int) -> Netlist:
+    """MSB-first dual-rail magnitude comparator over *width*-bit operands."""
+    builder = DualRailBuilder(f"cmp{width}_block")
+    a_bits = builder.input_bus("a", width)
+    b_bits = builder.input_bus("b", width)
+    verdict = dual_rail_magnitude_comparator(builder, a_bits, b_bits)
+    for name, sig in (("gt", verdict.greater), ("eq", verdict.equal),
+                      ("lt", verdict.less)):
+        builder.output_bit(name, builder.align_polarity(sig, SpacerPolarity.ALL_ZERO))
+    return builder.build().netlist
+
+
+def clause_netlist(num_features: int) -> Netlist:
+    """One dual-rail clause (OR masks + AND tree) over *num_features* features."""
+    builder = DualRailBuilder(f"clause{num_features}_block")
+    features = [builder.input_bit(f"f{m}") for m in range(num_features)]
+    excludes = [builder.input_bit(f"e{k}") for k in range(2 * num_features)]
+    vote = dual_rail_clause(builder, features, excludes)
+    builder.output_bit("vote", builder.align_polarity(vote, SpacerPolarity.ALL_ZERO))
+    return builder.build().netlist

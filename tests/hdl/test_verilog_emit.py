@@ -1,0 +1,165 @@
+"""Emitter-level tests: determinism, identifiers, validation, primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import half_adder_netlist, popcount_netlist
+
+from repro.circuits.builder import LogicBuilder
+from repro.circuits.gates import GATE_REGISTRY
+from repro.circuits.netlist import Netlist
+from repro.datapath.datapath import DatapathConfig, DualRailDatapath
+from repro.hdl import (
+    VerilogEmissionError,
+    emit_primitives,
+    emit_verilog,
+    partition_by_attr,
+    primitive_module,
+    primitives_for_netlist,
+    verilog_identifier,
+)
+
+
+class TestIdentifiers:
+    def test_plain_names_pass_through(self):
+        assert verilog_identifier("nand2_17") == "nand2_17"
+
+    def test_bus_style_names_are_escaped_with_trailing_space(self):
+        assert verilog_identifier("f[0]_p") == "\\f[0]_p "
+
+    def test_keywords_are_escaped(self):
+        assert verilog_identifier("wire") == "\\wire "
+        assert verilog_identifier("buf") == "\\buf "
+
+    def test_whitespace_names_are_rejected(self):
+        with pytest.raises(VerilogEmissionError):
+            verilog_identifier("a b")
+
+
+class TestDeterminism:
+    def test_same_build_emits_identical_bytes(self):
+        first = emit_verilog(popcount_netlist(5))
+        second = emit_verilog(popcount_netlist(5))
+        assert first == second
+
+    def test_datapath_emission_is_reproducible(self):
+        config = DatapathConfig(num_features=2, clauses_per_polarity=2)
+        texts = {
+            emit_verilog(DualRailDatapath(config).circuit.netlist) for _ in range(2)
+        }
+        assert len(texts) == 1
+
+    def test_emitting_twice_from_one_netlist_is_stable(self):
+        netlist = half_adder_netlist()
+        assert emit_verilog(netlist) == emit_verilog(netlist)
+
+
+class TestEmission:
+    def test_escaped_rail_names_appear_in_ports(self):
+        config = DatapathConfig(num_features=2, clauses_per_polarity=2)
+        text = emit_verilog(DualRailDatapath(config).circuit.netlist)
+        assert "input \\f[0]_p ," in text
+        assert "output verdict_less" in text
+
+    def test_every_cell_becomes_one_instance(self):
+        netlist = half_adder_netlist()
+        text = emit_verilog(netlist)
+        for cell in netlist.iter_cells():
+            assert f"{cell.cell_type} " in text
+        assert text.count(";") >= netlist.cell_count()
+
+    def test_pi_po_overlap_is_rejected(self):
+        netlist = Netlist("feedthrough")
+        netlist.add_input("x")
+        netlist.add_output("x")
+        with pytest.raises(VerilogEmissionError, match="both primary inputs"):
+            emit_verilog(netlist)
+
+    def test_dangling_net_is_rejected_with_actionable_message(self):
+        builder = LogicBuilder("dangling")
+        a = builder.input("a")
+        builder.output("y", builder.not_(a))
+        builder.netlist.get_net("orphan")
+        with pytest.raises(VerilogEmissionError, match="orphan.*dangling"):
+            emit_verilog(builder.netlist)
+
+    def test_check_false_skips_validation(self):
+        builder = LogicBuilder("dangling2")
+        a = builder.input("a")
+        builder.output("y", builder.not_(a))
+        builder.netlist.get_net("orphan")
+        assert "module dangling2" in emit_verilog(builder.netlist, check=False)
+
+
+class TestHierarchy:
+    def test_datapath_blocks_become_submodules(self):
+        config = DatapathConfig(num_features=2, clauses_per_polarity=2)
+        netlist = DualRailDatapath(config).circuit.netlist
+        blocks = partition_by_attr(netlist)
+        assert set(blocks) == {
+            "latches", "clauses_pos", "clauses_neg", "popcount_pos",
+            "popcount_neg", "comparator", "completion",
+        }
+        text = emit_verilog(netlist, blocks=blocks)
+        for block in blocks:
+            assert f"module {netlist.name}__{block}(" in text
+        assert text.count("module ") == len(blocks) + 1
+
+    def test_blocks_must_be_disjoint(self):
+        netlist = half_adder_netlist()
+        cell = next(iter(netlist.cells))
+        with pytest.raises(VerilogEmissionError, match="disjoint"):
+            emit_verilog(netlist, blocks={"a": [cell], "b": [cell]})
+
+
+class TestPrimitives:
+    def test_every_registry_cell_has_a_model(self):
+        for cell_type in GATE_REGISTRY:
+            text = primitive_module(cell_type)
+            assert text.startswith(f"module {cell_type} (")
+            assert text.rstrip().endswith("endmodule")
+
+    def test_emission_is_sorted_and_stable(self):
+        assert emit_primitives() == emit_primitives()
+        text = emit_primitives(["NAND2", "AND2", "NAND2"])
+        assert text.index("module AND2") < text.index("module NAND2")
+        assert text.count("module NAND2") == 1
+
+    def test_primitives_for_netlist_covers_used_types_only(self):
+        netlist = half_adder_netlist()
+        text = primitives_for_netlist(netlist)
+        for cell_type in {c.cell_type for c in netlist.iter_cells()}:
+            assert f"module {cell_type} (" in text
+        assert "module DFF" not in text
+
+    def test_combinational_expressions_match_gate_specs(self):
+        """The emitted ``assign`` of every combinational cell computes the
+        same Boolean function as the Python GateSpec, over all input combos.
+
+        The Verilog expression is interpreted with Python's bitwise
+        operators (the emitter only ever inverts at the outermost level, so
+        a final ``& 1`` mask is exact).
+        """
+        import itertools
+        import re as _re
+
+        for cell_type, spec in GATE_REGISTRY.items():
+            if spec.sequential:
+                continue
+            text = primitive_module(cell_type)
+            expr = _re.search(r"assign Y = (.+);", text).group(1)
+            expr = expr.replace("1'b", "")
+            for values in itertools.product((0, 1), repeat=spec.num_inputs):
+                env = dict(zip(spec.input_pins, values))
+                got = eval(expr, {"__builtins__": {}}, dict(env)) & 1
+                want = spec.evaluate(env, None)["Y"]
+                assert got == want, (cell_type, env, got, want)
+
+    def test_c_element_model_holds_state(self):
+        text = primitive_module("C2")
+        assert "output reg Y" in text
+        assert "always @*" in text
+
+    def test_dff_model_is_edge_triggered(self):
+        assert "posedge CK" in primitive_module("DFF")

@@ -1,0 +1,113 @@
+"""Benchmark regression gate: compare BENCH_sim.json against the baseline.
+
+The bench-smoke CI job runs the benchmark suite (which writes
+``BENCH_sim.json``) and then this gate; any tracked throughput metric that
+falls outside its tolerance band fails the job — regressions break the
+build instead of only being visible in the uploaded artifact.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --bench BENCH_sim.json --baseline benchmarks/baseline.json
+
+    # After an intentional perf change, refresh the committed figures
+    # (directions and tolerances of existing entries are preserved):
+    python benchmarks/check_regression.py --bench BENCH_sim.json --update
+
+The comparison semantics (directions, per-metric tolerance bands, missing
+tracked metrics failing the gate) live in
+:mod:`repro.analysis.regression` so they are unit-tested like any other
+library code; this file is only the CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+try:
+    from repro.analysis.regression import compare_to_baseline, load_baseline, regressions
+except ImportError:  # pragma: no cover - direct invocation without install
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.analysis.regression import compare_to_baseline, load_baseline, regressions
+
+#: Keys in BENCH_sim.json's metrics block that are run configuration, not
+#: performance figures; never gated or baselined.
+CONFIG_KEYS = ("batch_backend_batch_size",)
+
+
+def load_bench_metrics(path: Path) -> dict:
+    """The ``metrics`` block of a BENCH_sim.json, config keys stripped."""
+    payload = json.loads(path.read_text())
+    metrics = payload.get("metrics", {})
+    return {k: v for k, v in metrics.items() if k not in CONFIG_KEYS}
+
+
+def update_baseline(bench_path: Path, baseline_path: Path) -> None:
+    """Rewrite the baseline's values from a fresh run, keeping its policy.
+
+    Existing entries keep their direction and tolerance; metrics new to the
+    run are added as plain higher-is-better entries with the default band,
+    and entries for metrics the run no longer produces are pruned (they
+    would otherwise fail the gate forever as "missing").
+    """
+    current = load_bench_metrics(bench_path)
+    raw = json.loads(baseline_path.read_text()) if baseline_path.exists() else {}
+    old_entries = raw.get("metrics", {})
+    entries = {}
+    for name, value in sorted(current.items()):
+        entry = dict(old_entries.get(name, {"direction": "higher-is-better"}))
+        entry["value"] = round(float(value), 2)
+        entries[name] = entry
+    stale = sorted(set(old_entries) - set(entries))
+    if stale:
+        print(f"pruned stale baseline metrics: {', '.join(stale)}")
+    raw["metrics"] = entries
+    raw.setdefault("default_tolerance", 0.3)
+    baseline_path.write_text(json.dumps(raw, indent=2, sort_keys=True) + "\n")
+    print(f"baseline updated from {bench_path} -> {baseline_path}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--bench", default="BENCH_sim.json",
+                        help="BENCH_sim.json produced by the benchmark run")
+    parser.add_argument("--baseline",
+                        default=str(Path(__file__).resolve().parent / "baseline.json"),
+                        help="committed baseline file")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="override the default tolerance band (fraction)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline values from --bench and exit")
+    args = parser.parse_args(argv)
+
+    bench_path = Path(args.bench)
+    baseline_path = Path(args.baseline)
+    if not bench_path.exists():
+        print(f"error: benchmark record {bench_path} does not exist", file=sys.stderr)
+        return 2
+    if args.update:
+        update_baseline(bench_path, baseline_path)
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    current = load_bench_metrics(bench_path)
+    comparisons = compare_to_baseline(current, baseline, default_tolerance=args.tolerance)
+    print(f"Benchmark regression gate: {bench_path} vs {baseline_path}")
+    for comparison in comparisons:
+        print(f"  {comparison.describe()}")
+    failing = regressions(comparisons)
+    if failing:
+        print(f"\n{len(failing)} metric(s) regressed beyond the tolerance band",
+              file=sys.stderr)
+        return 1
+    print("\nAll tracked metrics within their tolerance bands")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

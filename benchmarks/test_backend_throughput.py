@@ -19,7 +19,7 @@ import os
 import time
 
 from repro.analysis import random_workload
-from repro.analysis.experiments import workload_input_planes
+from repro.analysis import workload_input_planes
 from repro.core.dual_rail import encode_bit
 from repro.datapath.datapath import DualRailDatapath
 from repro.sim.backends import BatchBackend, EventBackend

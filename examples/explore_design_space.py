@@ -1,0 +1,190 @@
+"""Design-space exploration driver: Pareto sweeps over the architecture family.
+
+Expands a named parameter grid (dataset × clauses × booleanizer resolution ×
+library × datapath style × supply voltage), evaluates every point end to end
+(train → map → simulate → report) through ``repro.explore``, and emits:
+
+* ``<out>/dse_points.json``  — every evaluated :class:`DesignPoint`;
+* ``<out>/pareto_<a>_vs_<b>.csv`` — one deterministic Pareto-front CSV per
+  requested metric pair;
+* ``BENCH_dse.json`` (``--bench-json``) — the sweep provenance record CI
+  uploads as an artifact (point counts, cache hit rate, front sizes).
+
+Results are cached in a content-hash keyed store (``--store``), so re-runs
+only evaluate new or invalidated points; ``--expect-cached`` turns a re-run
+into an assertion that *everything* was served from the store.
+``--check-determinism`` re-evaluates the grid serially without the store and
+fails unless every point and every front is bit-identical — the jobs=1 ≡
+jobs=N contract CI enforces.
+
+Run with:  python examples/explore_design_space.py --grid smoke --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.explore import (
+    ResultStore,
+    format_front_csv,
+    grid_names,
+    named_grid,
+    pareto_front,
+    parse_metric_pair,
+    run_sweep,
+)
+
+#: Metric pairs swept by default: the paper's headline trade-offs.
+DEFAULT_PARETO_PAIRS = ("accuracy,energy", "accuracy,latency", "latency,area")
+
+
+def _front_filename(pair) -> str:
+    a, b = pair
+    return f"pareto_{a.name}_vs_{b.name}.csv"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--grid", default="smoke", choices=grid_names(),
+                        help="named parameter grid to expand (default: smoke)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel evaluation processes (results are jobs-invariant)")
+    parser.add_argument("--backend", default="batch", choices=("batch", "event"),
+                        help="functional evaluation backend (default: batch)")
+    parser.add_argument("--store", default=".dse_store",
+                        help="result-store directory; 'none' disables caching")
+    parser.add_argument("--out", default="dse_out",
+                        help="artifact directory for dse_points.json + Pareto CSVs")
+    parser.add_argument("--bench-json", default=None,
+                        help="also write the BENCH_dse.json provenance record here")
+    parser.add_argument("--pareto", action="append", default=None,
+                        metavar="METRIC,METRIC",
+                        help="metric pair to extract a front for (repeatable; "
+                             f"default: {', '.join(DEFAULT_PARETO_PAIRS)})")
+    parser.add_argument("--min-points", type=int, default=0,
+                        help="fail unless at least this many design points were swept")
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="re-evaluate serially without the store and require "
+                             "bit-identical points and fronts")
+    parser.add_argument("--expect-cached", action="store_true",
+                        help="fail unless every point was served from the store")
+    args = parser.parse_args(argv)
+
+    pair_texts = args.pareto if args.pareto else list(DEFAULT_PARETO_PAIRS)
+    pairs = [parse_metric_pair(text) for text in pair_texts]
+    grid = named_grid(args.grid)
+    store = None if args.store.lower() == "none" else ResultStore(args.store)
+
+    start = time.perf_counter()
+    result = run_sweep(grid, backend=args.backend, jobs=args.jobs, store=store)
+    elapsed = time.perf_counter() - start
+
+    print(f"Grid '{args.grid}': {len(result.points)} design points "
+          f"({result.dropped_duplicates} duplicate and "
+          f"{result.dropped_infeasible} infeasible combinations dropped)")
+    print(f"Evaluated {result.evaluated}, served {result.cached} from the store "
+          f"(hit rate {result.cache_hit_rate:.0%}) in {elapsed:.1f}s "
+          f"with jobs={args.jobs}, backend={args.backend}")
+
+    failures = []
+    if len(result.points) < args.min_points:
+        failures.append(
+            f"--min-points: swept only {len(result.points)} design points, "
+            f"expected at least {args.min_points}"
+        )
+    if args.expect_cached and result.evaluated:
+        failures.append(
+            f"--expect-cached: {result.evaluated} points were re-evaluated "
+            f"instead of served from the store"
+        )
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    points_payload = {
+        "grid": args.grid,
+        "backend": args.backend,
+        "points": [p.to_dict() for p in result.points],
+    }
+    (out_dir / "dse_points.json").write_text(
+        json.dumps(points_payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    fronts = {}
+    front_texts = {}
+    for pair in pairs:
+        metrics = list(pair)
+        front = pareto_front(result.points, metrics)
+        csv_text = format_front_csv(front, metrics)
+        csv_path = out_dir / _front_filename(pair)
+        csv_path.write_text(csv_text)
+        fronts[_front_filename(pair)] = front
+        front_texts[_front_filename(pair)] = csv_text
+        print(f"\nPareto front {pair[0].name} ({pair[0].goal}) vs "
+              f"{pair[1].name} ({pair[1].goal}) — {len(front)} points "
+              f"-> {csv_path}")
+        for point in front:
+            print(f"  {point.spec.label():55s} "
+                  f"{pair[0].name}={pair[0].value(point):.4g} "
+                  f"{pair[1].name}={pair[1].value(point):.4g}")
+        if not front:
+            failures.append(f"empty Pareto front for {_front_filename(pair)}")
+
+    if args.check_determinism:
+        print("\nDeterminism check: re-evaluating serially without the store ...")
+        check_start = time.perf_counter()
+        serial = run_sweep(grid, backend=args.backend, jobs=1, store=None)
+        check_elapsed = time.perf_counter() - check_start
+        same_points = (
+            [p.to_dict() for p in serial.points]
+            == [p.to_dict() for p in result.points]
+        )
+        same_fronts = all(
+            format_front_csv(pareto_front(serial.points, list(pair)), list(pair))
+            == front_texts[_front_filename(pair)]
+            for pair in pairs
+        )
+        if same_points and same_fronts:
+            print(f"  OK: jobs=1 reproduced all {len(serial.points)} points and "
+                  f"every front bit-for-bit ({check_elapsed:.1f}s)")
+        else:
+            failures.append(
+                f"determinism violation: jobs=1 differs from jobs={args.jobs} "
+                f"(points identical: {same_points}, fronts identical: {same_fronts})"
+            )
+
+    bench = {
+        "grid": args.grid,
+        "backend": args.backend,
+        "jobs": args.jobs,
+        "design_points": len(result.points),
+        "evaluated": result.evaluated,
+        "cached": result.cached,
+        "cache_hit_rate": result.cache_hit_rate,
+        "dropped_duplicates": result.dropped_duplicates,
+        "dropped_infeasible": result.dropped_infeasible,
+        "wall_seconds": elapsed,
+        "pareto_fronts": {
+            name: [p.spec.label() for p in front] for name, front in fronts.items()
+        },
+        "store": store.stats() if store is not None else None,
+    }
+    if args.bench_json:
+        Path(args.bench_json).write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+        print(f"\nProvenance record -> {args.bench_json}")
+
+    if failures:
+        print("\nFAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,28 +45,30 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.circuits.library import CellLibrary, default_libraries, full_diffusion_library
+from repro.circuits.library import CellLibrary
 from repro.core.completion import GracePeriod, compute_grace_period
-from repro.core.dual_rail import DualRailCircuit, OneOfNSignal
-from repro.datapath.datapath import (
-    DatapathConfig,
-    DualRailDatapath,
-    VERDICT_LABELS,
-    feature_input_name,
-)
+from repro.datapath.datapath import DatapathConfig, DualRailDatapath
 from repro.datapath.sync_datapath import SingleRailDatapath
-from repro.sim.backends import ArrayBatchResult, BatchBackend
-from repro.sim.handshake import DualRailEnvironment, SynchronousEnvironment
-from repro.sim.monitors import ForbiddenStateMonitor, MonotonicityMonitor
+from repro.sim.handshake import SynchronousEnvironment
 from repro.sim.power import PowerAccountant, PowerReport
 from repro.sim.simulator import GateLevelSimulator
 from repro.sim.voltage import FIGURE3_VOLTAGES
 from repro.synth.flow import HdlExportOptions, SynthesisResult, synthesize
-from repro.tm.inference import InferenceModel
-from repro.tm.machine import TsetlinMachine
-from repro.tm.datasets import noisy_xor, random_operand_stream
+from repro.tm.datasets import random_operand_stream
 
 from .latency import LatencySummary, summarize_latencies
+from .measure import (
+    FunctionalSweep,
+    Workload,
+    batch_functional_pass,
+    build_mapped_dual_rail,
+    make_dual_rail_environment,
+    rebind_interface,
+    resolve_libraries,
+    resolve_library,
+    resolve_workload,
+    truncate_workload,
+)
 from .runner import run_parallel
 from .tables import Figure3Point, Table1Row
 from .throughput import dual_rail_throughput, synchronous_throughput
@@ -84,22 +86,6 @@ def _check_backend(backend: str) -> None:
         raise ValueError(
             f"unknown experiment backend {backend!r}; expected one of {EXPERIMENT_BACKENDS}"
         )
-
-
-@dataclass
-class Workload:
-    """A hardware workload: clause configuration plus a stream of operands."""
-
-    config: DatapathConfig
-    exclude: np.ndarray
-    feature_vectors: np.ndarray
-    model: InferenceModel
-    description: str = ""
-
-    @property
-    def num_operands(self) -> int:
-        """Number of feature vectors in the stream."""
-        return int(self.feature_vectors.shape[0])
 
 
 @dataclass
@@ -130,226 +116,6 @@ class SingleRailMeasurement:
     correctness: float
 
 
-def default_workload(
-    num_features: int = 4,
-    clauses_per_polarity: int = 8,
-    num_operands: int = 40,
-    epochs: int = 25,
-    seed: int = 2021,
-    latch_inputs: bool = True,
-) -> Workload:
-    """Train a Tsetlin machine on noisy-XOR and package it as a hardware workload.
-
-    The trained machine's exclude actions configure the clauses; the test
-    split of the dataset provides the operand stream (re-sampled with
-    replacement to reach *num_operands*).
-    """
-    config = DatapathConfig(
-        num_features=num_features,
-        clauses_per_polarity=clauses_per_polarity,
-        latch_inputs=latch_inputs,
-    )
-    dataset = noisy_xor(num_samples=400, num_features=num_features, noise=0.05, seed=seed)
-    machine = TsetlinMachine(
-        num_features=num_features,
-        num_clauses=config.num_clauses,
-        threshold=clauses_per_polarity,
-        s=3.0,
-        seed=seed,
-    )
-    machine.fit(dataset.train_x, dataset.train_y, epochs=epochs)
-    model = InferenceModel.from_machine(machine)
-    rng = np.random.default_rng(seed)
-    indices = rng.integers(0, dataset.test_x.shape[0], size=num_operands)
-    feature_vectors = dataset.test_x[indices]
-    return Workload(
-        config=config,
-        exclude=model.exclude,
-        feature_vectors=feature_vectors,
-        model=model,
-        description=(
-            f"noisy-XOR Tsetlin machine, {num_features} features, "
-            f"{clauses_per_polarity} clauses per polarity, {num_operands} operands"
-        ),
-    )
-
-
-def random_workload(
-    num_features: int = 4,
-    clauses_per_polarity: int = 8,
-    num_operands: int = 40,
-    include_probability: float = 0.25,
-    seed: int = 7,
-    latch_inputs: bool = True,
-) -> Workload:
-    """A workload with random clause composition (no training required)."""
-    config = DatapathConfig(
-        num_features=num_features,
-        clauses_per_polarity=clauses_per_polarity,
-        latch_inputs=latch_inputs,
-    )
-    model = InferenceModel.random(
-        config.num_clauses, num_features, include_probability=include_probability, seed=seed
-    )
-    rng = np.random.default_rng(seed)
-    feature_vectors = (rng.random((num_operands, num_features)) < 0.5).astype(np.int8)
-    return Workload(
-        config=config,
-        exclude=model.exclude,
-        feature_vectors=feature_vectors,
-        model=model,
-        description="random clause composition workload",
-    )
-
-
-def _mapped_circuit(circuit: DualRailCircuit, synthesis: SynthesisResult) -> DualRailCircuit:
-    """Re-bind the dual-rail interface onto the technology-mapped netlist."""
-    return DualRailCircuit(
-        netlist=synthesis.netlist,
-        inputs=circuit.inputs,
-        outputs=circuit.outputs,
-        one_of_n_outputs=circuit.one_of_n_outputs,
-        done_net=circuit.done_net,
-        metadata=dict(circuit.metadata),
-    )
-
-
-@dataclass
-class FunctionalSweep:
-    """Functional-only result of pushing a workload through a backend.
-
-    Produced by :func:`functional_sweep`; carries everything Table-I style
-    correctness accounting and batch energy estimation need, but no timing
-    (use :func:`measure_dual_rail` when latency matters).
-    """
-
-    library: str
-    backend: str
-    samples: int
-    verdicts: List[str]
-    decisions: List[int]
-    correctness: float
-    activity_by_cell_type: Dict[str, int] = field(default_factory=dict)
-    energy_per_inference_fj: float = 0.0
-
-
-def workload_input_planes(
-    circuit: DualRailCircuit, datapath: DualRailDatapath, workload: Workload
-) -> Dict[str, np.ndarray]:
-    """Per-rail input arrays for the whole operand stream of *workload*.
-
-    Feature inputs vary per sample (column *m* of the feature matrix);
-    exclude inputs are constant across the stream, so they broadcast from
-    the first operand's assignment.  That broadcast assumption is checked
-    against the last operand — if any non-feature input ever varied over the
-    stream, this raises instead of silently computing wrong batch verdicts.
-    """
-    features = np.asarray(workload.feature_vectors, dtype=np.uint8)
-    samples = features.shape[0]
-    if samples == 0:
-        # Zero-length planes give a well-formed empty sweep downstream.
-        empty = np.zeros(0, dtype=np.uint8)
-        return {rail: empty for sig in circuit.inputs for rail in sig.rails()}
-    constants = datapath.operand_assignments(workload.feature_vectors[0], workload.exclude)
-    if samples > 1:
-        check = datapath.operand_assignments(workload.feature_vectors[-1], workload.exclude)
-        feature_names = {
-            feature_input_name(m) for m in range(workload.config.num_features)
-        }
-        varying = [name for name, value in constants.items()
-                   if name not in feature_names and check[name] != value]
-        if varying:
-            raise ValueError(
-                f"non-feature inputs vary across the operand stream "
-                f"(e.g. {varying[:3]}); the batch plane broadcast would be wrong"
-            )
-    feature_index = {
-        feature_input_name(m): m for m in range(workload.config.num_features)
-    }
-    planes: Dict[str, np.ndarray] = {}
-    for sig in circuit.inputs:
-        if sig.name in feature_index:
-            bits = features[:, feature_index[sig.name]]
-        else:
-            bits = np.full(samples, int(constants[sig.name]), dtype=np.uint8)
-        # encode_bit: the pos rail carries the bit, the neg rail its complement.
-        planes[sig.pos] = bits
-        planes[sig.neg] = (1 - bits).astype(np.uint8)
-    return planes
-
-
-def _spacer_assignments(circuit: DualRailCircuit) -> Dict[str, int]:
-    """The all-spacer input word (the rest state activity is counted from)."""
-    spacer: Dict[str, int] = {}
-    for sig in circuit.inputs:
-        value = sig.polarity.spacer_rail_value
-        spacer[sig.pos] = value
-        spacer[sig.neg] = value
-    return spacer
-
-
-def _decode_verdict_planes(result: ArrayBatchResult, sig: OneOfNSignal) -> List[str]:
-    """Vectorized 1-of-n decode of the verdict rails over a whole batch."""
-    rails = np.stack([result.values[rail] for rail in sig.rails])
-    if np.any(rails > 1):
-        raise ValueError(f"1-of-n output {sig.name!r} carries unknown values")
-    active = rails != sig.polarity.spacer_rail_value
-    active_counts = active.sum(axis=0)
-    if np.any(active_counts != 1):
-        bad = int(np.argmax(active_counts != 1))
-        raise ValueError(
-            f"invalid 1-of-{len(sig.rails)} codeword for sample {bad}: "
-            f"{[int(v) for v in rails[:, bad]]}"
-        )
-    indices = active.argmax(axis=0)
-    return [sig.labels[int(i)] for i in indices]
-
-
-def _batch_functional_pass(
-    datapath: DualRailDatapath,
-    circuit: DualRailCircuit,
-    workload: Workload,
-    library: CellLibrary,
-    vdd: Optional[float] = None,
-    with_activity: bool = True,
-) -> FunctionalSweep:
-    """Run the whole operand stream through the batch backend at once.
-
-    ``with_activity=False`` skips the spacer-baseline evaluation and energy
-    pricing — the right mode when only verdicts are wanted (e.g. when the
-    event simulation is computing power anyway).
-    """
-    backend = BatchBackend(circuit.netlist, library, vdd=vdd)
-    planes = workload_input_planes(circuit, datapath, workload)
-    baseline = _spacer_assignments(circuit) if with_activity else None
-    result = backend.run_arrays(planes, baseline=baseline)
-    verdict_sig = next(
-        sig for sig in circuit.one_of_n_outputs if tuple(sig.labels) == VERDICT_LABELS
-    )
-    verdicts = _decode_verdict_planes(result, verdict_sig)
-    decisions = [DualRailDatapath.decision_from_verdict(v) for v in verdicts]
-    golden = [workload.model.decision(f) for f in workload.feature_vectors]
-    correct = sum(1 for d, g in zip(decisions, golden) if d == g)
-    if with_activity:
-        accountant = PowerAccountant(circuit.netlist, library, vdd=vdd)
-        energy = accountant.energy_from_activity(result.activity_by_cell_type)
-    else:
-        energy = None
-    samples = len(verdicts)
-    return FunctionalSweep(
-        library=library.name,
-        backend="batch",
-        samples=samples,
-        verdicts=verdicts,
-        decisions=decisions,
-        correctness=correct / samples if samples else 0.0,
-        activity_by_cell_type=result.activity_by_cell_type,
-        energy_per_inference_fj=(
-            energy.total_fj / samples if energy is not None and samples else 0.0
-        ),
-    )
-
-
 def functional_sweep(
     workload: Workload,
     library: Optional[CellLibrary] = None,
@@ -371,15 +137,15 @@ def functional_sweep(
         synthesis and evaluates the as-built netlist (faster setup, same
         functional results).
     """
-    library = library if library is not None else full_diffusion_library()
+    library = resolve_library(library)
     datapath = DualRailDatapath(workload.config, library=library)
     circuit = datapath.circuit
     if synthesize_netlist:
         synthesis = synthesize(
             circuit.netlist, library, vdd=vdd, clocked=False, enforce_unate=True
         )
-        circuit = _mapped_circuit(circuit, synthesis)
-    return _batch_functional_pass(datapath, circuit, workload, library, vdd=vdd)
+        circuit = rebind_interface(circuit, synthesis)
+    return batch_functional_pass(datapath, circuit, workload, library, vdd=vdd)
 
 
 def measure_dual_rail(
@@ -405,23 +171,13 @@ def measure_dual_rail(
     harnesses and :func:`functional_sweep` when no timing is needed.
     """
     _check_backend(backend)
-    datapath = DualRailDatapath(workload.config, library=library)
-    synthesis = synthesize(
-        datapath.circuit.netlist, library, vdd=vdd, clocked=False, enforce_unate=True
+    mapped = build_mapped_dual_rail(workload.config, library, vdd=vdd)
+    datapath, synthesis = mapped.datapath, mapped.synthesis
+    circuit, grace = mapped.circuit, mapped.grace
+    bench = make_dual_rail_environment(
+        mapped, check_monotonic=check_monotonic, check_forbidden=True
     )
-    circuit = _mapped_circuit(datapath.circuit, synthesis)
-    grace = compute_grace_period(circuit, library, vdd=vdd)
-
-    simulator = GateLevelSimulator(circuit.netlist, library, vdd=vdd)
-    monitor = MonotonicityMonitor() if check_monotonic else None
-    if monitor is not None:
-        simulator.add_monitor(monitor)
-    forbidden = ForbiddenStateMonitor(simulator, circuit.outputs)
-    simulator.add_monitor(forbidden)
-    environment = DualRailEnvironment(
-        circuit, simulator, grace_period=grace.td, monotonicity_monitor=monitor
-    )
-    environment.reset()
+    simulator, environment = bench.simulator, bench.environment
 
     accountant = PowerAccountant(circuit.netlist, library, vdd=vdd)
     window_start = simulator.time
@@ -434,7 +190,7 @@ def measure_dual_rail(
         # loop below is then purely for the timing quantities.  Activity and
         # energy come from the event transition log here, so the batch pass
         # skips its own (with_activity=False).
-        functional = _batch_functional_pass(
+        functional = batch_functional_pass(
             datapath, circuit, workload, library, vdd=vdd, with_activity=False
         )
     for index, features in enumerate(workload.feature_vectors):
@@ -462,7 +218,7 @@ def measure_dual_rail(
         grace=grace,
         throughput_millions=throughput.millions_per_second,
         correctness=correct / len(results),
-        monotonic=(monitor.ok if monitor is not None else True) and forbidden.ok,
+        monotonic=bench.monitors_ok,
         latencies_ps=[r.t_s_to_v for r in results],
         verdicts=verdicts,
     )
@@ -580,8 +336,8 @@ def run_table1(
     the event backend regardless of *backend*.
     """
     _check_backend(backend)
-    workload = workload if workload is not None else default_workload()
-    libs = list(libraries) if libraries is not None else list(default_libraries().values())
+    workload = resolve_workload(workload)
+    libs = resolve_libraries(libraries)
     items = []
     for library in libs:
         items.append((workload, library, "single-rail", backend))
@@ -641,17 +397,9 @@ def run_figure3(
     make a point cheaper).
     """
     _check_backend(backend)
-    workload = workload if workload is not None else default_workload(num_operands=12)
-    library = library if library is not None else full_diffusion_library()
-    sub_workload = workload
-    if operands_per_point is not None and operands_per_point < workload.num_operands:
-        sub_workload = Workload(
-            config=workload.config,
-            exclude=workload.exclude,
-            feature_vectors=workload.feature_vectors[:operands_per_point],
-            model=workload.model,
-            description=workload.description,
-        )
+    workload = resolve_workload(workload, num_operands=12)
+    library = resolve_library(library)
+    sub_workload = truncate_workload(workload, operands_per_point)
     items = [(sub_workload, library, float(vdd), backend) for vdd in voltages]
     return run_parallel(_figure3_worker, items, jobs=jobs)
 
@@ -666,19 +414,12 @@ def _latency_chunk_worker(
     starts from the fully-settled spacer state).
     """
     workload, library, vdd, chunk_features = item
-    datapath = DualRailDatapath(workload.config, library=library)
-    synthesis = synthesize(
-        datapath.circuit.netlist, library, vdd=vdd, clocked=False, enforce_unate=True
-    )
-    circuit = _mapped_circuit(datapath.circuit, synthesis)
-    grace = compute_grace_period(circuit, library, vdd=vdd)
-    simulator = GateLevelSimulator(circuit.netlist, library, vdd=vdd)
-    environment = DualRailEnvironment(circuit, simulator, grace_period=grace.td)
-    environment.reset()
+    mapped = build_mapped_dual_rail(workload.config, library, vdd=vdd)
+    bench = make_dual_rail_environment(mapped)
     results = []
     for features in chunk_features:
-        assignments = datapath.operand_assignments(features, workload.exclude)
-        results.append(environment.infer(assignments))
+        assignments = mapped.datapath.operand_assignments(features, workload.exclude)
+        results.append(bench.environment.infer(assignments))
     return results
 
 
@@ -860,8 +601,8 @@ def run_hdl_export(
         partition_by_attr,
     )
 
-    workload = workload if workload is not None else default_workload()
-    library = library if library is not None else default_libraries()["UMC LL"]
+    workload = resolve_workload(workload)
+    library = resolve_library(library, "UMC LL")
     datapath = DualRailDatapath(workload.config, library=library)
     synthesis = synthesize(
         datapath.circuit.netlist,
@@ -932,7 +673,7 @@ def run_reduced_cd_comparison(
     concurrently); the returned grace period is computed for the reduced
     scheme, which is the one whose timing assumption needs it.
     """
-    library = library if library is not None else default_libraries()["UMC LL"]
+    library = resolve_library(library, "UMC LL")
     config = config if config is not None else DatapathConfig(num_features=4,
                                                               clauses_per_polarity=8)
     items = [("reduced", library, config), ("full", library, config)]

@@ -1,0 +1,450 @@
+"""Shared workload / library / measurement plumbing for every harness.
+
+Before the design-space-exploration subsystem existed, each experiment
+harness in :mod:`repro.analysis.experiments` repeated the same setup by
+hand: pick a default workload, pick default libraries, build the dual-rail
+datapath, synthesize it, compute the grace period, wire up a simulator and
+handshake environment.  This module is the single home for that plumbing;
+the Table-I / Figure-3 / latency-distribution harnesses and the
+:mod:`repro.explore` evaluator all consume the same helpers, so a
+measurement made by the DSE sweep is — by construction — the same
+measurement the paper-reproduction harnesses make.
+
+Contents
+--------
+* :class:`Workload` plus the :func:`default_workload` / :func:`random_workload`
+  constructors and :func:`truncate_workload` (prefix sub-streams);
+* :func:`resolve_workload` / :func:`resolve_library` /
+  :func:`resolve_libraries` — argument-defaulting used by every harness;
+* :class:`MappedDualRail` / :func:`build_mapped_dual_rail` — the
+  build → map → grace-period pipeline shared by all dual-rail measurements;
+* :class:`DualRailTestbench` / :func:`make_dual_rail_environment` — the
+  simulator + handshake environment (+ optional monitors) construction;
+* :class:`FunctionalSweep` / :func:`batch_functional_pass` and its plane
+  helpers — the vectorized functional evaluation path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuits.library import CellLibrary, default_libraries, full_diffusion_library
+from repro.core.completion import GracePeriod, compute_grace_period
+from repro.core.dual_rail import DualRailCircuit, OneOfNSignal
+from repro.datapath.datapath import (
+    DatapathConfig,
+    DualRailDatapath,
+    VERDICT_LABELS,
+    feature_input_name,
+)
+from repro.sim.backends import ArrayBatchResult, BatchBackend
+from repro.sim.handshake import DualRailEnvironment
+from repro.sim.monitors import ForbiddenStateMonitor, MonotonicityMonitor
+from repro.sim.power import PowerAccountant
+from repro.sim.simulator import GateLevelSimulator
+from repro.synth.flow import SynthesisResult, synthesize
+from repro.tm.inference import InferenceModel
+from repro.tm.machine import TsetlinMachine
+from repro.tm.datasets import noisy_xor
+
+
+# --------------------------------------------------------------------------
+# Workloads
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Workload:
+    """A hardware workload: clause configuration plus a stream of operands."""
+
+    config: DatapathConfig
+    exclude: np.ndarray
+    feature_vectors: np.ndarray
+    model: InferenceModel
+    description: str = ""
+
+    @property
+    def num_operands(self) -> int:
+        """Number of feature vectors in the stream."""
+        return int(self.feature_vectors.shape[0])
+
+
+def default_workload(
+    num_features: int = 4,
+    clauses_per_polarity: int = 8,
+    num_operands: int = 40,
+    epochs: int = 25,
+    seed: int = 2021,
+    latch_inputs: bool = True,
+) -> Workload:
+    """Train a Tsetlin machine on noisy-XOR and package it as a hardware workload.
+
+    The trained machine's exclude actions configure the clauses; the test
+    split of the dataset provides the operand stream (re-sampled with
+    replacement to reach *num_operands*).
+    """
+    config = DatapathConfig(
+        num_features=num_features,
+        clauses_per_polarity=clauses_per_polarity,
+        latch_inputs=latch_inputs,
+    )
+    dataset = noisy_xor(num_samples=400, num_features=num_features, noise=0.05, seed=seed)
+    machine = TsetlinMachine(
+        num_features=num_features,
+        num_clauses=config.num_clauses,
+        threshold=clauses_per_polarity,
+        s=3.0,
+        seed=seed,
+    )
+    machine.fit(dataset.train_x, dataset.train_y, epochs=epochs)
+    model = InferenceModel.from_machine(machine)
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, dataset.test_x.shape[0], size=num_operands)
+    feature_vectors = dataset.test_x[indices]
+    return Workload(
+        config=config,
+        exclude=model.exclude,
+        feature_vectors=feature_vectors,
+        model=model,
+        description=(
+            f"noisy-XOR Tsetlin machine, {num_features} features, "
+            f"{clauses_per_polarity} clauses per polarity, {num_operands} operands"
+        ),
+    )
+
+
+def random_workload(
+    num_features: int = 4,
+    clauses_per_polarity: int = 8,
+    num_operands: int = 40,
+    include_probability: float = 0.25,
+    seed: int = 7,
+    latch_inputs: bool = True,
+) -> Workload:
+    """A workload with random clause composition (no training required)."""
+    config = DatapathConfig(
+        num_features=num_features,
+        clauses_per_polarity=clauses_per_polarity,
+        latch_inputs=latch_inputs,
+    )
+    model = InferenceModel.random(
+        config.num_clauses, num_features, include_probability=include_probability, seed=seed
+    )
+    rng = np.random.default_rng(seed)
+    feature_vectors = (rng.random((num_operands, num_features)) < 0.5).astype(np.int8)
+    return Workload(
+        config=config,
+        exclude=model.exclude,
+        feature_vectors=feature_vectors,
+        model=model,
+        description="random clause composition workload",
+    )
+
+
+def truncate_workload(workload: Workload, num_operands: Optional[int]) -> Workload:
+    """A view of *workload* restricted to its first *num_operands* operands.
+
+    ``None`` or a count >= the stream length returns *workload* unchanged,
+    so callers can pass their ``operands_per_point``-style argument straight
+    through.
+    """
+    if num_operands is None or num_operands >= workload.num_operands:
+        return workload
+    return replace(workload, feature_vectors=workload.feature_vectors[:num_operands])
+
+
+def resolve_workload(workload: Optional[Workload], **defaults) -> Workload:
+    """Return *workload*, or :func:`default_workload` built with *defaults*."""
+    if workload is not None:
+        return workload
+    return default_workload(**defaults)
+
+
+def resolve_library(library: Optional[CellLibrary], name: Optional[str] = None) -> CellLibrary:
+    """Return *library*, or the named default (FULL DIFFUSION when unnamed).
+
+    Parameters
+    ----------
+    name:
+        Key into :func:`repro.circuits.library.default_libraries` used when
+        *library* is ``None``; ``None`` selects the subthreshold-capable
+        FULL DIFFUSION library (the permissive default: it works at every
+        supply point the sweeps visit).
+    """
+    if library is not None:
+        return library
+    if name is None:
+        return full_diffusion_library()
+    libraries = default_libraries()
+    try:
+        return libraries[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown library {name!r}; expected one of {sorted(libraries)}"
+        )
+
+
+def resolve_libraries(
+    libraries: Optional[Sequence[CellLibrary]],
+) -> List[CellLibrary]:
+    """Return *libraries* as a list, defaulting to both Table-I libraries."""
+    if libraries is not None:
+        return list(libraries)
+    return list(default_libraries().values())
+
+
+# --------------------------------------------------------------------------
+# Dual-rail build → map → grace pipeline
+# --------------------------------------------------------------------------
+
+
+def rebind_interface(circuit: DualRailCircuit, synthesis: SynthesisResult) -> DualRailCircuit:
+    """Re-bind the dual-rail interface onto the technology-mapped netlist."""
+    return DualRailCircuit(
+        netlist=synthesis.netlist,
+        inputs=circuit.inputs,
+        outputs=circuit.outputs,
+        one_of_n_outputs=circuit.one_of_n_outputs,
+        done_net=circuit.done_net,
+        metadata=dict(circuit.metadata),
+    )
+
+
+@dataclass
+class MappedDualRail:
+    """A dual-rail datapath built, technology-mapped and timing-analysed.
+
+    The product of :func:`build_mapped_dual_rail`: everything a measurement
+    needs before any simulation runs — the construction half that used to be
+    duplicated across ``measure_dual_rail``, the latency-distribution chunk
+    worker and (now) the DSE evaluator.
+    """
+
+    config: DatapathConfig
+    library: CellLibrary
+    vdd: Optional[float]
+    datapath: DualRailDatapath
+    synthesis: SynthesisResult
+    circuit: DualRailCircuit
+    grace: GracePeriod
+
+
+def build_mapped_dual_rail(
+    config: DatapathConfig,
+    library: CellLibrary,
+    vdd: Optional[float] = None,
+) -> MappedDualRail:
+    """Build the dual-rail datapath for *config*, map it, compute its grace.
+
+    This is the one construction path for every dual-rail measurement:
+    datapath assembly, technology mapping with the unate-cell check
+    (Requirement 2), interface re-binding onto the mapped netlist, and the
+    reduced-CD grace period at the measurement supply.
+    """
+    datapath = DualRailDatapath(config, library=library)
+    synthesis = synthesize(
+        datapath.circuit.netlist, library, vdd=vdd, clocked=False, enforce_unate=True
+    )
+    circuit = rebind_interface(datapath.circuit, synthesis)
+    grace = compute_grace_period(circuit, library, vdd=vdd)
+    return MappedDualRail(
+        config=config,
+        library=library,
+        vdd=vdd,
+        datapath=datapath,
+        synthesis=synthesis,
+        circuit=circuit,
+        grace=grace,
+    )
+
+
+@dataclass
+class DualRailTestbench:
+    """A ready-to-run simulator + handshake environment for a mapped design."""
+
+    simulator: GateLevelSimulator
+    environment: DualRailEnvironment
+    monotonicity: Optional[MonotonicityMonitor]
+    forbidden: Optional[ForbiddenStateMonitor]
+
+    @property
+    def monitors_ok(self) -> bool:
+        """``True`` when every attached monitor is still clean."""
+        mono = self.monotonicity.ok if self.monotonicity is not None else True
+        forb = self.forbidden.ok if self.forbidden is not None else True
+        return mono and forb
+
+
+def make_dual_rail_environment(
+    mapped: MappedDualRail,
+    check_monotonic: bool = False,
+    check_forbidden: bool = False,
+) -> DualRailTestbench:
+    """Construct (and reset) the event-driven testbench for *mapped*.
+
+    Monitors are opt-in: the fast sweep paths skip them, the Table-I
+    measurement enables both (the paper's hazard-freedom claim).
+    """
+    simulator = GateLevelSimulator(mapped.circuit.netlist, mapped.library, vdd=mapped.vdd)
+    monitor = MonotonicityMonitor() if check_monotonic else None
+    if monitor is not None:
+        simulator.add_monitor(monitor)
+    forbidden = None
+    if check_forbidden:
+        forbidden = ForbiddenStateMonitor(simulator, mapped.circuit.outputs)
+        simulator.add_monitor(forbidden)
+    environment = DualRailEnvironment(
+        mapped.circuit, simulator, grace_period=mapped.grace.td,
+        monotonicity_monitor=monitor,
+    )
+    environment.reset()
+    return DualRailTestbench(
+        simulator=simulator,
+        environment=environment,
+        monotonicity=monitor,
+        forbidden=forbidden,
+    )
+
+
+# --------------------------------------------------------------------------
+# Vectorized functional evaluation (batch backend)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class FunctionalSweep:
+    """Functional-only result of pushing a workload through a backend.
+
+    Produced by :func:`batch_functional_pass`; carries everything Table-I
+    style correctness accounting and batch energy estimation need, but no
+    timing (use the event-driven environment when latency matters).
+    """
+
+    library: str
+    backend: str
+    samples: int
+    verdicts: List[str]
+    decisions: List[int]
+    correctness: float
+    activity_by_cell_type: Dict[str, int] = field(default_factory=dict)
+    energy_per_inference_fj: float = 0.0
+
+
+def workload_input_planes(
+    circuit: DualRailCircuit, datapath: DualRailDatapath, workload: Workload
+) -> Dict[str, np.ndarray]:
+    """Per-rail input arrays for the whole operand stream of *workload*.
+
+    Feature inputs vary per sample (column *m* of the feature matrix);
+    exclude inputs are constant across the stream, so they broadcast from
+    the first operand's assignment.  That broadcast assumption is checked
+    against the last operand — if any non-feature input ever varied over the
+    stream, this raises instead of silently computing wrong batch verdicts.
+    """
+    features = np.asarray(workload.feature_vectors, dtype=np.uint8)
+    samples = features.shape[0]
+    if samples == 0:
+        # Zero-length planes give a well-formed empty sweep downstream.
+        empty = np.zeros(0, dtype=np.uint8)
+        return {rail: empty for sig in circuit.inputs for rail in sig.rails()}
+    constants = datapath.operand_assignments(workload.feature_vectors[0], workload.exclude)
+    if samples > 1:
+        check = datapath.operand_assignments(workload.feature_vectors[-1], workload.exclude)
+        feature_names = {
+            feature_input_name(m) for m in range(workload.config.num_features)
+        }
+        varying = [name for name, value in constants.items()
+                   if name not in feature_names and check[name] != value]
+        if varying:
+            raise ValueError(
+                f"non-feature inputs vary across the operand stream "
+                f"(e.g. {varying[:3]}); the batch plane broadcast would be wrong"
+            )
+    feature_index = {
+        feature_input_name(m): m for m in range(workload.config.num_features)
+    }
+    planes: Dict[str, np.ndarray] = {}
+    for sig in circuit.inputs:
+        if sig.name in feature_index:
+            bits = features[:, feature_index[sig.name]]
+        else:
+            bits = np.full(samples, int(constants[sig.name]), dtype=np.uint8)
+        # encode_bit: the pos rail carries the bit, the neg rail its complement.
+        planes[sig.pos] = bits
+        planes[sig.neg] = (1 - bits).astype(np.uint8)
+    return planes
+
+
+def spacer_assignments(circuit: DualRailCircuit) -> Dict[str, int]:
+    """The all-spacer input word (the rest state activity is counted from)."""
+    spacer: Dict[str, int] = {}
+    for sig in circuit.inputs:
+        value = sig.polarity.spacer_rail_value
+        spacer[sig.pos] = value
+        spacer[sig.neg] = value
+    return spacer
+
+
+def decode_verdict_planes(result: ArrayBatchResult, sig: OneOfNSignal) -> List[str]:
+    """Vectorized 1-of-n decode of the verdict rails over a whole batch."""
+    rails = np.stack([result.values[rail] for rail in sig.rails])
+    if np.any(rails > 1):
+        raise ValueError(f"1-of-n output {sig.name!r} carries unknown values")
+    active = rails != sig.polarity.spacer_rail_value
+    active_counts = active.sum(axis=0)
+    if np.any(active_counts != 1):
+        bad = int(np.argmax(active_counts != 1))
+        raise ValueError(
+            f"invalid 1-of-{len(sig.rails)} codeword for sample {bad}: "
+            f"{[int(v) for v in rails[:, bad]]}"
+        )
+    indices = active.argmax(axis=0)
+    return [sig.labels[int(i)] for i in indices]
+
+
+def batch_functional_pass(
+    datapath: DualRailDatapath,
+    circuit: DualRailCircuit,
+    workload: Workload,
+    library: CellLibrary,
+    vdd: Optional[float] = None,
+    with_activity: bool = True,
+) -> FunctionalSweep:
+    """Run the whole operand stream through the batch backend at once.
+
+    ``with_activity=False`` skips the spacer-baseline evaluation and energy
+    pricing — the right mode when only verdicts are wanted (e.g. when the
+    event simulation is computing power anyway).
+    """
+    backend = BatchBackend(circuit.netlist, library, vdd=vdd)
+    planes = workload_input_planes(circuit, datapath, workload)
+    baseline = spacer_assignments(circuit) if with_activity else None
+    result = backend.run_arrays(planes, baseline=baseline)
+    verdict_sig = next(
+        sig for sig in circuit.one_of_n_outputs if tuple(sig.labels) == VERDICT_LABELS
+    )
+    verdicts = decode_verdict_planes(result, verdict_sig)
+    decisions = [DualRailDatapath.decision_from_verdict(v) for v in verdicts]
+    golden = [workload.model.decision(f) for f in workload.feature_vectors]
+    correct = sum(1 for d, g in zip(decisions, golden) if d == g)
+    if with_activity:
+        accountant = PowerAccountant(circuit.netlist, library, vdd=vdd)
+        energy = accountant.energy_from_activity(result.activity_by_cell_type)
+    else:
+        energy = None
+    samples = len(verdicts)
+    return FunctionalSweep(
+        library=library.name,
+        backend="batch",
+        samples=samples,
+        verdicts=verdicts,
+        decisions=decisions,
+        correctness=correct / samples if samples else 0.0,
+        activity_by_cell_type=result.activity_by_cell_type,
+        energy_per_inference_fj=(
+            energy.total_fj / samples if energy is not None and samples else 0.0
+        ),
+    )

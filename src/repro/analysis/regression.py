@@ -1,0 +1,193 @@
+"""Benchmark regression gating against a committed baseline.
+
+The bench-smoke CI job records throughput figures into ``BENCH_sim.json``
+(see ``benchmarks/conftest.py``).  Uploading the file as an artifact leaves
+a perf trajectory, but nothing *fails* when a change slows the simulator
+down — this module closes that loop.  ``benchmarks/baseline.json`` commits
+the expected figures; :func:`compare_to_baseline` checks a fresh run
+against them within a tolerance band, and the CI gate
+(``benchmarks/check_regression.py``) fails the job on any regression.
+
+Baseline format
+---------------
+::
+
+    {
+      "default_tolerance": 0.30,
+      "metrics": {
+        "batch_backend_samples_per_sec": {
+          "value": 16000.0,
+          "direction": "higher-is-better",
+          "tolerance": 0.65
+        },
+        ...
+      }
+    }
+
+* ``direction`` is ``"higher-is-better"`` (throughputs) or
+  ``"lower-is-better"`` (latencies, wall-clock);
+* ``tolerance`` is the per-metric allowed fractional regression — a
+  higher-is-better metric regresses when
+  ``current < value * (1 - tolerance)``; falls back to
+  ``default_tolerance`` (0.30 unless the file overrides it);
+* absolute throughput metrics carry a wide band (CI runner speed varies
+  run to run), while machine-independent ratios such as
+  ``batch_vs_event_speedup`` use the tight default.
+
+A metric present in the baseline but missing from the current run is a
+failure too: silently dropping a tracked benchmark must not pass the gate.
+Metrics in the current run that the baseline does not track are reported
+but never fail (new benchmarks can land before their baseline).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+#: Default allowed fractional regression when a metric has no own tolerance.
+DEFAULT_TOLERANCE = 0.30
+
+_DIRECTIONS = ("higher-is-better", "lower-is-better")
+
+
+@dataclass(frozen=True)
+class BaselineMetric:
+    """One tracked metric of the committed baseline."""
+
+    name: str
+    value: float
+    direction: str = "higher-is-better"
+    tolerance: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.direction not in _DIRECTIONS:
+            raise ValueError(
+                f"metric {self.name!r}: direction must be one of {_DIRECTIONS}, "
+                f"got {self.direction!r}"
+            )
+        if self.tolerance is not None and not 0.0 <= self.tolerance < 1.0:
+            raise ValueError(
+                f"metric {self.name!r}: tolerance must be in [0, 1), got {self.tolerance}"
+            )
+
+    def bound(self, default_tolerance: float) -> float:
+        """The worst acceptable current value."""
+        tol = self.tolerance if self.tolerance is not None else default_tolerance
+        if self.direction == "higher-is-better":
+            return self.value * (1.0 - tol)
+        return self.value * (1.0 + tol)
+
+    def regressed(self, current: float, default_tolerance: float) -> bool:
+        """``True`` when *current* falls outside the tolerance band."""
+        limit = self.bound(default_tolerance)
+        if self.direction == "higher-is-better":
+            return current < limit
+        return current > limit
+
+
+@dataclass
+class MetricComparison:
+    """Outcome of checking one current metric against its baseline entry."""
+
+    name: str
+    baseline: Optional[float]
+    current: Optional[float]
+    bound: Optional[float]
+    regressed: bool
+    note: str = ""
+
+    def describe(self) -> str:
+        """One log line for the CI gate output."""
+        status = "FAIL" if self.regressed else "ok"
+        cur = "missing" if self.current is None else f"{self.current:.6g}"
+        if self.baseline is None:
+            return f"[{status:4}] {self.name}: {cur} (untracked — no baseline entry)"
+        return (
+            f"[{status:4}] {self.name}: current={cur} baseline={self.baseline:.6g} "
+            f"bound={self.bound:.6g}{' — ' + self.note if self.note else ''}"
+        )
+
+
+@dataclass
+class BaselineFile:
+    """Parsed ``benchmarks/baseline.json``."""
+
+    default_tolerance: float
+    metrics: Dict[str, BaselineMetric]
+
+
+def load_baseline(path: Union[str, Path]) -> BaselineFile:
+    """Parse a baseline file (see the module docstring for the schema)."""
+    raw = json.loads(Path(path).read_text())
+    default_tolerance = float(raw.get("default_tolerance", DEFAULT_TOLERANCE))
+    metrics: Dict[str, BaselineMetric] = {}
+    for name, entry in raw.get("metrics", {}).items():
+        metrics[name] = BaselineMetric(
+            name=name,
+            value=float(entry["value"]),
+            direction=entry.get("direction", "higher-is-better"),
+            tolerance=entry.get("tolerance"),
+        )
+    return BaselineFile(default_tolerance=default_tolerance, metrics=metrics)
+
+
+def compare_to_baseline(
+    current: Mapping[str, float],
+    baseline: BaselineFile,
+    default_tolerance: Optional[float] = None,
+) -> List[MetricComparison]:
+    """Check every tracked metric of *baseline* against the *current* run.
+
+    Returns one :class:`MetricComparison` per metric (tracked first, then
+    untracked extras in name order); any comparison with ``regressed=True``
+    means the gate must fail.
+    """
+    tolerance = (
+        baseline.default_tolerance if default_tolerance is None else default_tolerance
+    )
+    comparisons: List[MetricComparison] = []
+    for name in sorted(baseline.metrics):
+        metric = baseline.metrics[name]
+        value = current.get(name)
+        if value is None:
+            comparisons.append(
+                MetricComparison(
+                    name=name,
+                    baseline=metric.value,
+                    current=None,
+                    bound=metric.bound(tolerance),
+                    regressed=True,
+                    note="tracked metric missing from the current run",
+                )
+            )
+            continue
+        value = float(value)
+        comparisons.append(
+            MetricComparison(
+                name=name,
+                baseline=metric.value,
+                current=value,
+                bound=metric.bound(tolerance),
+                regressed=metric.regressed(value, tolerance),
+                note=f"direction={metric.direction}",
+            )
+        )
+    for name in sorted(set(current) - set(baseline.metrics)):
+        comparisons.append(
+            MetricComparison(
+                name=name,
+                baseline=None,
+                current=float(current[name]),
+                bound=None,
+                regressed=False,
+            )
+        )
+    return comparisons
+
+
+def regressions(comparisons: List[MetricComparison]) -> List[MetricComparison]:
+    """The failing subset of *comparisons*."""
+    return [c for c in comparisons if c.regressed]

@@ -135,10 +135,13 @@ def add_completion_detection(
         The dual-rail circuit to extend.  Its netlist gains a ``done``
         primary output and the CD cells; ``circuit.done_net`` is updated.
     scheme:
-        ``"reduced"`` — validity detectors + AND-tree aggregation (indicates
-        spacer→valid only), the paper's proposal; or
-        ``"full"`` — validity detectors + C-element tree, which indicates
-        both spacer→valid and valid→spacer at the outputs.
+        ``"reduced"`` — validity detectors on the primary outputs + AND-tree
+        aggregation (indicates spacer→valid only), the paper's proposal; or
+        ``"full"`` — the conventional scheme: validity detectors on **every
+        interface pair, primary inputs included**, combined through a
+        C-element tree, indicating both spacer→valid and valid→spacer.
+        Watching the inputs is what makes full CD pay cells proportional to
+        the interface width — the overhead the reduced scheme eliminates.
     done_fall_delay:
         For the reduced scheme, the extra delay ``td`` (in ps) to build into
         the falling edge of done so the environment need not be adapted.
@@ -154,7 +157,16 @@ def add_completion_detection(
     builder = LogicBuilder(netlist.name, netlist=netlist, prefix="cd_")
     cells_before = netlist.cell_count()
 
-    validity, detector_cells = _validity_nets(builder, circuit.outputs, circuit.one_of_n_outputs)
+    watched = list(circuit.outputs)
+    if scheme == "full":
+        # Conventional full CD acknowledges the whole interface: the input
+        # pairs join the validity set, so done indicates that inputs *and*
+        # outputs completed each phase.  (Input validity leads output
+        # validity through the datapath, so done's edges are still
+        # output-determined — the cost is structural: detectors and tree
+        # stages proportional to the interface width.)
+        watched = list(circuit.inputs) + watched
+    validity, detector_cells = _validity_nets(builder, watched, circuit.one_of_n_outputs)
     detector_cells = netlist.cell_count() - cells_before
 
     cells_before_agg = netlist.cell_count()

@@ -44,6 +44,16 @@ from .popcount import (
     single_rail_popcount,
     single_rail_popcount8,
 )
+from .styles import (
+    DATAPATH_STYLES,
+    DUAL_RAIL_FULL,
+    DUAL_RAIL_REDUCED,
+    SYNCHRONOUS,
+    check_style,
+    describe_style,
+    is_dual_rail,
+    style_config,
+)
 from .sync_datapath import (
     SINGLE_RAIL_OUTPUTS,
     SingleRailDatapath,
@@ -53,16 +63,22 @@ from .sync_datapath import (
 
 __all__ = [
     "ComparatorVerdict",
+    "DATAPATH_STYLES",
+    "DUAL_RAIL_FULL",
+    "DUAL_RAIL_REDUCED",
     "DatapathConfig",
     "DualRailAdderOutput",
     "DualRailDatapath",
     "SINGLE_RAIL_OUTPUTS",
+    "SYNCHRONOUS",
     "SingleRailDatapath",
     "SingleRailInterface",
     "VERDICT_LABELS",
     "build_dual_rail_datapath",
     "build_single_rail_datapath",
+    "check_style",
     "comparator_decision_bit",
+    "describe_style",
     "dual_rail_clause",
     "dual_rail_full_adder",
     "dual_rail_half_adder",
@@ -72,7 +88,9 @@ __all__ = [
     "dual_rail_popcount8",
     "exclude_input_name",
     "feature_input_name",
+    "is_dual_rail",
     "output_width",
+    "style_config",
     "single_rail_clause",
     "single_rail_full_adder",
     "single_rail_half_adder",

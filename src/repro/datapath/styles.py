@@ -1,0 +1,73 @@
+"""Datapath style selection — the architecture axis of the design space.
+
+The paper's central comparison is between three implementations of the same
+inference function:
+
+* ``"dual-rail-reduced"`` — the proposed self-timed dual-rail datapath with
+  the *reduced* completion-detection scheme (validity detectors on the
+  primary outputs only; the paper's contribution 1);
+* ``"dual-rail-full"`` — the conventional self-timed ablation: full
+  C-element completion detection on every dual-rail signal;
+* ``"sync"`` — the clocked single-rail baseline (Table I's "Single-rail"
+  rows), whose latency is its STA-derived clock period.
+
+:mod:`repro.explore` sweeps this axis like any other grid parameter; the
+helpers here translate a style name into the concrete datapath
+configuration / constructor so that style selection lives in one place
+instead of being re-derived by every harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Tuple
+
+from .datapath import DatapathConfig
+
+#: The proposed design: reduced completion detection (validity on POs only).
+DUAL_RAIL_REDUCED = "dual-rail-reduced"
+#: The ablation: full C-element completion detection on every signal.
+DUAL_RAIL_FULL = "dual-rail-full"
+#: The clocked single-rail baseline.
+SYNCHRONOUS = "sync"
+
+#: Every sweepable datapath style, in presentation order.
+DATAPATH_STYLES: Tuple[str, ...] = (DUAL_RAIL_REDUCED, DUAL_RAIL_FULL, SYNCHRONOUS)
+
+
+def check_style(style: str) -> str:
+    """Validate and return *style* (raises :class:`ValueError` otherwise)."""
+    if style not in DATAPATH_STYLES:
+        raise ValueError(
+            f"unknown datapath style {style!r}; expected one of {DATAPATH_STYLES}"
+        )
+    return style
+
+
+def is_dual_rail(style: str) -> bool:
+    """``True`` for the two self-timed dual-rail styles."""
+    return check_style(style) != SYNCHRONOUS
+
+
+def style_config(style: str, config: DatapathConfig) -> DatapathConfig:
+    """Specialise *config* for *style*.
+
+    Dual-rail styles select the completion-detection scheme; the synchronous
+    baseline ignores the completion field (its builder never reads it), so
+    the config passes through unchanged.
+    """
+    check_style(style)
+    if style == DUAL_RAIL_REDUCED:
+        return replace(config, completion="reduced")
+    if style == DUAL_RAIL_FULL:
+        return replace(config, completion="full")
+    return config
+
+
+def describe_style(style: str) -> str:
+    """Human-readable description used in reports and CSV headers."""
+    return {
+        DUAL_RAIL_REDUCED: "self-timed dual-rail, reduced completion detection",
+        DUAL_RAIL_FULL: "self-timed dual-rail, full C-element completion detection",
+        SYNCHRONOUS: "clocked single-rail baseline",
+    }[check_style(style)]

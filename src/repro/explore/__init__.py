@@ -1,0 +1,91 @@
+"""Design-space exploration over the paper's architecture family.
+
+The evaluation harnesses reproduce the paper's *figures*; this package
+explores the *family* those figures sample: it enumerates configurations
+over a declarative grid (dataset × clause count × booleanizer resolution ×
+cell library × datapath style × supply voltage), evaluates every point end
+to end (train → map → simulate → report) into typed :class:`DesignPoint`
+records, caches results in a content-hash keyed on-disk store, and extracts
+Pareto frontiers across any metric pair.
+
+Typical use (see ``examples/explore_design_space.py`` for the CLI)::
+
+    from repro.explore import (
+        ResultStore, named_grid, parse_metric, pareto_front, run_sweep,
+    )
+
+    result = run_sweep(named_grid("smoke"), jobs=4,
+                       store=ResultStore(".dse_store"))
+    front = pareto_front(result.points,
+                         [parse_metric("accuracy"), parse_metric("energy")])
+
+* :mod:`repro.explore.grid` — specs, grids, named grids;
+* :mod:`repro.explore.evaluate` — the end-to-end evaluator and sweep driver;
+* :mod:`repro.explore.store` — the content-hash result store;
+* :mod:`repro.explore.pareto` — front extraction, ranking, CSV emission.
+"""
+
+from .evaluate import (
+    DesignPoint,
+    EvaluationSettings,
+    SMOKE_SETTINGS,
+    SWEEP_BACKENDS,
+    SweepResult,
+    build_spec_workload,
+    evaluate_point,
+    run_sweep,
+)
+from .grid import (
+    DesignPointSpec,
+    FULL_GRID,
+    GridExpansion,
+    NOMINAL_GRID,
+    ParameterGrid,
+    SMOKE_GRID,
+    grid_names,
+    named_grid,
+)
+from .pareto import (
+    METRIC_ALIASES,
+    Metric,
+    dominates,
+    format_front_csv,
+    front_csv,
+    pareto_front,
+    pareto_ranks,
+    parse_metric,
+    parse_metric_pair,
+)
+from .store import EVALUATOR_VERSION, ResultStore, library_fingerprint, point_key
+
+__all__ = [
+    "DesignPoint",
+    "DesignPointSpec",
+    "EVALUATOR_VERSION",
+    "EvaluationSettings",
+    "FULL_GRID",
+    "GridExpansion",
+    "METRIC_ALIASES",
+    "Metric",
+    "NOMINAL_GRID",
+    "ParameterGrid",
+    "ResultStore",
+    "SMOKE_GRID",
+    "SMOKE_SETTINGS",
+    "SWEEP_BACKENDS",
+    "SweepResult",
+    "build_spec_workload",
+    "dominates",
+    "evaluate_point",
+    "format_front_csv",
+    "front_csv",
+    "grid_names",
+    "library_fingerprint",
+    "named_grid",
+    "pareto_front",
+    "pareto_ranks",
+    "parse_metric",
+    "parse_metric_pair",
+    "point_key",
+    "run_sweep",
+]

@@ -1,0 +1,439 @@
+"""End-to-end evaluation of design points: train → map → simulate → report.
+
+:func:`evaluate_point` turns one :class:`~repro.explore.grid.DesignPointSpec`
+into a typed :class:`DesignPoint` record carrying every trade-off axis the
+paper argues about:
+
+* **accuracy** — the trained Tsetlin machine's test-split accuracy (a
+  function of clause count and booleanizer resolution, not of the circuit);
+* **hardware correctness** — simulated decisions vs the golden
+  :class:`~repro.tm.inference.InferenceModel` over the operand stream;
+* **latency** — mean / p95 / max spacer→valid latency from the event-driven
+  simulation (the synchronous baseline's latency is its clock period);
+* **energy per inference** — switching activity priced through the library's
+  per-cell energies (batch backend) or the event transition log;
+* **area** — mapped cell area, with the sequential-cell breakdown.
+
+Backends
+--------
+``backend="batch"`` (the sweep default) sources every functional quantity
+from the vectorized batch backend over the full operand stream and runs the
+event-driven simulation only on a short timing prefix
+(``settings.timing_operands``); ``backend="event"`` simulates the full
+stream event-driven, exactly like the Table-I measurement.  Both paths share
+:mod:`repro.analysis.measure`, so a DSE point is measured the same way the
+paper-reproduction harnesses measure.
+
+:func:`run_sweep` fans a grid out through
+:func:`repro.analysis.runner.run_parallel` under the pinned determinism
+contract — every point is seeded from its spec and settings alone, so
+``jobs=1`` and ``jobs=N`` produce bit-identical records — and consults a
+:class:`~repro.explore.store.ResultStore` so unchanged points are never
+re-evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.latency import summarize_latencies
+from repro.analysis.measure import (
+    Workload,
+    batch_functional_pass,
+    build_mapped_dual_rail,
+    make_dual_rail_environment,
+    truncate_workload,
+)
+from repro.analysis.experiments import measure_dual_rail, measure_single_rail
+from repro.analysis.runner import run_parallel
+from repro.analysis.throughput import dual_rail_throughput
+from repro.circuits.library import CellLibrary, default_libraries
+from repro.datapath.datapath import DatapathConfig
+from repro.datapath.styles import check_style, is_dual_rail, style_config
+from repro.tm.datasets import make_dataset
+from repro.tm.inference import InferenceModel
+from repro.tm.machine import TsetlinMachine
+
+from .grid import DesignPointSpec, GridExpansion, ParameterGrid
+from .store import ResultStore, library_fingerprint, point_key
+
+#: Simulation backends the evaluator accepts.
+SWEEP_BACKENDS = ("batch", "event")
+
+
+@dataclass(frozen=True)
+class EvaluationSettings:
+    """Everything held constant across one sweep (part of the store key).
+
+    Attributes
+    ----------
+    num_features:
+        Boolean feature count for Boolean datasets; raw sensor-channel count
+        for continuous ones (the Boolean width is then
+        ``num_features × booleanizer_levels``).
+    train_samples / epochs / s:
+        Training budget and specificity of the Tsetlin machine.
+    operands:
+        Length of the hardware operand stream (resampled from the test
+        split) that functional quantities are measured over.
+    timing_operands:
+        Event-simulated prefix used for the latency columns under
+        ``backend="batch"`` (the event backend times the full stream).
+    seed:
+        Root seed: dataset generation, training and operand resampling all
+        derive from it, which is what makes a point a pure function of
+        ``(spec, settings, backend)``.
+    """
+
+    num_features: int = 3
+    train_samples: int = 240
+    epochs: int = 10
+    s: float = 3.0
+    operands: int = 32
+    timing_operands: int = 6
+    seed: int = 2021
+
+    def validate(self) -> "EvaluationSettings":
+        """Raise :class:`ValueError` for unusable settings."""
+        if self.num_features < 2:
+            raise ValueError("num_features must be >= 2 (noisy-xor needs two)")
+        if self.operands < 1 or self.timing_operands < 1:
+            raise ValueError("operands and timing_operands must be >= 1")
+        if self.epochs < 1 or self.train_samples < 10:
+            raise ValueError("training budget too small to be meaningful")
+        return self
+
+
+#: The settings the CI smoke sweep pins.
+SMOKE_SETTINGS = EvaluationSettings()
+
+
+@dataclass
+class DesignPoint:
+    """One fully evaluated configuration — a row of the design space.
+
+    ``metric(name)`` provides uniform access for the Pareto machinery; the
+    ``to_dict``/``from_dict`` pair is the store and artifact serialization
+    (plain JSON types only).
+    """
+
+    spec: DesignPointSpec
+    backend: str
+    vdd: float
+    num_features: int
+    accuracy: float
+    hardware_correctness: float
+    mean_latency_ps: float
+    p95_latency_ps: float
+    max_latency_ps: float
+    energy_per_inference_fj: float
+    area_um2: float
+    sequential_area_um2: float
+    leakage_nw: float
+    cell_count: int
+    throughput_mops: float
+    timed_operands: int
+
+    def metric(self, name: str) -> float:
+        """Numeric metric by attribute name (raises for unknown names)."""
+        value = getattr(self, name, None)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise KeyError(f"{name!r} is not a numeric metric of DesignPoint")
+        return float(value)
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (specs nested as a dict)."""
+        record = asdict(self)
+        record["spec"] = asdict(self.spec)
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "DesignPoint":
+        """Inverse of :meth:`to_dict` (raises on malformed records)."""
+        data = dict(record)
+        data["spec"] = DesignPointSpec(**data["spec"])
+        return cls(**data)
+
+
+# Per-process memo: workload construction (dataset + training) is by far the
+# most expensive stage and is shared by every (library, style, vdd) variant
+# of the same architecture, so each worker process trains it once.
+_WORKLOAD_CACHE: Dict[Tuple, Tuple[Workload, float]] = {}
+
+
+def build_spec_workload(
+    spec: DesignPointSpec, settings: EvaluationSettings
+) -> Tuple[Workload, float]:
+    """Dataset + training + operand stream for *spec*; returns (workload, accuracy).
+
+    The returned accuracy is the trained model's test-split accuracy — the
+    "accuracy" axis of every design point sharing this architecture.
+    Results are memoised per process on ``(dataset, clauses, levels,
+    settings)``; the cache is transparent to determinism because the value
+    is a pure function of the key.
+    """
+    key = (spec.dataset, spec.clauses_per_polarity, spec.booleanizer_levels, settings)
+    cached = _WORKLOAD_CACHE.get(key)
+    if cached is not None:
+        return cached
+    dataset = make_dataset(
+        spec.dataset,
+        num_samples=settings.train_samples,
+        num_features=settings.num_features,
+        booleanizer_levels=spec.booleanizer_levels,
+        seed=settings.seed,
+    )
+    num_features = dataset.num_features
+    config = DatapathConfig(
+        num_features=num_features,
+        clauses_per_polarity=spec.clauses_per_polarity,
+    )
+    machine = TsetlinMachine(
+        num_features=num_features,
+        num_clauses=config.num_clauses,
+        threshold=spec.clauses_per_polarity,
+        s=settings.s,
+        seed=settings.seed,
+    )
+    machine.fit(dataset.train_x, dataset.train_y, epochs=settings.epochs)
+    model = InferenceModel.from_machine(machine)
+    decisions = np.array([model.decision(row) for row in dataset.test_x], dtype=np.int8)
+    accuracy = float(np.mean(decisions == dataset.test_y)) if decisions.size else 0.0
+    rng = np.random.default_rng(settings.seed)
+    indices = rng.integers(0, dataset.test_x.shape[0], size=settings.operands)
+    workload = Workload(
+        config=config,
+        exclude=model.exclude,
+        feature_vectors=dataset.test_x[indices],
+        model=model,
+        description=(
+            f"{spec.dataset} ({num_features} Boolean features, "
+            f"{spec.clauses_per_polarity} clauses per polarity)"
+        ),
+    )
+    _WORKLOAD_CACHE[key] = (workload, accuracy)
+    return workload, accuracy
+
+
+def _check_sweep_backend(backend: str) -> None:
+    if backend not in SWEEP_BACKENDS:
+        raise ValueError(
+            f"unknown sweep backend {backend!r}; expected one of {SWEEP_BACKENDS}"
+        )
+
+
+def _resolved_vdd(spec: DesignPointSpec, library: CellLibrary) -> float:
+    return float(
+        spec.vdd if spec.vdd is not None else library.voltage_model.nominal_vdd
+    )
+
+
+def _evaluate_dual_rail(
+    spec: DesignPointSpec,
+    settings: EvaluationSettings,
+    workload: Workload,
+    accuracy: float,
+    library: CellLibrary,
+    backend: str,
+) -> DesignPoint:
+    config = style_config(spec.style, workload.config)
+    timed = truncate_workload(workload, settings.timing_operands)
+    if backend == "event":
+        timed = workload
+        measurement = measure_dual_rail(
+            replace_config(workload, config), library, vdd=spec.vdd,
+            check_monotonic=False, backend="event",
+        )
+        correctness = measurement.correctness
+        energy = measurement.power.energy_per_operation_fj
+        latency = measurement.latency
+        throughput = measurement.throughput_millions
+        synthesis_metrics = measurement.synthesis.metrics()
+    else:
+        mapped = build_mapped_dual_rail(config, library, vdd=spec.vdd)
+        functional = batch_functional_pass(
+            mapped.datapath, mapped.circuit, replace_config(workload, config),
+            library, vdd=spec.vdd, with_activity=True,
+        )
+        correctness = functional.correctness
+        energy = functional.energy_per_inference_fj
+        bench = make_dual_rail_environment(mapped)
+        results = []
+        for features in timed.feature_vectors:
+            assignments = mapped.datapath.operand_assignments(features, workload.exclude)
+            results.append(bench.environment.infer(assignments))
+        latency = summarize_latencies(results)
+        throughput = dual_rail_throughput(
+            results, grace_period=mapped.grace.td
+        ).millions_per_second
+        synthesis_metrics = mapped.synthesis.metrics()
+    return DesignPoint(
+        spec=spec,
+        backend=backend,
+        vdd=_resolved_vdd(spec, library),
+        num_features=workload.config.num_features,
+        accuracy=accuracy,
+        hardware_correctness=correctness,
+        mean_latency_ps=latency.average,
+        p95_latency_ps=latency.p95,
+        max_latency_ps=latency.maximum,
+        energy_per_inference_fj=energy,
+        area_um2=synthesis_metrics["area_um2"],
+        sequential_area_um2=synthesis_metrics["sequential_area_um2"],
+        leakage_nw=synthesis_metrics["leakage_nw"],
+        cell_count=synthesis_metrics["cell_count"],
+        throughput_mops=throughput,
+        timed_operands=timed.num_operands,
+    )
+
+
+def replace_config(workload: Workload, config: DatapathConfig) -> Workload:
+    """A view of *workload* carrying *config* (same operands and model)."""
+    if config is workload.config:
+        return workload
+    return replace(workload, config=config)
+
+
+def _evaluate_synchronous(
+    spec: DesignPointSpec,
+    settings: EvaluationSettings,
+    workload: Workload,
+    accuracy: float,
+    library: CellLibrary,
+    backend: str,
+) -> DesignPoint:
+    # The clocked baseline has no batch evaluator (flip-flop state is
+    # inherently sequential), so both backends share the event measurement;
+    # its latency is the STA clock period by definition.
+    measurement = measure_single_rail(workload, library, vdd=spec.vdd)
+    period = measurement.clock_period_ps
+    metrics = measurement.synthesis.metrics()
+    return DesignPoint(
+        spec=spec,
+        backend=backend,
+        vdd=_resolved_vdd(spec, library),
+        num_features=workload.config.num_features,
+        accuracy=accuracy,
+        hardware_correctness=measurement.correctness,
+        mean_latency_ps=period,
+        p95_latency_ps=period,
+        max_latency_ps=period,
+        energy_per_inference_fj=measurement.power.energy_per_operation_fj,
+        area_um2=metrics["area_um2"],
+        sequential_area_um2=metrics["sequential_area_um2"],
+        leakage_nw=metrics["leakage_nw"],
+        cell_count=metrics["cell_count"],
+        throughput_mops=measurement.throughput_millions,
+        timed_operands=workload.num_operands,
+    )
+
+
+def evaluate_point(
+    spec: DesignPointSpec,
+    settings: EvaluationSettings = SMOKE_SETTINGS,
+    backend: str = "batch",
+) -> DesignPoint:
+    """Evaluate one design point end to end: train → map → simulate → report."""
+    spec = spec.validate().normalized()
+    settings.validate()
+    _check_sweep_backend(backend)
+    check_style(spec.style)
+    if not spec.is_feasible():
+        raise ValueError(
+            f"{spec.label()} is infeasible: {spec.vdd} V is below the "
+            f"functional floor of {spec.library}"
+        )
+    library = default_libraries()[spec.library]
+    workload, accuracy = build_spec_workload(spec, settings)
+    if is_dual_rail(spec.style):
+        return _evaluate_dual_rail(spec, settings, workload, accuracy, library, backend)
+    return _evaluate_synchronous(spec, settings, workload, accuracy, library, backend)
+
+
+def _sweep_worker(item: Tuple[DesignPointSpec, EvaluationSettings, str]) -> dict:
+    """Process-pool work unit of :func:`run_sweep` (pickle-friendly dicts)."""
+    spec, settings, backend = item
+    return evaluate_point(spec, settings, backend).to_dict()
+
+
+@dataclass
+class SweepResult:
+    """Everything :func:`run_sweep` produced, plus provenance counters."""
+
+    points: List[DesignPoint]
+    evaluated: int
+    cached: int
+    dropped_duplicates: int = 0
+    dropped_infeasible: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of requested points served from the result store."""
+        total = self.evaluated + self.cached
+        return self.cached / total if total else 0.0
+
+
+def run_sweep(
+    grid: Union[ParameterGrid, Sequence[DesignPointSpec]],
+    settings: EvaluationSettings = SMOKE_SETTINGS,
+    backend: str = "batch",
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+) -> SweepResult:
+    """Evaluate a grid (or explicit spec list), cached and in parallel.
+
+    Store lookups happen up front in the calling process; only misses are
+    fanned out through :func:`~repro.analysis.runner.run_parallel` (one spec
+    per work unit — chunk boundaries therefore cannot affect results), and
+    fresh results are written back before returning.  The returned points
+    are in grid-expansion order regardless of ``jobs`` or cache state.
+    """
+    _check_sweep_backend(backend)
+    settings.validate()
+    dropped_dup = dropped_inf = 0
+    if isinstance(grid, ParameterGrid):
+        expansion = grid.expand()
+        specs = list(expansion.points)
+        dropped_dup = expansion.dropped_duplicates
+        dropped_inf = expansion.dropped_infeasible
+    elif isinstance(grid, GridExpansion):
+        specs = list(grid.points)
+        dropped_dup = grid.dropped_duplicates
+        dropped_inf = grid.dropped_infeasible
+    else:
+        specs = [spec.validate().normalized() for spec in grid]
+
+    resolved: Dict[int, DesignPoint] = {}
+    keys: List[Optional[str]] = [None] * len(specs)
+    if store is not None:
+        libraries = default_libraries()
+        digests = {
+            name: library_fingerprint(library) for name, library in libraries.items()
+        }
+        for index, spec in enumerate(specs):
+            keys[index] = point_key(
+                spec, settings, libraries[spec.library], backend,
+                library_digest=digests[spec.library],
+            )
+            hit = store.get(keys[index])
+            if hit is not None:
+                resolved[index] = hit
+    todo = [i for i in range(len(specs)) if i not in resolved]
+    fresh = run_parallel(
+        _sweep_worker, [(specs[i], settings, backend) for i in todo], jobs=jobs
+    )
+    for index, record in zip(todo, fresh):
+        point = DesignPoint.from_dict(record)
+        resolved[index] = point
+        if store is not None:
+            store.put(keys[index], point)
+    return SweepResult(
+        points=[resolved[i] for i in range(len(specs))],
+        evaluated=len(todo),
+        cached=len(specs) - len(todo),
+        dropped_duplicates=dropped_dup,
+        dropped_infeasible=dropped_inf,
+    )

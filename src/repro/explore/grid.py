@@ -1,0 +1,236 @@
+"""Declarative parameter grids over the architecture family.
+
+A :class:`ParameterGrid` names value lists for the six explored axes —
+dataset × clause count × booleanizer resolution × cell library × datapath
+style × supply voltage — and :meth:`ParameterGrid.expand` turns the cross
+product into concrete, deduplicated, feasibility-filtered
+:class:`DesignPointSpec` work units in a deterministic order (the order is
+part of the jobs-invariance contract of the sweep).
+
+Normalisation and filtering during expansion:
+
+* Boolean datasets produce bits natively, so their ``booleanizer_levels``
+  axis is normalised to 1 — the would-be duplicates are counted in
+  :attr:`GridExpansion.dropped_duplicates` rather than silently evaluated
+  twice;
+* supply points below a library's minimum functional voltage are dropped as
+  infeasible (:attr:`GridExpansion.dropped_infeasible`) — e.g. 0.4 V on the
+  UMC LL library, which the paper's Figure 3 shows failing below 0.5 V.
+
+Named grids (:func:`named_grid`) pin the configurations CI and the examples
+use: ``smoke`` (the CI sweep, 72 points), ``nominal`` (a quick
+nominal-voltage slice) and ``full`` (the overnight exploration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.library import default_libraries
+from repro.datapath.styles import DATAPATH_STYLES, check_style
+from repro.tm.datasets import dataset_names, uses_booleanizer
+
+
+@dataclass(frozen=True)
+class DesignPointSpec:
+    """One point of the design space — everything that varies across a sweep.
+
+    Attributes
+    ----------
+    dataset:
+        Registered dataset name (see :func:`repro.tm.datasets.dataset_names`).
+    clauses_per_polarity:
+        Tsetlin-machine capacity: clauses per vote polarity.
+    booleanizer_levels:
+        Thermometer-code resolution for continuous datasets (normalised to 1
+        for Boolean datasets, whose generators produce bits natively).
+    library:
+        Cell library name (``"UMC LL"`` / ``"FULL DIFFUSION"``).
+    style:
+        Datapath style (see :data:`repro.datapath.styles.DATAPATH_STYLES`).
+    vdd:
+        Supply voltage in volts; ``None`` means the library's nominal supply.
+    """
+
+    dataset: str
+    clauses_per_polarity: int
+    booleanizer_levels: int
+    library: str
+    style: str
+    vdd: Optional[float] = None
+
+    def validate(self) -> "DesignPointSpec":
+        """Raise :class:`ValueError`/:class:`KeyError` for unusable specs."""
+        if self.dataset not in dataset_names():
+            raise KeyError(
+                f"unknown dataset {self.dataset!r}; expected one of {dataset_names()}"
+            )
+        if self.clauses_per_polarity < 1:
+            raise ValueError("clauses_per_polarity must be >= 1")
+        if self.booleanizer_levels < 1:
+            raise ValueError("booleanizer_levels must be >= 1")
+        if self.library not in default_libraries():
+            raise KeyError(
+                f"unknown library {self.library!r}; "
+                f"expected one of {sorted(default_libraries())}"
+            )
+        check_style(self.style)
+        if self.vdd is not None and self.vdd <= 0:
+            raise ValueError(f"vdd must be positive, got {self.vdd}")
+        return self
+
+    def normalized(self) -> "DesignPointSpec":
+        """Canonical form: booleanizer resolution collapses for Boolean data."""
+        if not uses_booleanizer(self.dataset) and self.booleanizer_levels != 1:
+            return replace(self, booleanizer_levels=1)
+        return self
+
+    def is_feasible(self) -> bool:
+        """``False`` when the supply is below the library's functional floor."""
+        if self.vdd is None:
+            return True
+        model = default_libraries()[self.library].voltage_model
+        return model.is_functional(self.vdd)
+
+    def label(self) -> str:
+        """Compact, unique, filesystem-safe identifier for reports and CSV."""
+        vdd = "nom" if self.vdd is None else f"{self.vdd:g}V"
+        lib = self.library.replace(" ", "-")
+        return (
+            f"{self.dataset}/c{self.clauses_per_polarity}"
+            f"/b{self.booleanizer_levels}/{lib}/{self.style}/{vdd}"
+        )
+
+
+@dataclass(frozen=True)
+class GridExpansion:
+    """The outcome of expanding a grid: work units plus what was dropped.
+
+    Nothing is dropped silently: the CLI logs both counters, so "covered
+    the grid" always means exactly the points listed here.
+    """
+
+    points: Tuple[DesignPointSpec, ...]
+    dropped_duplicates: int = 0
+    dropped_infeasible: int = 0
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+@dataclass(frozen=True)
+class ParameterGrid:
+    """Value lists for every axis of the design space (a declarative sweep).
+
+    ``expand()`` is deterministic: the cross product is walked in axis order
+    (dataset, clauses, levels, library, style, vdd) with each axis's values
+    in the order given here, then normalised and filtered.
+    """
+
+    datasets: Tuple[str, ...] = ("noisy-xor",)
+    clauses_per_polarity: Tuple[int, ...] = (4,)
+    booleanizer_levels: Tuple[int, ...] = (1,)
+    libraries: Tuple[str, ...] = ("UMC LL", "FULL DIFFUSION")
+    styles: Tuple[str, ...] = DATAPATH_STYLES
+    vdds: Tuple[Optional[float], ...] = (None,)
+    name: str = "custom"
+
+    def axes(self) -> Dict[str, Sequence]:
+        """The axis name → values mapping (for reports and hashing)."""
+        return {
+            "datasets": self.datasets,
+            "clauses_per_polarity": self.clauses_per_polarity,
+            "booleanizer_levels": self.booleanizer_levels,
+            "libraries": self.libraries,
+            "styles": self.styles,
+            "vdds": self.vdds,
+        }
+
+    def expand(self) -> GridExpansion:
+        """Enumerate the deduplicated, feasible design points of this grid."""
+        seen = set()
+        points: List[DesignPointSpec] = []
+        duplicates = 0
+        infeasible = 0
+        for dataset, clauses, levels, library, style, vdd in product(
+            self.datasets,
+            self.clauses_per_polarity,
+            self.booleanizer_levels,
+            self.libraries,
+            self.styles,
+            self.vdds,
+        ):
+            spec = DesignPointSpec(
+                dataset=dataset,
+                clauses_per_polarity=clauses,
+                booleanizer_levels=levels,
+                library=library,
+                style=style,
+                vdd=vdd,
+            ).validate().normalized()
+            if spec in seen:
+                duplicates += 1
+                continue
+            seen.add(spec)
+            if not spec.is_feasible():
+                infeasible += 1
+                continue
+            points.append(spec)
+        return GridExpansion(
+            points=tuple(points),
+            dropped_duplicates=duplicates,
+            dropped_infeasible=infeasible,
+        )
+
+
+#: The CI sweep: 72 feasible points (both libraries, all three styles, two
+#: supplies) small enough to evaluate end to end in a couple of minutes.
+SMOKE_GRID = ParameterGrid(
+    name="smoke",
+    datasets=("noisy-xor", "sensor-blobs"),
+    clauses_per_polarity=(2, 4),
+    booleanizer_levels=(1, 2),
+    libraries=("UMC LL", "FULL DIFFUSION"),
+    styles=DATAPATH_STYLES,
+    vdds=(None, 0.8),
+)
+
+#: A quick nominal-voltage slice: the architecture axes only.
+NOMINAL_GRID = ParameterGrid(
+    name="nominal",
+    datasets=("noisy-xor", "sensor-blobs"),
+    clauses_per_polarity=(2, 4, 8),
+    booleanizer_levels=(1, 2),
+    libraries=("UMC LL", "FULL DIFFUSION"),
+    styles=DATAPATH_STYLES,
+    vdds=(None,),
+)
+
+#: The overnight exploration: every registered dataset, deep voltage scaling
+#: (sub-0.5 V points are feasibility-filtered per library).
+FULL_GRID = ParameterGrid(
+    name="full",
+    datasets=("noisy-xor", "parity", "majority", "sensor-blobs"),
+    clauses_per_polarity=(2, 4, 8),
+    booleanizer_levels=(1, 2, 4),
+    libraries=("UMC LL", "FULL DIFFUSION"),
+    styles=DATAPATH_STYLES,
+    vdds=(None, 1.0, 0.8, 0.6, 0.4, 0.3),
+)
+
+_NAMED_GRIDS = {grid.name: grid for grid in (SMOKE_GRID, NOMINAL_GRID, FULL_GRID)}
+
+
+def grid_names() -> List[str]:
+    """The registered named grids, sorted."""
+    return sorted(_NAMED_GRIDS)
+
+
+def named_grid(name: str) -> ParameterGrid:
+    """Look up a named grid (``smoke`` / ``nominal`` / ``full``)."""
+    try:
+        return _NAMED_GRIDS[name]
+    except KeyError:
+        raise KeyError(f"unknown grid {name!r}; expected one of {grid_names()}")

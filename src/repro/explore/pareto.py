@@ -1,0 +1,174 @@
+"""Pareto-front extraction and ranking over evaluated design points.
+
+The paper's claim is a *trade-off*, so the primary artefact of a sweep is
+not a single winner but the non-dominated frontier.  This module is
+metric-agnostic: a :class:`Metric` names any numeric :class:`DesignPoint`
+attribute and a direction, and :func:`pareto_front` /
+:func:`pareto_ranks` work over any metric tuple — two for the classic
+accuracy/energy curve, more for a full multi-objective ranking.
+
+Determinism: fronts and ranks are returned in a canonical order (sorted by
+the metric values, ties broken by the spec itself), which is what lets CI
+byte-compare the Pareto CSV between ``jobs=1`` and ``jobs=N`` runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+#: Shorthand metric names accepted by :func:`parse_metric`.
+METRIC_ALIASES = {
+    "accuracy": ("accuracy", "max"),
+    "correctness": ("hardware_correctness", "max"),
+    "latency": ("mean_latency_ps", "min"),
+    "tail-latency": ("p95_latency_ps", "min"),
+    "max-latency": ("max_latency_ps", "min"),
+    "energy": ("energy_per_inference_fj", "min"),
+    "area": ("area_um2", "min"),
+    "leakage": ("leakage_nw", "min"),
+    "throughput": ("throughput_mops", "max"),
+}
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One objective: a numeric DesignPoint attribute plus its direction."""
+
+    name: str
+    goal: str = "min"
+
+    def __post_init__(self) -> None:
+        if self.goal not in ("min", "max"):
+            raise ValueError(f"metric goal must be 'min' or 'max', got {self.goal!r}")
+
+    def value(self, point) -> float:
+        """The point's raw value of this metric."""
+        return point.metric(self.name)
+
+    def cost(self, point) -> float:
+        """Minimisation-form value (negated for ``max`` metrics)."""
+        raw = self.value(point)
+        return -raw if self.goal == "max" else raw
+
+
+def parse_metric(text: str) -> Metric:
+    """Parse ``"alias"``, ``"attribute:min"`` or ``"attribute:max"``.
+
+    Bare aliases come from :data:`METRIC_ALIASES` (``"energy"`` →
+    ``energy_per_inference_fj`` minimised); explicit ``name:goal`` reaches
+    any numeric attribute.
+    """
+    text = text.strip()
+    if ":" in text:
+        name, goal = text.rsplit(":", 1)
+        return Metric(name=name.strip(), goal=goal.strip())
+    if text in METRIC_ALIASES:
+        name, goal = METRIC_ALIASES[text]
+        return Metric(name=name, goal=goal)
+    raise KeyError(
+        f"unknown metric {text!r}; use an alias {sorted(METRIC_ALIASES)} "
+        f"or an explicit 'attribute:min|max'"
+    )
+
+
+def parse_metric_pair(text: str) -> Tuple[Metric, Metric]:
+    """Parse ``"accuracy,energy"``-style objective pairs for the CLI."""
+    parts = [p for p in text.split(",") if p.strip()]
+    if len(parts) != 2:
+        raise ValueError(f"expected 'metric,metric', got {text!r}")
+    return parse_metric(parts[0]), parse_metric(parts[1])
+
+
+def dominates(a, b, metrics: Sequence[Metric]) -> bool:
+    """``True`` when *a* is at least as good as *b* everywhere, better somewhere."""
+    better_somewhere = False
+    for metric in metrics:
+        ca, cb = metric.cost(a), metric.cost(b)
+        if ca > cb:
+            return False
+        if ca < cb:
+            better_somewhere = True
+    return better_somewhere
+
+
+def _canonical_order(points: Iterable, metrics: Sequence[Metric]) -> List:
+    # Ties break on the spec label (a unique string): comparing specs
+    # directly would raise for mixed vdd=None / float values.
+    return sorted(
+        points,
+        key=lambda p: (tuple(m.cost(p) for m in metrics), p.spec.label()),
+    )
+
+
+def pareto_front(points: Sequence, metrics: Sequence[Metric]) -> List:
+    """The non-dominated subset of *points*, in canonical order.
+
+    Duplicate metric vectors all survive (they dominate nothing and nothing
+    dominates them), so equally-good alternatives stay visible.
+    """
+    if not metrics:
+        raise ValueError("pareto_front needs at least one metric")
+    candidates = list(points)
+    front = [
+        p for p in candidates
+        if not any(dominates(q, p, metrics) for q in candidates)
+    ]
+    return _canonical_order(front, metrics)
+
+
+def pareto_ranks(points: Sequence, metrics: Sequence[Metric]) -> List[int]:
+    """Non-dominated sorting rank of every point (front = 0), input order.
+
+    Rank *k* is the Pareto front of what remains after removing ranks
+    ``< k`` — the standard NSGA-style layering, useful for "best 10
+    configurations" style reports beyond the frontier itself.
+    """
+    if not metrics:
+        raise ValueError("pareto_ranks needs at least one metric")
+    remaining = list(range(len(points)))
+    ranks = [0] * len(points)
+    rank = 0
+    while remaining:
+        layer = [
+            i for i in remaining
+            if not any(
+                dominates(points[j], points[i], metrics) for j in remaining if j != i
+            )
+        ]
+        if not layer:  # pragma: no cover - only reachable with NaN metrics
+            layer = list(remaining)
+        for i in layer:
+            ranks[i] = rank
+        remaining = [i for i in remaining if i not in set(layer)]
+        rank += 1
+    return ranks
+
+
+def format_front_csv(front: Sequence, metrics: Sequence[Metric]) -> str:
+    """CSV text for an already-extracted (canonically ordered) front.
+
+    Columns: the spec axes, then every requested metric.  The byte-stable
+    output is the CI artifact compared across ``jobs`` values.
+    """
+    spec_fields = [
+        "dataset", "clauses_per_polarity", "booleanizer_levels",
+        "library", "style", "vdd",
+    ]
+    header = spec_fields + [m.name for m in metrics]
+    lines = [",".join(header)]
+    for point in front:
+        row = []
+        for field in spec_fields:
+            value = getattr(point.spec, field)
+            value = "nominal" if value is None else value
+            row.append(str(value))
+        for metric in metrics:
+            row.append(f"{metric.value(point):.6g}")
+        lines.append(",".join(row))
+    return "\n".join(lines) + "\n"
+
+
+def front_csv(points: Sequence, metrics: Sequence[Metric]) -> str:
+    """Deterministic CSV of the Pareto front of *points* over *metrics*."""
+    return format_front_csv(pareto_front(points, metrics), metrics)

@@ -72,6 +72,25 @@ class SynthesisResult:
         """``True`` for the synchronous baseline (a clock period was computed)."""
         return self.clock_period is not None
 
+    def metrics(self) -> dict:
+        """Flat scalar summary of the mapped design — the DSE area hook.
+
+        The design-space exploration records these alongside the simulated
+        quantities; keeping the extraction here means any future report
+        column (e.g. routed wirelength) becomes sweepable by adding it once.
+        """
+        return {
+            "area_um2": self.area.total,
+            "sequential_area_um2": self.area.sequential,
+            "combinational_area_um2": self.area.combinational,
+            "completion_detection_area_um2": self.area.completion_detection,
+            "cell_count": self.area.cell_count,
+            "sequential_cell_count": self.area.sequential_cell_count,
+            "leakage_nw": self.leakage.total_nw,
+            "critical_path_ps": self.timing.max_over_outputs,
+            "clock_period_ps": self.clock_period,
+        }
+
 
 def synthesize(
     netlist: Netlist,

@@ -22,18 +22,25 @@ from .clause import (
     vote_sum,
 )
 from .datasets import (
+    CONTINUOUS_DATASETS,
+    DATASET_BUILDERS,
     Dataset,
+    dataset_names,
     majority,
+    make_dataset,
     noisy_xor,
     parity,
     random_operand_stream,
     sensor_blobs,
     threshold_pattern,
+    uses_booleanizer,
 )
 from .inference import InferenceModel, InferenceTrace
 from .machine import MultiClassTsetlinMachine, TrainingHistory, TsetlinMachine
 
 __all__ = [
+    "CONTINUOUS_DATASETS",
+    "DATASET_BUILDERS",
     "Dataset",
     "InferenceModel",
     "InferenceTrace",
@@ -46,14 +53,17 @@ __all__ = [
     "TsetlinMachine",
     "classify",
     "clause_outputs",
+    "dataset_names",
     "literals_from_features",
     "majority",
+    "make_dataset",
     "noisy_xor",
     "parity",
     "random_operand_stream",
     "sensor_blobs",
     "split_polarities",
     "threshold_pattern",
+    "uses_booleanizer",
     "vote_counts",
     "vote_sum",
 ]

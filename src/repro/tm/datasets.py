@@ -190,3 +190,83 @@ def random_operand_stream(
     """Uniform random feature vectors (a worst-case-style hardware workload)."""
     rng = np.random.default_rng(seed)
     return (rng.random((num_operands, num_features)) < bias).astype(np.int8)
+
+
+# --------------------------------------------------------------------------
+# Dataset registry — the "dataset" axis of the design-space exploration
+# --------------------------------------------------------------------------
+
+#: Generators addressable by name (the DSE grid's ``dataset`` axis).
+DATASET_BUILDERS = {
+    "noisy-xor": noisy_xor,
+    "parity": parity,
+    "majority": majority,
+    "threshold-pattern": threshold_pattern,
+    "sensor-blobs": sensor_blobs,
+}
+
+#: Datasets with continuous raw features, i.e. the ones whose Boolean width
+#: is controlled by the booleanizer resolution (thermometer levels).
+CONTINUOUS_DATASETS = ("sensor-blobs",)
+
+
+# Adapters translate the generic DSE knobs (num_samples, num_features,
+# booleanizer_levels, seed) into each generator's own signature.  Adding a
+# dataset means adding exactly one entry here (plus CONTINUOUS_DATASETS when
+# the booleanizer axis applies) — make_dataset has no per-name branches.
+_DATASET_ADAPTERS = {
+    "noisy-xor": lambda n, f, levels, seed: noisy_xor(
+        num_samples=n, num_features=f, seed=seed
+    ),
+    "parity": lambda n, f, levels, seed: parity(
+        num_samples=n, num_features=f, parity_bits=min(3, f), seed=seed
+    ),
+    "majority": lambda n, f, levels, seed: majority(
+        num_samples=n, num_features=f, seed=seed
+    ),
+    "threshold-pattern": lambda n, f, levels, seed: threshold_pattern(
+        num_samples=n, num_features=f, seed=seed
+    ),
+    "sensor-blobs": lambda n, f, levels, seed: sensor_blobs(
+        num_samples=n, num_raw_features=f, thermometer_levels=levels, seed=seed
+    ),
+}
+
+
+def dataset_names():
+    """The registered dataset names, sorted."""
+    return sorted(_DATASET_ADAPTERS)
+
+
+def uses_booleanizer(name: str) -> bool:
+    """``True`` when *name* has continuous features (booleanizer bits apply)."""
+    if name not in _DATASET_ADAPTERS:
+        raise KeyError(f"unknown dataset {name!r}; expected one of {dataset_names()}")
+    return name in CONTINUOUS_DATASETS
+
+
+def make_dataset(
+    name: str,
+    num_samples: int = 400,
+    num_features: int = 4,
+    booleanizer_levels: int = 1,
+    seed: int = 2021,
+) -> Dataset:
+    """Build a registered dataset from the generic DSE knobs.
+
+    Parameters
+    ----------
+    num_features:
+        For Boolean datasets this is the Boolean feature count directly.
+        For continuous datasets (:data:`CONTINUOUS_DATASETS`) it is the
+        *raw* sensor-channel count; the Boolean width after encoding is
+        ``num_features × booleanizer_levels``.
+    booleanizer_levels:
+        Thermometer-code resolution for continuous datasets; ignored for
+        Boolean datasets (their generators produce bits natively).
+    """
+    if name not in _DATASET_ADAPTERS:
+        raise KeyError(f"unknown dataset {name!r}; expected one of {dataset_names()}")
+    if booleanizer_levels < 1:
+        raise ValueError(f"booleanizer_levels must be >= 1, got {booleanizer_levels}")
+    return _DATASET_ADAPTERS[name](num_samples, num_features, booleanizer_levels, seed)

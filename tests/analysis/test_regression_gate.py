@@ -1,0 +1,101 @@
+"""Benchmark regression gate semantics (repro.analysis.regression)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.regression import (
+    BaselineFile,
+    BaselineMetric,
+    compare_to_baseline,
+    load_baseline,
+    regressions,
+)
+
+
+def baseline(**metrics) -> BaselineFile:
+    return BaselineFile(
+        default_tolerance=0.30,
+        metrics={name: metric for name, metric in metrics.items()},
+    )
+
+
+def test_within_band_passes_and_beyond_band_fails():
+    base = baseline(tput=BaselineMetric("tput", 100.0))
+    ok = compare_to_baseline({"tput": 71.0}, base)       # -29% < 30% band
+    assert not regressions(ok)
+    bad = compare_to_baseline({"tput": 69.0}, base)      # -31% > 30% band
+    assert [c.name for c in regressions(bad)] == ["tput"]
+
+
+def test_improvements_never_fail():
+    base = baseline(tput=BaselineMetric("tput", 100.0))
+    assert not regressions(compare_to_baseline({"tput": 500.0}, base))
+
+
+def test_lower_is_better_direction():
+    base = baseline(
+        latency=BaselineMetric("latency", 100.0, direction="lower-is-better")
+    )
+    assert not regressions(compare_to_baseline({"latency": 129.0}, base))
+    assert regressions(compare_to_baseline({"latency": 131.0}, base))
+
+
+def test_per_metric_tolerance_overrides_default():
+    base = baseline(
+        wide=BaselineMetric("wide", 100.0, tolerance=0.65),
+        tight=BaselineMetric("tight", 100.0),
+    )
+    comparisons = compare_to_baseline({"wide": 40.0, "tight": 40.0}, base)
+    assert [c.name for c in regressions(comparisons)] == ["tight"]
+
+
+def test_missing_tracked_metric_fails_the_gate():
+    base = baseline(tput=BaselineMetric("tput", 100.0))
+    failing = regressions(compare_to_baseline({}, base))
+    assert [c.name for c in failing] == ["tput"]
+    assert "missing" in failing[0].note
+
+
+def test_untracked_current_metrics_are_reported_but_never_fail():
+    base = baseline(tput=BaselineMetric("tput", 100.0))
+    comparisons = compare_to_baseline({"tput": 100.0, "brand_new": 1.0}, base)
+    extras = [c for c in comparisons if c.baseline is None]
+    assert [c.name for c in extras] == ["brand_new"]
+    assert not regressions(comparisons)
+
+
+def test_invalid_metric_definitions_are_rejected():
+    with pytest.raises(ValueError):
+        BaselineMetric("x", 1.0, direction="sideways")
+    with pytest.raises(ValueError):
+        BaselineMetric("x", 1.0, tolerance=1.5)
+
+
+def test_load_baseline_parses_the_committed_schema(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({
+        "default_tolerance": 0.25,
+        "metrics": {
+            "a": {"value": 10.0},
+            "b": {"value": 5.0, "direction": "lower-is-better", "tolerance": 0.5},
+        },
+    }))
+    parsed = load_baseline(path)
+    assert parsed.default_tolerance == 0.25
+    assert parsed.metrics["a"].direction == "higher-is-better"
+    assert parsed.metrics["b"].tolerance == 0.5
+    # The committed repo baseline must always parse.
+    committed = load_baseline(
+        Path(__file__).resolve().parents[2] / "benchmarks" / "baseline.json"
+    )
+    assert "batch_vs_event_speedup" in committed.metrics
+
+
+def test_comparison_describe_lines_are_informative():
+    base = baseline(tput=BaselineMetric("tput", 100.0))
+    line = compare_to_baseline({"tput": 50.0}, base)[0].describe()
+    assert "FAIL" in line and "tput" in line and "baseline=100" in line

@@ -49,6 +49,37 @@ def test_make_chunks_boundaries_are_jobs_independent():
     assert all(c.seed == 99 for c in chunks)
 
 
+def test_make_chunks_empty_grid_yields_no_chunks():
+    """Chunk-boundary edge case: an empty work list (e.g. an empty DSE grid)."""
+    assert make_chunks([], chunk_size=4) == []
+    assert make_chunks([], chunk_size=1, seed=5) == []
+
+
+def test_make_chunks_grid_smaller_than_chunk_size():
+    """A grid smaller than chunk_size must become exactly one full chunk."""
+    chunks = make_chunks([10, 20], chunk_size=8, seed=3)
+    assert len(chunks) == 1
+    assert chunks[0].index == 0
+    assert chunks[0].start == 0
+    assert chunks[0].items == (10, 20)
+
+
+def test_make_chunks_rejects_invalid_chunk_size():
+    with pytest.raises(ValueError):
+        make_chunks([1, 2], chunk_size=0)
+
+
+def test_run_parallel_grid_smaller_than_chunk_size_any_jobs():
+    """jobs > number of chunks must not deadlock, reorder, or drop items."""
+    items = [3, 1]
+    expected = [9, 1]
+    assert run_parallel(_square, items, jobs=1, chunk_size=10) == expected
+    assert run_parallel(_square, items, jobs=4, chunk_size=10) == expected
+    # Seeded variant: the single chunk's RNG stream is jobs-invariant too.
+    assert run_parallel(_draw, items, jobs=1, chunk_size=10, seed=11) == \
+        run_parallel(_draw, items, jobs=4, chunk_size=10, seed=11)
+
+
 def test_chunk_rng_streams_are_independent_and_reproducible():
     a = WorkChunk(index=0, start=0, items=(1,), seed=7).rng()
     b = WorkChunk(index=1, start=1, items=(2,), seed=7).rng()

@@ -1,0 +1,89 @@
+"""Grid expansion: determinism, normalisation, feasibility filtering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore import (
+    DesignPointSpec,
+    ParameterGrid,
+    grid_names,
+    named_grid,
+)
+
+
+def test_smoke_grid_meets_ci_floor():
+    """The CI sweep contract: >= 48 feasible points, nothing silent."""
+    expansion = named_grid("smoke").expand()
+    assert len(expansion) >= 48
+    # Boolean-dataset booleanizer duplicates are counted, not evaluated twice.
+    assert expansion.dropped_duplicates > 0
+    assert len(set(expansion.points)) == len(expansion.points)
+
+
+def test_expansion_is_deterministic():
+    grid = named_grid("smoke")
+    assert grid.expand().points == grid.expand().points
+
+
+def test_boolean_datasets_collapse_booleanizer_axis():
+    grid = ParameterGrid(
+        datasets=("noisy-xor",),
+        booleanizer_levels=(1, 2, 4),
+        libraries=("UMC LL",),
+        styles=("sync",),
+    )
+    expansion = grid.expand()
+    assert len(expansion) == 1
+    assert expansion.points[0].booleanizer_levels == 1
+    assert expansion.dropped_duplicates == 2
+
+
+def test_continuous_datasets_keep_booleanizer_axis():
+    grid = ParameterGrid(
+        datasets=("sensor-blobs",),
+        booleanizer_levels=(1, 2, 4),
+        libraries=("UMC LL",),
+        styles=("sync",),
+    )
+    expansion = grid.expand()
+    assert [p.booleanizer_levels for p in expansion.points] == [1, 2, 4]
+
+
+def test_infeasible_supplies_are_filtered_per_library():
+    # 0.4 V is below UMC LL's 0.5 V functional floor but fine for the
+    # subthreshold FULL DIFFUSION library (floor 0.25 V).
+    grid = ParameterGrid(
+        datasets=("noisy-xor",),
+        libraries=("UMC LL", "FULL DIFFUSION"),
+        styles=("dual-rail-reduced",),
+        vdds=(0.4,),
+    )
+    expansion = grid.expand()
+    assert [p.library for p in expansion.points] == ["FULL DIFFUSION"]
+    assert expansion.dropped_infeasible == 1
+
+
+def test_spec_validation_rejects_unknown_axes():
+    with pytest.raises(KeyError):
+        DesignPointSpec("no-such-dataset", 2, 1, "UMC LL", "sync").validate()
+    with pytest.raises(KeyError):
+        DesignPointSpec("noisy-xor", 2, 1, "NO LIB", "sync").validate()
+    with pytest.raises(ValueError):
+        DesignPointSpec("noisy-xor", 2, 1, "UMC LL", "tri-rail").validate()
+    with pytest.raises(ValueError):
+        DesignPointSpec("noisy-xor", 0, 1, "UMC LL", "sync").validate()
+    with pytest.raises(ValueError):
+        DesignPointSpec("noisy-xor", 2, 1, "UMC LL", "sync", vdd=-1.0).validate()
+
+
+def test_labels_are_unique_across_the_smoke_grid():
+    points = named_grid("smoke").expand().points
+    labels = [p.label() for p in points]
+    assert len(set(labels)) == len(labels)
+
+
+def test_named_grid_lookup():
+    assert set(grid_names()) == {"smoke", "nominal", "full"}
+    with pytest.raises(KeyError):
+        named_grid("weekend")

@@ -1,0 +1,138 @@
+"""Pareto-front extraction and ranking over synthetic design points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore import (
+    DesignPoint,
+    DesignPointSpec,
+    Metric,
+    dominates,
+    front_csv,
+    pareto_front,
+    pareto_ranks,
+    parse_metric,
+    parse_metric_pair,
+)
+
+
+def make_point(tag: int, accuracy: float, energy: float, latency: float = 100.0,
+               vdd=None):
+    """A synthetic DesignPoint; *tag* keeps specs distinct for tie-breaks."""
+    spec = DesignPointSpec(
+        dataset="noisy-xor",
+        clauses_per_polarity=tag,
+        booleanizer_levels=1,
+        library="UMC LL",
+        style="sync",
+        vdd=vdd,
+    )
+    return DesignPoint(
+        spec=spec,
+        backend="batch",
+        vdd=1.2,
+        num_features=3,
+        accuracy=accuracy,
+        hardware_correctness=1.0,
+        mean_latency_ps=latency,
+        p95_latency_ps=latency,
+        max_latency_ps=latency,
+        energy_per_inference_fj=energy,
+        area_um2=100.0 + tag,
+        sequential_area_um2=10.0,
+        leakage_nw=1.0,
+        cell_count=50,
+        throughput_mops=1.0,
+        timed_operands=4,
+    )
+
+
+ACC = Metric("accuracy", "max")
+ENERGY = Metric("energy_per_inference_fj", "min")
+
+
+def test_dominates_requires_strictly_better_somewhere():
+    a = make_point(1, accuracy=0.9, energy=10.0)
+    b = make_point(2, accuracy=0.8, energy=20.0)
+    twin = make_point(3, accuracy=0.9, energy=10.0)
+    assert dominates(a, b, (ACC, ENERGY))
+    assert not dominates(b, a, (ACC, ENERGY))
+    assert not dominates(a, twin, (ACC, ENERGY))
+
+
+def test_front_extraction_and_order():
+    points = [
+        make_point(1, accuracy=0.9, energy=30.0),
+        make_point(2, accuracy=0.8, energy=10.0),   # on the front
+        make_point(3, accuracy=0.7, energy=20.0),   # dominated by 2
+        make_point(4, accuracy=0.95, energy=40.0),  # on the front
+    ]
+    front = pareto_front(points, (ACC, ENERGY))
+    assert [p.spec.clauses_per_polarity for p in front] == [4, 1, 2]
+
+
+def test_equally_good_points_all_survive():
+    points = [make_point(1, 0.9, 10.0), make_point(2, 0.9, 10.0)]
+    assert len(pareto_front(points, (ACC, ENERGY))) == 2
+
+
+def test_metric_ties_across_nominal_and_explicit_vdd():
+    """Tie-breaking must not compare specs directly: vdd mixes None/float."""
+    points = [
+        make_point(1, 0.9, 10.0, vdd=None),
+        make_point(1, 0.9, 10.0, vdd=0.8),
+    ]
+    front = pareto_front(points, (ACC, ENERGY))
+    assert len(front) == 2
+    assert front_csv(points, (ACC, ENERGY)) == front_csv(
+        list(reversed(points)), (ACC, ENERGY)
+    )
+
+
+def test_ranks_layer_the_whole_population():
+    points = [
+        make_point(1, accuracy=0.9, energy=10.0),  # rank 0
+        make_point(2, accuracy=0.8, energy=20.0),  # rank 1
+        make_point(3, accuracy=0.7, energy=30.0),  # rank 2
+    ]
+    assert pareto_ranks(points, (ACC, ENERGY)) == [0, 1, 2]
+
+
+def test_single_metric_front_is_the_optimum():
+    points = [make_point(i, 0.5 + 0.1 * i, 10.0 * i) for i in range(1, 4)]
+    front = pareto_front(points, (ACC,))
+    assert len(front) == 1
+    assert front[0].accuracy == pytest.approx(0.8)
+
+
+def test_parse_metric_aliases_and_explicit_forms():
+    assert parse_metric("energy") == ENERGY
+    assert parse_metric("accuracy") == ACC
+    assert parse_metric("area_um2:min") == Metric("area_um2", "min")
+    with pytest.raises(KeyError):
+        parse_metric("wattage")
+    with pytest.raises(ValueError):
+        parse_metric("area_um2:sideways")
+    a, b = parse_metric_pair("accuracy, energy")
+    assert (a, b) == (ACC, ENERGY)
+    with pytest.raises(ValueError):
+        parse_metric_pair("accuracy")
+
+
+def test_front_csv_is_deterministic_and_well_formed():
+    points = [make_point(1, 0.9, 30.0), make_point(2, 0.8, 10.0)]
+    text = front_csv(points, (ACC, ENERGY))
+    assert text == front_csv(list(reversed(points)), (ACC, ENERGY))
+    header, *rows = text.strip().split("\n")
+    assert header.startswith("dataset,clauses_per_polarity,")
+    assert header.endswith("accuracy,energy_per_inference_fj")
+    assert len(rows) == 2
+
+
+def test_metric_accessor_rejects_non_numeric_attributes():
+    point = make_point(1, 0.9, 10.0)
+    with pytest.raises(KeyError):
+        point.metric("spec")
+    with pytest.raises(KeyError):
+        point.metric("no_such_metric")

@@ -1,6 +1,6 @@
-"""Benchmark: event-driven vs vectorized batch backend throughput.
+"""Benchmark: event-driven vs vectorized vs bit-packed backend throughput.
 
-Pushes the paper-scale datapath's full operand encoding through both
+Pushes the paper-scale datapath's full operand encoding through the
 simulation backends and records the regression-tracking figures that end up
 in ``BENCH_sim.json``:
 
@@ -10,7 +10,10 @@ in ``BENCH_sim.json``:
 * ``batch_backend_samples_per_sec`` — the levelized NumPy engine over the
   full 1000-sample batch;
 * ``batch_vs_event_speedup`` — the headline ratio, asserted to be >= 10x
-  (in practice it is two to three orders of magnitude).
+  (in practice it is two to three orders of magnitude);
+* ``bitpack_backend_samples_per_sec`` / ``bitpack_vs_batch_speedup`` — the
+  bit-packed 64-lane engine vs the batch engine on the same 10k-sample
+  stream, asserted to be >= 5x (in practice ~10x).
 """
 
 from __future__ import annotations
@@ -18,16 +21,21 @@ from __future__ import annotations
 import os
 import time
 
+import numpy as np
+
 from repro.analysis import random_workload
 from repro.analysis import workload_input_planes
 from repro.core.dual_rail import encode_bit
 from repro.datapath.datapath import DualRailDatapath
-from repro.sim.backends import BatchBackend, EventBackend
+from repro.sim.backends import BatchBackend, BitpackBackend, EventBackend
 
 #: Batch size of the vectorized measurement (the acceptance criterion's 1k).
 BATCH_SAMPLES = int(os.environ.get("BENCH_BATCH_SAMPLES", "1000"))
 #: Operands pushed through the (slow) event backend to estimate its rate.
 EVENT_SAMPLES = int(os.environ.get("BENCH_EVENT_SAMPLES", "8"))
+#: Batch size of the bitpack-vs-batch comparison (the acceptance criterion's
+#: 10k; deliberately ragged would also work — tails are masked).
+BITPACK_SAMPLES = int(os.environ.get("BENCH_BITPACK_SAMPLES", "10000"))
 
 
 def _rail_assignments(circuit, operand):
@@ -96,3 +104,63 @@ def test_batch_backend_speedup(benchmark, umc, bench_records):
     for k in range(event_result.samples):
         for rail in verdict.rails:
             assert event_result.net_values[rail][k] == batch_result.value_of(rail, k)
+
+
+def test_bitpack_backend_speedup(benchmark, umc, bench_records):
+    """Bit-packed 64-lane engine vs the byte-per-sample batch engine at 10k."""
+    workload = random_workload(
+        num_features=4, clauses_per_polarity=8, num_operands=BITPACK_SAMPLES, seed=5
+    )
+    datapath = DualRailDatapath(workload.config)
+    netlist = datapath.circuit.netlist
+    planes = workload_input_planes(datapath.circuit, datapath, workload)
+
+    def run_batch():
+        return BatchBackend(netlist, umc).run_arrays(planes)
+
+    def run_bitpack():
+        return BitpackBackend(netlist, umc).run_arrays(planes)
+
+    def best_of_two(fn):
+        # Both measurements include compile + run; best-of-two smooths out
+        # scheduler noise so the gated ratio is stable on loaded CI runners.
+        best, result = float("inf"), None
+        for _ in range(2):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    batch_elapsed, batch_result = best_of_two(run_batch)
+    batch_rate = batch_result.samples / batch_elapsed
+
+    bitpack_elapsed, bitpack_result = best_of_two(run_bitpack)
+    bitpack_rate = bitpack_result.samples / bitpack_elapsed
+    # One more pass through pytest-benchmark so the timing lands in the
+    # benchmark report alongside the other backends.
+    benchmark.pedantic(run_bitpack, rounds=1, iterations=1)
+
+    speedup = bitpack_rate / batch_rate
+    print(
+        f"\nBitpack throughput: batch={batch_rate:,.0f} samples/s, "
+        f"bitpack={bitpack_rate:,.0f} samples/s "
+        f"({bitpack_result.samples} samples) -> {speedup:.1f}x"
+    )
+    bench_records["bitpack_backend_samples_per_sec"] = bitpack_rate
+    bench_records["bitpack_vs_batch_speedup"] = speedup
+
+    assert bitpack_result.samples == BITPACK_SAMPLES
+    # Acceptance criterion: >= 5x the batch backend's samples/sec at 10k
+    # samples.  Real measurements sit around 10x; 5x leaves headroom for
+    # slow or noisy CI machines.  Both timings include backend compile,
+    # which only amortizes over a long enough stream, so the assertion is
+    # scoped to the acceptance budget — shrinking BENCH_BITPACK_SAMPLES
+    # still records the metrics without a spurious red.
+    if BITPACK_SAMPLES >= 10000:
+        assert speedup >= 5.0
+
+    # The two vectorized backends agree on the verdict rails for the whole
+    # stream (gate-for-gate equivalence lives in the tier-1 tests).
+    verdict = datapath.circuit.one_of_n_outputs[0]
+    for rail in verdict.rails:
+        assert np.array_equal(bitpack_result.values[rail], batch_result.values[rail])

@@ -1,13 +1,15 @@
 """Vectorized functional sweep: thousands of inferences in one batch pass.
 
-Demonstrates the ``batch`` simulation backend (see
+Demonstrates the vectorized simulation backends (see
 :mod:`repro.sim.backends`): the whole operand stream is evaluated through
-the levelized NumPy engine in a single pass, returning per-operand verdicts,
-correctness against the software golden model, and cycle-level switching
-activity priced into an energy-per-inference estimate — no event-driven
-simulation anywhere on the path.
+the levelized ``batch`` engine — or the bit-packed 64-lane ``bitpack``
+engine — in a single pass, returning per-operand verdicts, correctness
+against the software golden model, and cycle-level switching activity
+priced into an energy-per-inference estimate — no event-driven simulation
+anywhere on the path.
 
-Run with:  python examples/batch_functional_sweep.py [--samples 5000]
+Run with:  python examples/batch_functional_sweep.py [--samples 5000] \
+               [--backend bitpack]
 """
 
 from __future__ import annotations
@@ -15,14 +17,16 @@ from __future__ import annotations
 import argparse
 import time
 
-from repro.analysis import functional_sweep, random_workload
+from repro.analysis import FUNCTIONAL_BACKENDS, functional_sweep, random_workload
 from repro.circuits import umc_ll_library
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--samples", type=int, default=5000,
-                        help="operands to push through the batch backend")
+                        help="operands to push through the vectorized backend")
+    parser.add_argument("--backend", choices=FUNCTIONAL_BACKENDS, default="batch",
+                        help="vectorized backend (bitpack = 64 samples per word)")
     args = parser.parse_args()
 
     library = umc_ll_library()
@@ -32,7 +36,7 @@ def main() -> None:
     print(f"Library : {library.name}\n")
 
     start = time.perf_counter()
-    sweep = functional_sweep(workload, library)
+    sweep = functional_sweep(workload, library, backend=args.backend)
     elapsed = time.perf_counter() - start
 
     counts = {label: sweep.verdicts.count(label) for label in ("less", "equal", "greater")}

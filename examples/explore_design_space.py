@@ -30,6 +30,7 @@ from pathlib import Path
 
 from repro.explore import (
     ResultStore,
+    SWEEP_BACKENDS,
     format_front_csv,
     grid_names,
     named_grid,
@@ -55,7 +56,7 @@ def main(argv=None) -> int:
                         help="named parameter grid to expand (default: smoke)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="parallel evaluation processes (results are jobs-invariant)")
-    parser.add_argument("--backend", default="batch", choices=("batch", "event"),
+    parser.add_argument("--backend", default="batch", choices=SWEEP_BACKENDS,
                         help="functional evaluation backend (default: batch)")
     parser.add_argument("--store", default=".dse_store",
                         help="result-store directory; 'none' disables caching")

@@ -19,12 +19,12 @@ from __future__ import annotations
 
 import argparse
 
-from repro.analysis import default_workload, format_table1, run_table1
+from repro.analysis import EXPERIMENT_BACKENDS, default_workload, format_table1, run_table1
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--backend", choices=("event", "batch"), default="event",
+    parser.add_argument("--backend", choices=EXPERIMENT_BACKENDS, default="event",
                         help="simulation backend for dual-rail functional checks")
     parser.add_argument("--jobs", type=int, default=1,
                         help="parallel measurements (0 = CPU count)")

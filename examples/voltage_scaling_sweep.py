@@ -21,7 +21,7 @@ from __future__ import annotations
 import argparse
 import math
 
-from repro.analysis import default_workload, format_figure3, run_figure3
+from repro.analysis import EXPERIMENT_BACKENDS, default_workload, format_figure3, run_figure3
 from repro.circuits import full_diffusion_library
 
 VOLTAGES = (0.25, 0.3, 0.35, 0.4, 0.5, 0.6, 0.8, 1.0, 1.2)
@@ -29,7 +29,7 @@ VOLTAGES = (0.25, 0.3, 0.35, 0.4, 0.5, 0.6, 0.8, 1.0, 1.2)
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--backend", choices=("event", "batch"), default="event",
+    parser.add_argument("--backend", choices=EXPERIMENT_BACKENDS, default="event",
                         help="simulation backend for the functional checks")
     parser.add_argument("--jobs", type=int, default=1,
                         help="parallel voltage points (0 = CPU count)")

@@ -32,6 +32,9 @@ The sweep harnesses accept ``backend=`` and ``jobs=`` arguments:
   quantities (latency, grace, power windows) still come from the event
   simulation — so the numbers are identical to the event path, by
   construction and by test.
+* ``backend="bitpack"`` does the same through the bit-packed 64-lane engine
+  (64 samples per ``uint64`` word) — the fastest functional path; results
+  are identical to both other backends.
 * ``jobs=N`` fans independent work units (voltage points, library×design
   measurements, operand chunks) out over :func:`repro.analysis.runner.run_parallel`;
   results are deterministic and identical for every ``jobs`` value.
@@ -78,7 +81,7 @@ from .throughput import dual_rail_throughput, synchronous_throughput
 #: quantities each backend can produce (timing always stays event-driven), so
 #: a backend registered with the generic registry is not automatically usable
 #: here.
-EXPERIMENT_BACKENDS = ("event", "batch")
+EXPERIMENT_BACKENDS = ("event", "batch", "bitpack")
 
 
 def _check_backend(backend: str) -> None:
@@ -121,13 +124,15 @@ def functional_sweep(
     library: Optional[CellLibrary] = None,
     vdd: Optional[float] = None,
     synthesize_netlist: bool = True,
+    backend: str = "batch",
 ) -> FunctionalSweep:
     """Decisions, verdicts and switching activity for a workload — no timing.
 
     This is the fast path for correctness sweeps and energy estimation over
     large operand streams: the whole stream is evaluated in one vectorized
-    pass through the batch backend (see the ``BENCH_sim.json`` numbers for
-    the samples/sec gap versus the event backend).
+    pass through the batch (or bit-packed) backend (see the
+    ``BENCH_sim.json`` numbers for the samples/sec gap versus the event
+    backend).
 
     Parameters
     ----------
@@ -136,6 +141,10 @@ def functional_sweep(
         the same netlist :func:`measure_dual_rail` simulates; ``False`` skips
         synthesis and evaluates the as-built netlist (faster setup, same
         functional results).
+    backend:
+        ``"batch"`` (default) or ``"bitpack"`` — both produce identical
+        results; ``"bitpack"`` packs 64 samples per word and is the fastest
+        on long streams.
     """
     library = resolve_library(library)
     datapath = DualRailDatapath(workload.config, library=library)
@@ -145,7 +154,9 @@ def functional_sweep(
             circuit.netlist, library, vdd=vdd, clocked=False, enforce_unate=True
         )
         circuit = rebind_interface(circuit, synthesis)
-    return batch_functional_pass(datapath, circuit, workload, library, vdd=vdd)
+    return batch_functional_pass(
+        datapath, circuit, workload, library, vdd=vdd, backend=backend
+    )
 
 
 def measure_dual_rail(
@@ -157,14 +168,15 @@ def measure_dual_rail(
 ) -> DualRailMeasurement:
     """Build, synthesise and simulate the dual-rail datapath on *workload*.
 
-    With ``backend="batch"`` the verdicts and correctness come from the
-    vectorized batch backend (one pass over the whole operand stream) while
-    every timing quantity — latency, reset times, grace period, power
-    windows — still comes from the event-driven simulation, as timing must.
-    Both backends settle to identical values net-for-net, so the returned
-    measurement is numerically identical either way.
+    With ``backend="batch"`` or ``backend="bitpack"`` the verdicts and
+    correctness come from the selected vectorized backend (one pass over the
+    whole operand stream) while every timing quantity — latency, reset
+    times, grace period, power windows — still comes from the event-driven
+    simulation, as timing must.  All backends settle to identical values
+    net-for-net, so the returned measurement is numerically identical
+    either way.
 
-    Note that this makes ``backend="batch"`` a *decision source and live
+    Note that this makes the vectorized backends a *decision source and live
     cross-check*, not a speed optimisation: the event loop still simulates
     every operand for the timing columns, and the vectorized pass is a small
     additional cost.  The wall-clock levers are ``jobs=`` on the sweep
@@ -185,13 +197,14 @@ def measure_dual_rail(
     correct = 0
     verdicts: List[str] = []
     functional: Optional[FunctionalSweep] = None
-    if backend == "batch":
+    if backend != "event":
         # One vectorized pass answers every functional question; the event
         # loop below is then purely for the timing quantities.  Activity and
-        # energy come from the event transition log here, so the batch pass
-        # skips its own (with_activity=False).
+        # energy come from the event transition log here, so the vectorized
+        # pass skips its own (with_activity=False).
         functional = batch_functional_pass(
-            datapath, circuit, workload, library, vdd=vdd, with_activity=False
+            datapath, circuit, workload, library, vdd=vdd,
+            with_activity=False, backend=backend,
         )
     for index, features in enumerate(workload.feature_vectors):
         assignments = datapath.operand_assignments(features, workload.exclude)

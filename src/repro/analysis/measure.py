@@ -27,7 +27,7 @@ Contents
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -40,7 +40,7 @@ from repro.datapath.datapath import (
     VERDICT_LABELS,
     feature_input_name,
 )
-from repro.sim.backends import ArrayBatchResult, BatchBackend
+from repro.sim.backends import ArrayBatchResult, PackedBatchResult, get_backend
 from repro.sim.handshake import DualRailEnvironment
 from repro.sim.monitors import ForbiddenStateMonitor, MonotonicityMonitor
 from repro.sim.power import PowerAccountant
@@ -310,8 +310,12 @@ def make_dual_rail_environment(
 
 
 # --------------------------------------------------------------------------
-# Vectorized functional evaluation (batch backend)
+# Vectorized functional evaluation (batch / bitpack backends)
 # --------------------------------------------------------------------------
+
+#: Backends that implement the vectorized ``run_arrays`` plane interface
+#: :func:`batch_functional_pass` is built on (``"event"`` does not).
+FUNCTIONAL_BACKENDS = ("batch", "bitpack")
 
 
 @dataclass
@@ -388,8 +392,16 @@ def spacer_assignments(circuit: DualRailCircuit) -> Dict[str, int]:
     return spacer
 
 
-def decode_verdict_planes(result: ArrayBatchResult, sig: OneOfNSignal) -> List[str]:
-    """Vectorized 1-of-n decode of the verdict rails over a whole batch."""
+def decode_verdict_planes(
+    result: Union[ArrayBatchResult, PackedBatchResult], sig: OneOfNSignal
+) -> List[str]:
+    """Vectorized 1-of-n decode of the verdict rails over a whole batch.
+
+    Works on any result exposing the ``values[net] -> uint8 plane``
+    interface — the batch backend's :class:`ArrayBatchResult` and the
+    bitpack backend's :class:`PackedBatchResult` (which unpacks only the
+    rails touched here).
+    """
     rails = np.stack([result.values[rail] for rail in sig.rails])
     if np.any(rails > 1):
         raise ValueError(f"1-of-n output {sig.name!r} carries unknown values")
@@ -412,17 +424,25 @@ def batch_functional_pass(
     library: CellLibrary,
     vdd: Optional[float] = None,
     with_activity: bool = True,
+    backend: str = "batch",
 ) -> FunctionalSweep:
-    """Run the whole operand stream through the batch backend at once.
+    """Run the whole operand stream through a vectorized backend at once.
 
     ``with_activity=False`` skips the spacer-baseline evaluation and energy
     pricing — the right mode when only verdicts are wanted (e.g. when the
-    event simulation is computing power anyway).
+    event simulation is computing power anyway).  *backend* selects any of
+    :data:`FUNCTIONAL_BACKENDS` (``"batch"`` or ``"bitpack"``); both settle
+    to identical values net-for-net and count identical activity, so the
+    choice only moves wall-clock time.
     """
-    backend = BatchBackend(circuit.netlist, library, vdd=vdd)
+    if backend not in FUNCTIONAL_BACKENDS:
+        raise ValueError(
+            f"unknown functional backend {backend!r}; expected one of {FUNCTIONAL_BACKENDS}"
+        )
+    engine = get_backend(backend, circuit.netlist, library, vdd=vdd)
     planes = workload_input_planes(circuit, datapath, workload)
     baseline = spacer_assignments(circuit) if with_activity else None
-    result = backend.run_arrays(planes, baseline=baseline)
+    result = engine.run_arrays(planes, baseline=baseline)
     verdict_sig = next(
         sig for sig in circuit.one_of_n_outputs if tuple(sig.labels) == VERDICT_LABELS
     )
@@ -438,7 +458,7 @@ def batch_functional_pass(
     samples = len(verdicts)
     return FunctionalSweep(
         library=library.name,
-        backend="batch",
+        backend=backend,
         samples=samples,
         verdicts=verdicts,
         decisions=decisions,

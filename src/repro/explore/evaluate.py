@@ -19,10 +19,12 @@ Backends
 ``backend="batch"`` (the sweep default) sources every functional quantity
 from the vectorized batch backend over the full operand stream and runs the
 event-driven simulation only on a short timing prefix
-(``settings.timing_operands``); ``backend="event"`` simulates the full
-stream event-driven, exactly like the Table-I measurement.  Both paths share
-:mod:`repro.analysis.measure`, so a DSE point is measured the same way the
-paper-reproduction harnesses measure.
+(``settings.timing_operands``); ``backend="bitpack"`` does the same through
+the bit-packed 64-lane engine (fastest on long streams);
+``backend="event"`` simulates the full stream event-driven, exactly like
+the Table-I measurement.  All paths share :mod:`repro.analysis.measure`, so
+a DSE point is measured the same way the paper-reproduction harnesses
+measure.
 
 :func:`run_sweep` fans a grid out through
 :func:`repro.analysis.runner.run_parallel` under the pinned determinism
@@ -60,8 +62,10 @@ from repro.tm.machine import TsetlinMachine
 from .grid import DesignPointSpec, GridExpansion, ParameterGrid
 from .store import ResultStore, library_fingerprint, point_key
 
-#: Simulation backends the evaluator accepts.
-SWEEP_BACKENDS = ("batch", "event")
+#: Simulation backends the evaluator accepts.  The vectorized pair
+#: ("batch", "bitpack") source functional quantities from one whole-stream
+#: pass and event-simulate only the timing prefix; "event" times everything.
+SWEEP_BACKENDS = ("batch", "event", "bitpack")
 
 
 @dataclass(frozen=True)
@@ -256,7 +260,7 @@ def _evaluate_dual_rail(
         mapped = build_mapped_dual_rail(config, library, vdd=spec.vdd)
         functional = batch_functional_pass(
             mapped.datapath, mapped.circuit, replace_config(workload, config),
-            library, vdd=spec.vdd, with_activity=True,
+            library, vdd=spec.vdd, with_activity=True, backend=backend,
         )
         correctness = functional.correctness
         energy = functional.energy_per_inference_fj

@@ -12,14 +12,16 @@ Contents:
 * :mod:`repro.sim.sta` — static timing analysis (grace periods, clock period);
 * :mod:`repro.sim.voltage` — supply-voltage sweep machinery (Figure 3);
 * :mod:`repro.sim.backends` — pluggable simulation backends: the
-  event-driven reference (``"event"``) and the levelized vectorized batch
-  engine (``"batch"``) behind the fast experiment sweeps.
+  event-driven reference (``"event"``), the levelized vectorized batch
+  engine (``"batch"``) and the bit-packed 64-lane engine (``"bitpack"``)
+  behind the fast experiment sweeps.
 """
 
 from .backends import (
     BackendError,
     BatchBackend,
     BatchResult,
+    BitpackBackend,
     EventBackend,
     SimulationBackend,
     available_backends,
@@ -63,6 +65,7 @@ __all__ = [
     "ActivityCounter",
     "BackendError",
     "BatchBackend",
+    "BitpackBackend",
     "BatchResult",
     "CompletionObserver",
     "DualRailEnvironment",

@@ -1,4 +1,4 @@
-"""Pluggable simulation backends (event-driven vs vectorized batch).
+"""Pluggable simulation backends (event-driven vs vectorized vs bit-packed).
 
 See :mod:`repro.sim.backends.base` for the protocol and the guidance on when
 to use which backend.  Summary:
@@ -7,18 +7,24 @@ to use which backend.  Summary:
   reference (latency, grace periods, waveforms, glitch-accurate power);
 * ``get_backend("batch", netlist, library)`` — levelized NumPy engine for
   whole batches of input vectors (functional sweeps, correctness checks,
-  cycle-level switching activity) at orders-of-magnitude higher throughput.
+  cycle-level switching activity) at orders-of-magnitude higher throughput;
+* ``get_backend("bitpack", netlist, library)`` — the bit-packed 64-lane
+  engine: 64 samples per ``uint64`` word, two bit-planes per net, every
+  gate a handful of bitwise word ops.  The fastest functional backend.
 """
 
 from .base import (
     BackendError,
     BatchResult,
+    CellOp,
     SimulationBackend,
     available_backends,
+    compile_levelized_ops,
     get_backend,
     register_backend,
 )
 from .batch import ArrayBatchResult, BatchBackend
+from .bitpack import BitpackBackend, PackedBatchResult
 from .event import EventBackend
 
 __all__ = [
@@ -26,9 +32,13 @@ __all__ = [
     "BackendError",
     "BatchBackend",
     "BatchResult",
+    "BitpackBackend",
+    "CellOp",
     "EventBackend",
+    "PackedBatchResult",
     "SimulationBackend",
     "available_backends",
+    "compile_levelized_ops",
     "get_backend",
     "register_backend",
 ]

@@ -3,7 +3,7 @@
 A *backend* answers the question "what do the nets of this netlist settle to
 for these primary-input assignments?" — possibly for a whole batch of input
 vectors at once, and possibly with per-gate switching-activity counts on the
-side.  Two implementations ship with the repo:
+side.  Three implementations ship with the repo:
 
 ``"event"``
     :class:`~repro.sim.backends.event.EventBackend` — wraps the timing-
@@ -18,15 +18,22 @@ side.  Two implementations ship with the repo:
     cycle-level transition counts are needed (correctness sweeps, energy
     estimation, workload statistics); it is orders of magnitude faster.
 
+``"bitpack"``
+    :class:`~repro.sim.backends.bitpack.BitpackBackend` — the same levelized
+    evaluation, but with 64 samples packed into each ``uint64`` word (two
+    bit-planes per net for three-valued logic), so every gate costs a
+    handful of bitwise word operations for the whole batch.  The fastest
+    functional backend; same equivalence guarantees as ``"batch"``.
+
 Backends are looked up by name through :func:`get_backend`, so experiment
-harnesses can take a ``backend="event"|"batch"`` argument without importing
-concrete classes.
+harnesses can take a ``backend="event"|"batch"|"bitpack"`` argument without
+importing concrete classes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 try:  # Protocol is 3.8+; keep an import guard for exotic interpreters.
     from typing import Protocol, runtime_checkable
@@ -34,12 +41,14 @@ except ImportError:  # pragma: no cover - typing_extensions fallback
     Protocol = object  # type: ignore[assignment]
 
     def runtime_checkable(cls):  # type: ignore[misc]
+        """Identity decorator standing in for :func:`typing.runtime_checkable`."""
         return cls
 
 
-from repro.circuits.gates import LogicValue
+from repro.circuits.gates import gate_spec, LogicValue
+from repro.circuits.levelize import levelize
 from repro.circuits.library import CellLibrary
-from repro.circuits.netlist import Netlist
+from repro.circuits.netlist import Netlist, NetlistError
 
 
 class BackendError(Exception):
@@ -108,6 +117,168 @@ class SimulationBackend(Protocol):
         word); backends that measure transitions directly may ignore it.
         """
         ...
+
+
+def make_cell_type_compiler(
+    backend_name: str,
+    and_fn: Callable,
+    or_fn: Callable,
+    xor_fn: Callable,
+    maj3_fn: Callable,
+    c_fn: Callable,
+    invert: Callable,
+) -> Callable[[str], Callable]:
+    """Build a ``cell type -> evaluator`` compiler from primitive evaluators.
+
+    The levelized backends share one cell-type dispatch (INV/BUF, AND/NAND,
+    OR/NOR, XOR2/XNOR2, MAJ3, C-elements, and the AOI/OAI/AO/OA complex
+    gates with per-digit pin groups); only the primitives differ — the
+    batch backend's operate on ``uint8`` sample arrays, the bitpack
+    backend's on ``(ones, zeros)`` bit-plane pairs.  Each ``*_fn`` takes
+    the cell's input values in pin order and returns the output value;
+    *invert* maps an output value to its logical complement.
+
+    The returned compiler raises :class:`BackendError` for cell types it
+    cannot vectorize (the caller's registration name is quoted in the
+    message).
+    """
+
+    def grouped(groups: Tuple[int, ...], inner: Callable, outer: Callable,
+                inverting: bool) -> Callable:
+        """Complex-gate evaluator: *inner* per pin group, *outer* across groups."""
+
+        def fn(values: List) -> object:
+            """Evaluate one complex gate over grouped pin values."""
+            terms: List = []
+            idx = 0
+            for width in groups:
+                terms.append(values[idx] if width == 1 else inner(values[idx: idx + width]))
+                idx += width
+            out = outer(terms)
+            return invert(out) if inverting else out
+
+        return fn
+
+    def compile_cell_type(cell_type: str) -> Callable:
+        """Return the evaluator for *cell_type* (input order = pin order)."""
+        if cell_type == "INV":
+            return lambda values: invert(values[0])
+        if cell_type == "BUF":
+            return lambda values: values[0]
+        if cell_type == "MAJ3":
+            return maj3_fn
+        if cell_type == "XOR2":
+            return xor_fn
+        if cell_type == "XNOR2":
+            return lambda values: invert(xor_fn(values))
+        if cell_type.startswith("AND"):
+            return and_fn
+        if cell_type.startswith("NAND"):
+            return lambda values: invert(and_fn(values))
+        if cell_type.startswith("OR"):
+            return or_fn
+        if cell_type.startswith("NOR"):
+            return lambda values: invert(or_fn(values))
+        if cell_type.startswith("C") and cell_type[1:].isdigit():
+            return c_fn
+        for prefix, inner, outer, inverting in (
+            ("AOI", and_fn, or_fn, True),
+            ("OAI", or_fn, and_fn, True),
+            ("AO", and_fn, or_fn, False),
+            ("OA", or_fn, and_fn, False),
+        ):
+            if cell_type.startswith(prefix) and cell_type[len(prefix):].isdigit():
+                groups = tuple(int(d) for d in cell_type[len(prefix):])
+                return grouped(groups, inner, outer, inverting)
+        raise BackendError(
+            f"{backend_name} backend cannot vectorize cell type {cell_type!r}"
+        )
+
+    return compile_cell_type
+
+
+@dataclass
+class CellOp:
+    """One compiled cell of a levelized backend program.
+
+    Evaluation pulls the planes of ``in_nets`` (in the cell type's pin
+    order), applies ``fn`` — whose plane representation is backend-specific
+    (``uint8`` sample arrays for ``"batch"``, ``uint64`` bit-plane pairs for
+    ``"bitpack"``) — and stores the result as ``out_net``.
+    """
+
+    cell_name: str
+    cell_type: str
+    in_nets: Tuple[str, ...]
+    out_net: str
+    fn: Callable
+
+
+def compile_levelized_ops(
+    netlist: Netlist,
+    compile_cell_type: Callable[[str], Callable],
+    backend_name: str,
+) -> Tuple[List[Tuple[str, int]], List[CellOp]]:
+    """Compile *netlist* into the straight-line program levelized backends run.
+
+    The shared front half of the ``"batch"`` and ``"bitpack"`` backends:
+    reject clocked netlists (flip-flops have no single-pass functional
+    meaning), topologically levelize, peel ``TIE0``/``TIE1`` cells off into
+    ``(net, constant)`` pairs, and compile every remaining cell — which must
+    be single-output — through *compile_cell_type* (memoised per cell type).
+
+    Returns ``(constants, ops)`` where *ops* is in level order, so executing
+    them sequentially evaluates every cell after all of its fanins.
+
+    Raises
+    ------
+    BackendError
+        For clocked or non-levelizable (cyclic) netlists, multi-output
+        cells, or cell types *compile_cell_type* cannot handle.
+    """
+    for cell in netlist.iter_cells():
+        if cell.cell_type == "DFF":
+            raise BackendError(
+                f"{backend_name} backend does not support clocked netlists "
+                "(DFF found); use the event backend for the synchronous baseline"
+            )
+    fn_cache: Dict[str, Callable] = {}
+    try:
+        levels = levelize(netlist)
+    except NetlistError as err:
+        raise BackendError(
+            f"{backend_name} backend requires a levelizable netlist: {err}; "
+            "use the event backend for cyclic designs"
+        ) from err
+    constants: List[Tuple[str, int]] = []
+    ops: List[CellOp] = []
+    for level in levels:
+        for cell in level:
+            if cell.cell_type in ("TIE0", "TIE1"):
+                value = 1 if cell.cell_type == "TIE1" else 0
+                for net in cell.outputs.values():
+                    constants.append((net, value))
+                continue
+            spec = gate_spec(cell.cell_type)
+            if len(spec.output_pins) != 1:
+                raise BackendError(
+                    f"{backend_name} backend expects single-output cells, "
+                    f"got {cell.cell_type!r}"
+                )
+            fn = fn_cache.get(cell.cell_type)
+            if fn is None:
+                fn = compile_cell_type(cell.cell_type)
+                fn_cache[cell.cell_type] = fn
+            ops.append(
+                CellOp(
+                    cell_name=cell.name,
+                    cell_type=cell.cell_type,
+                    in_nets=tuple(cell.inputs[pin] for pin in spec.input_pins),
+                    out_net=cell.outputs[spec.output_pins[0]],
+                    fn=fn,
+                )
+            )
+    return constants, ops
 
 
 #: name -> factory(netlist, library, vdd) for the built-in backends.

@@ -45,12 +45,17 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
-from repro.circuits.gates import LogicValue, gate_spec
-from repro.circuits.levelize import levelize
+from repro.circuits.gates import LogicValue
 from repro.circuits.library import CellLibrary
-from repro.circuits.netlist import Netlist, NetlistError
+from repro.circuits.netlist import Netlist
 
-from .base import BackendError, BatchResult, register_backend
+from .base import (
+    BackendError,
+    BatchResult,
+    compile_levelized_ops,
+    make_cell_type_compiler,
+    register_backend,
+)
 
 #: Batch-plane encoding of the unknown (``X``) logic value.
 X = np.uint8(2)
@@ -112,65 +117,101 @@ def _c_element_arrays(arrays: Sequence[np.ndarray]) -> np.ndarray:
     return np.where(all1, _ONE, np.where(all0, _ZERO, X)).astype(np.uint8)
 
 
-def _grouped_fn(groups: Tuple[int, ...], inner: _ArrayFn, outer: _ArrayFn,
-                invert: bool) -> _ArrayFn:
-    """Complex-gate evaluator: *inner* per pin group, *outer* across groups."""
-
-    def fn(arrays: List[np.ndarray]) -> np.ndarray:
-        terms: List[np.ndarray] = []
-        idx = 0
-        for width in groups:
-            terms.append(arrays[idx] if width == 1 else inner(arrays[idx: idx + width]))
-            idx += width
-        out = outer(terms)
-        return _NOT_LUT[out] if invert else out
-
-    return fn
+#: Cell-type dispatch over the uint8-array primitives (shared shape with
+#: the bitpack backend — see :func:`make_cell_type_compiler`).
+_compile_cell_type = make_cell_type_compiler(
+    "batch",
+    and_fn=_and_arrays,
+    or_fn=_or_arrays,
+    xor_fn=_xor_arrays,
+    maj3_fn=_maj3_arrays,
+    c_fn=_c_element_arrays,
+    invert=lambda array: _NOT_LUT[array],
+)
 
 
-def _compile_cell_type(cell_type: str) -> _ArrayFn:
-    """Return the vectorized evaluator for *cell_type* (input order = pin order)."""
-    if cell_type == "INV":
-        return lambda arrays: _NOT_LUT[arrays[0]]
-    if cell_type == "BUF":
-        return lambda arrays: arrays[0]
-    if cell_type == "MAJ3":
-        return _maj3_arrays
-    if cell_type == "XOR2":
-        return _xor_arrays
-    if cell_type == "XNOR2":
-        return lambda arrays: _NOT_LUT[_xor_arrays(arrays)]
-    if cell_type.startswith("AND"):
-        return _and_arrays
-    if cell_type.startswith("NAND"):
-        return lambda arrays: _NOT_LUT[_and_arrays(arrays)]
-    if cell_type.startswith("OR"):
-        return _or_arrays
-    if cell_type.startswith("NOR"):
-        return lambda arrays: _NOT_LUT[_or_arrays(arrays)]
-    if cell_type.startswith("C") and cell_type[1:].isdigit():
-        return _c_element_arrays
-    for prefix, inner, outer, invert in (
-        ("AOI", _and_arrays, _or_arrays, True),
-        ("OAI", _or_arrays, _and_arrays, True),
-        ("AO", _and_arrays, _or_arrays, False),
-        ("OA", _or_arrays, _and_arrays, False),
-    ):
-        if cell_type.startswith(prefix) and cell_type[len(prefix):].isdigit():
-            groups = tuple(int(d) for d in cell_type[len(prefix):])
-            return _grouped_fn(groups, inner, outer, invert)
-    raise BackendError(f"batch backend cannot vectorize cell type {cell_type!r}")
+def normalize_input_planes(
+    netlist: Netlist,
+    inputs: Mapping[str, Union[int, np.ndarray, Sequence[int]]],
+) -> Tuple[Dict[str, np.ndarray], int]:
+    """Normalize a stimulus mapping into ``uint8`` planes, inferring batch size.
+
+    Shared by every vectorized backend: scalars broadcast over the batch,
+    array lengths must agree, values must be Boolean, and every net must
+    exist in *netlist*.  Returns ``(planes, samples)``.
+    """
+    samples: Optional[int] = None
+    for value in inputs.values():
+        if np.ndim(value) > 0:
+            n = int(np.shape(value)[0])
+            if samples is not None and samples != n:
+                raise BackendError(
+                    f"inconsistent batch sizes in input arrays ({samples} vs {n})"
+                )
+            samples = n
+    if samples is None:
+        samples = 1
+    planes: Dict[str, np.ndarray] = {}
+    for net, value in inputs.items():
+        if net not in netlist.nets:
+            raise KeyError(f"unknown net {net!r}")
+        plane = np.asarray(value, dtype=np.uint8)
+        if plane.ndim == 0:
+            plane = np.full(samples, int(plane), dtype=np.uint8)
+        if np.any(plane > 1):
+            raise BackendError(f"input plane for {net!r} contains non-Boolean values")
+        planes[net] = plane
+    return planes, samples
 
 
-@dataclass
-class _CellOp:
-    """One compiled cell: pull *in_nets*, apply *fn*, store into *out_net*."""
+def stacked_batch_inputs(
+    batch: Sequence[Mapping[str, int]],
+) -> Dict[str, np.ndarray]:
+    """Stack per-sample assignment mappings into per-net input arrays.
 
-    cell_name: str
-    cell_type: str
-    in_nets: Tuple[str, ...]
-    out_net: str
-    fn: _ArrayFn
+    The :meth:`SimulationBackend.run_batch` front end shared by the
+    vectorized backends; raises :class:`BackendError` when the batch is
+    ragged (a net assigned in some samples but not all).
+    """
+    nets = sorted({net for assignments in batch for net in assignments})
+    inputs = {
+        net: np.array([int(assignments[net]) for assignments in batch], dtype=np.uint8)
+        for net in nets
+        if all(net in assignments for assignments in batch)
+    }
+    missing = [net for net in nets if net not in inputs]
+    if missing:
+        raise BackendError(
+            f"ragged batch: nets {missing[:4]} are not assigned in every sample"
+        )
+    return inputs
+
+
+def boxed_batch_result(result, netlist: Netlist) -> BatchResult:
+    """Box a vectorized array result into the protocol-level :class:`BatchResult`.
+
+    *result* is duck-typed over the plane-result interface the vectorized
+    backends share (``samples``, ``values`` and the activity dicts) —
+    :class:`ArrayBatchResult` or the bitpack backend's
+    ``PackedBatchResult``.  Decoding goes through whole ``uint8`` planes
+    (one vectorized unpack per net for packed results), never per-sample
+    scalar extraction.
+    """
+    planes = result.values
+    net_values = {}
+    for net in netlist.nets:
+        net_values[net] = [None if v == 2 else v for v in planes[net].tolist()]
+    outputs = [
+        {net: net_values[net][k] for net in netlist.primary_outputs}
+        for k in range(result.samples)
+    ]
+    return BatchResult(
+        samples=result.samples,
+        outputs=outputs,
+        activity_by_cell=result.activity_by_cell,
+        activity_by_cell_type=result.activity_by_cell_type,
+        net_values=net_values,
+    )
 
 
 @dataclass
@@ -225,51 +266,9 @@ class BatchBackend:
         self.netlist = netlist
         self.library = library
         self.vdd = vdd
-        self._constants: List[Tuple[str, int]] = []
-        self._ops: List[_CellOp] = []
-        self._compile()
-
-    # ------------------------------------------------------------- compile
-    def _compile(self) -> None:
-        for cell in self.netlist.iter_cells():
-            if cell.cell_type == "DFF":
-                raise BackendError(
-                    "batch backend does not support clocked netlists (DFF found); "
-                    "use the event backend for the synchronous baseline"
-                )
-        fn_cache: Dict[str, _ArrayFn] = {}
-        try:
-            levels = levelize(self.netlist)
-        except NetlistError as err:
-            raise BackendError(
-                f"batch backend requires a levelizable netlist: {err}; "
-                "use the event backend for cyclic designs"
-            ) from err
-        for level in levels:
-            for cell in level:
-                if cell.cell_type in ("TIE0", "TIE1"):
-                    value = 1 if cell.cell_type == "TIE1" else 0
-                    for net in cell.outputs.values():
-                        self._constants.append((net, value))
-                    continue
-                spec = gate_spec(cell.cell_type)
-                if len(spec.output_pins) != 1:
-                    raise BackendError(
-                        f"batch backend expects single-output cells, got {cell.cell_type!r}"
-                    )
-                fn = fn_cache.get(cell.cell_type)
-                if fn is None:
-                    fn = _compile_cell_type(cell.cell_type)
-                    fn_cache[cell.cell_type] = fn
-                self._ops.append(
-                    _CellOp(
-                        cell_name=cell.name,
-                        cell_type=cell.cell_type,
-                        in_nets=tuple(cell.inputs[pin] for pin in spec.input_pins),
-                        out_net=cell.outputs[spec.output_pins[0]],
-                        fn=fn,
-                    )
-                )
+        self._constants, self._ops = compile_levelized_ops(
+            netlist, _compile_cell_type, self.name
+        )
 
     # ------------------------------------------------------------ planes
     def _input_planes(
@@ -277,28 +276,7 @@ class BatchBackend:
         inputs: Mapping[str, Union[int, np.ndarray, Sequence[int]]],
     ) -> Tuple[Dict[str, np.ndarray], int]:
         """Normalize the stimulus into uint8 planes and infer the batch size."""
-        samples: Optional[int] = None
-        for value in inputs.values():
-            if np.ndim(value) > 0:
-                n = int(np.shape(value)[0])
-                if samples is not None and samples != n:
-                    raise BackendError(
-                        f"inconsistent batch sizes in input arrays ({samples} vs {n})"
-                    )
-                samples = n
-        if samples is None:
-            samples = 1
-        planes: Dict[str, np.ndarray] = {}
-        for net, value in inputs.items():
-            if net not in self.netlist.nets:
-                raise KeyError(f"unknown net {net!r}")
-            plane = np.asarray(value, dtype=np.uint8)
-            if plane.ndim == 0:
-                plane = np.full(samples, int(plane), dtype=np.uint8)
-            if np.any(plane > 1):
-                raise BackendError(f"input plane for {net!r} contains non-Boolean values")
-            planes[net] = plane
-        return planes, samples
+        return normalize_input_planes(self.netlist, inputs)
 
     def run_arrays(
         self,
@@ -374,33 +352,8 @@ class BatchBackend:
         """Protocol-compliant batched evaluation over per-sample mappings."""
         if not batch:
             return BatchResult(samples=0, outputs=[])
-        nets = sorted({net for assignments in batch for net in assignments})
-        inputs = {
-            net: np.array([int(assignments[net]) for assignments in batch], dtype=np.uint8)
-            for net in nets
-            if all(net in assignments for assignments in batch)
-        }
-        missing = [net for net in nets if net not in inputs]
-        if missing:
-            raise BackendError(
-                f"ragged batch: nets {missing[:4]} are not assigned in every sample"
-            )
-        result = self.run_arrays(inputs, baseline=baseline)
-        outputs = [
-            result.sample_values(k, self.netlist.primary_outputs)
-            for k in range(result.samples)
-        ]
-        net_values = {
-            net: [result.value_of(net, k) for k in range(result.samples)]
-            for net in self.netlist.nets
-        }
-        return BatchResult(
-            samples=result.samples,
-            outputs=outputs,
-            activity_by_cell=result.activity_by_cell,
-            activity_by_cell_type=result.activity_by_cell_type,
-            net_values=net_values,
-        )
+        result = self.run_arrays(stacked_batch_inputs(batch), baseline=baseline)
+        return boxed_batch_result(result, self.netlist)
 
 
 register_backend("batch", BatchBackend)

@@ -1,0 +1,392 @@
+"""Bit-packed 64-lane simulation backend.
+
+:class:`BitpackBackend` is the third functional backend and the fastest: it
+packs the *sample axis* into ``uint64`` bit-planes — 64 samples per machine
+word — so that evaluating a gate over the whole batch costs a handful of
+bitwise word operations instead of one byte-per-sample NumPy pass (the
+``"batch"`` backend) or one full event-driven settle per sample (the
+``"event"`` backend).  This is the same trick production logic simulators
+use for functional regression runs.
+
+Value encoding
+--------------
+Every net carries **two** bit-planes, mirroring the dual-rail encoding the
+paper's circuits themselves use:
+
+``ones``
+    bit *k* set ⇔ sample *k* settled to logic 1;
+``zeros``
+    bit *k* set ⇔ sample *k* settled to logic 0.
+
+A sample with neither bit set is unknown (``X``); both bits set never
+occurs (the evaluators preserve this invariant).  The payoff is that the
+three-valued controlling-value semantics of :mod:`repro.circuits.gates`
+become closed-form word ops — for AND, ``ones = AND`` of the ones-planes
+(all inputs known-1) and ``zeros = OR`` of the zeros-planes (any input
+known-0); OR is the exact dual; an inverter merely *swaps* the planes.
+Settled values therefore match the event and batch backends gate for gate
+(the equivalence tests assert this).
+
+Ragged tails
+------------
+Sample counts not divisible by 64 leave unused lanes in the final word.
+Those tail lanes simply carry no plane bits — i.e. they are ``X`` — so they
+can never contribute to decoded values or to activity popcounts; no masking
+is needed anywhere on the hot path.
+
+Switching activity
+------------------
+As in the batch backend, passing the spacer input word as ``baseline``
+counts one spacer→valid→spacer handshake as two committed transitions per
+cell whose valid-phase value differs from its (known) rest value.  Here the
+count is a single popcount per cell: against a rest value of 0 the toggling
+samples are exactly the ``ones`` plane, against 1 exactly the ``zeros``
+plane — unknown lanes (including the masked tail) are excluded by
+construction.  Energy estimates are therefore bit-identical to the batch
+backend's.
+
+Sequential cells follow the batch backend's contract: C-elements evaluate
+with their final input values (exact for monotonically-settling dual-rail
+netlists), and clocked netlists (``DFF``) are rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.circuits.gates import LogicValue
+from repro.circuits.library import CellLibrary
+from repro.circuits.netlist import Netlist
+
+from .base import (
+    BatchResult,
+    compile_levelized_ops,
+    make_cell_type_compiler,
+    register_backend,
+)
+from .batch import X, boxed_batch_result, normalize_input_planes, stacked_batch_inputs
+
+#: Samples per packed word (the lane width of the engine).
+WORD_BITS = 64
+
+#: A net's packed value: ``(ones, zeros)`` bit-plane word arrays.
+PlanePair = Tuple[np.ndarray, np.ndarray]
+
+
+def words_for(samples: int) -> int:
+    """Number of ``uint64`` words needed to hold *samples* one-bit lanes."""
+    return (samples + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_bits(bits: np.ndarray, samples: int) -> np.ndarray:
+    """Pack a ``(samples,)`` 0/1 array into ``uint64`` words, LSB-first.
+
+    Lanes past *samples* in the final word are left clear, which encodes
+    them as unknown (``X``) under the two-plane representation — the masked
+    ragged tail.
+    """
+    padded = np.zeros(words_for(samples) * WORD_BITS, dtype=np.uint8)
+    padded[:samples] = bits
+    return np.packbits(padded, bitorder="little").view(np.uint64)
+
+
+def unpack_bits(words: np.ndarray, samples: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: the first *samples* lanes as a 0/1 array."""
+    return np.unpackbits(words.view(np.uint8), bitorder="little")[:samples]
+
+
+if hasattr(np, "bitwise_count"):  # NumPy >= 2.0
+
+    def popcount(words: np.ndarray) -> int:
+        """Total number of set bits across *words*."""
+        return int(np.bitwise_count(words).sum())
+
+else:  # pragma: no cover - exercised only on NumPy 1.x
+
+    def popcount(words: np.ndarray) -> int:
+        """Total number of set bits across *words* (NumPy 1.x fallback)."""
+        return int(np.unpackbits(words.view(np.uint8)).sum())
+
+
+# ---------------------------------------------------------------------------
+# Word-level three-valued gate evaluators.  Each takes the (ones, zeros)
+# plane pairs of the cell's inputs in pin order and returns the output pair;
+# all preserve the "never both planes set" invariant.
+# ---------------------------------------------------------------------------
+
+
+def _and_planes(planes: Sequence[PlanePair]) -> PlanePair:
+    """Bitwise three-valued AND: all known-1 → 1, any known-0 → 0, else X."""
+    ones, zeros = planes[0]
+    for o, z in planes[1:]:
+        ones = ones & o
+        zeros = zeros | z
+    return ones, zeros
+
+
+def _or_planes(planes: Sequence[PlanePair]) -> PlanePair:
+    """Bitwise three-valued OR: any known-1 → 1, all known-0 → 0, else X."""
+    ones, zeros = planes[0]
+    for o, z in planes[1:]:
+        ones = ones | o
+        zeros = zeros & z
+    return ones, zeros
+
+
+def _not_plane(pair: PlanePair) -> PlanePair:
+    """Bitwise three-valued NOT — a zero-cost plane swap."""
+    ones, zeros = pair
+    return zeros, ones
+
+
+def _xor_planes(planes: Sequence[PlanePair]) -> PlanePair:
+    """Bitwise three-valued XOR: any unknown input poisons the sample."""
+    ones, zeros = planes[0]
+    known = ones | zeros
+    acc = ones
+    for o, z in planes[1:]:
+        known = known & (o | z)
+        acc = acc ^ o
+    out_ones = acc & known
+    return out_ones, known ^ out_ones
+
+
+def _maj3_planes(planes: Sequence[PlanePair]) -> PlanePair:
+    """Bitwise three-valued 3-input majority (controlling 2-of-3)."""
+    (oa, za), (ob, zb), (oc, zc) = planes
+    ones = (oa & ob) | (oa & oc) | (ob & oc)
+    zeros = (za & zb) | (za & zc) | (zb & zc)
+    return ones, zeros
+
+
+def _c_element_planes(planes: Sequence[PlanePair]) -> PlanePair:
+    """C-element with final input values: all-1 → 1, all-0 → 0, else X."""
+    ones, zeros = planes[0]
+    for o, z in planes[1:]:
+        ones = ones & o
+        zeros = zeros & z
+    return ones, zeros
+
+
+#: Cell-type dispatch over the bit-plane primitives (shared shape with the
+#: batch backend — see :func:`make_cell_type_compiler`).
+_compile_cell_type = make_cell_type_compiler(
+    "bitpack",
+    and_fn=_and_planes,
+    or_fn=_or_planes,
+    xor_fn=_xor_planes,
+    maj3_fn=_maj3_planes,
+    c_fn=_c_element_planes,
+    invert=_not_plane,
+)
+
+
+class _LazyPlaneView(Mapping):
+    """Read-only ``net → uint8 sample plane`` view over a packed result.
+
+    Unpacking every net eagerly would cost the same memory traffic the
+    packing saved, so planes are decoded (and cached) only on access — the
+    verdict decoders touch three rails of a thousand-net design.
+    """
+
+    def __init__(self, result: "PackedBatchResult") -> None:
+        self._result = result
+
+    def __getitem__(self, net: str) -> np.ndarray:
+        """The unpacked ``uint8`` plane of *net* (``2`` encodes X)."""
+        return self._result.plane(net)
+
+    def __iter__(self) -> Iterator[str]:
+        """Iterate over the packed net names."""
+        return iter(self._result.packed)
+
+    def __len__(self) -> int:
+        """Number of packed nets."""
+        return len(self._result.packed)
+
+
+@dataclass
+class PackedBatchResult:
+    """Raw bit-plane result of a :meth:`BitpackBackend.run_arrays` call.
+
+    ``packed[net]`` is the ``(ones, zeros)`` pair of ``uint64`` word arrays;
+    :attr:`values` presents the same data through the lazily-unpacked
+    ``uint8`` plane interface of
+    :class:`~repro.sim.backends.batch.ArrayBatchResult` (``2`` encodes X),
+    so every consumer of the batch backend's array results — the verdict
+    decoders in :mod:`repro.analysis.measure`, the equivalence tests —
+    works on either without change.
+    """
+
+    samples: int
+    packed: Dict[str, PlanePair]
+    activity_by_cell: Dict[str, int] = field(default_factory=dict)
+    activity_by_cell_type: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        """Set up the per-net unpack cache."""
+        self._planes: Dict[str, np.ndarray] = {}
+
+    def plane(self, net: str) -> np.ndarray:
+        """Unpack (and cache) the ``uint8`` sample plane of *net* (X = ``2``)."""
+        cached = self._planes.get(net)
+        if cached is not None:
+            return cached
+        ones, zeros = self.packed[net]
+        one_bits = unpack_bits(ones, self.samples)
+        zero_bits = unpack_bits(zeros, self.samples)
+        plane = np.where(one_bits == 1, np.uint8(1),
+                         np.where(zero_bits == 1, np.uint8(0), X)).astype(np.uint8)
+        self._planes[net] = plane
+        return plane
+
+    @property
+    def values(self) -> Mapping:
+        """Lazy ``net → uint8 plane`` mapping (decoded on access)."""
+        return _LazyPlaneView(self)
+
+    def value_of(self, net: str, sample: int) -> LogicValue:
+        """Decode one net value back into the scalar LogicValue domain."""
+        # Index through the byte view, not word-level shifts: pack_bits
+        # defines lane order via packbits(bitorder="little") on bytes, so
+        # this decode is correct regardless of host word endianness.
+        byte, bit = divmod(sample, 8)
+        ones, zeros = self.packed[net]
+        if (int(ones.view(np.uint8)[byte]) >> bit) & 1:
+            return 1
+        if (int(zeros.view(np.uint8)[byte]) >> bit) & 1:
+            return 0
+        return None
+
+    def sample_values(self, sample: int, nets: Sequence[str]) -> Dict[str, LogicValue]:
+        """Scalar values of *nets* for one sample."""
+        return {net: self.value_of(net, sample) for net in nets}
+
+
+class BitpackBackend:
+    """Bit-packed 64-lane levelized functional backend (``name="bitpack"``).
+
+    Parameters
+    ----------
+    netlist:
+        Combinational (levelizable) netlist; may contain C-elements but not
+        flip-flops.
+    library:
+        Accepted for interface parity with the other backends; the engine
+        is purely functional.
+    vdd:
+        Recorded for reporting; does not change functional results.
+    """
+
+    name = "bitpack"
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        library: Optional[CellLibrary] = None,
+        vdd: Optional[float] = None,
+    ) -> None:
+        self.netlist = netlist
+        self.library = library
+        self.vdd = vdd
+        self._constants, self._ops = compile_levelized_ops(
+            netlist, _compile_cell_type, self.name
+        )
+
+    def run_arrays(
+        self,
+        inputs: Mapping[str, Union[int, np.ndarray, Sequence[int]]],
+        baseline: Optional[Mapping[str, int]] = None,
+        transitions_per_toggle: int = 2,
+    ) -> PackedBatchResult:
+        """Push a batch through the netlist; the workhorse entry point.
+
+        Parameters
+        ----------
+        inputs:
+            Primary-input net → per-sample value array (or a scalar,
+            broadcast over the batch).  Unassigned primary inputs evaluate
+            as X, exactly like an undriven input in the event simulator.
+        baseline:
+            Optional rest-state assignment.  When given, it is evaluated
+            once and every cell whose batch value differs from its (known)
+            baseline value contributes ``transitions_per_toggle``
+            transitions per differing sample (2 models one
+            spacer→valid→spacer handshake).
+        """
+        bit_planes, samples = normalize_input_planes(self.netlist, inputs)
+        words = words_for(samples)
+        zero_words = np.zeros(words, dtype=np.uint64)
+        valid_mask = pack_bits(np.ones(samples, dtype=np.uint8), samples)
+        x_pair: PlanePair = (zero_words, zero_words)
+
+        def encode(bits: np.ndarray) -> PlanePair:
+            """Pack a known 0/1 plane: zeros = complement within valid lanes."""
+            ones = pack_bits(bits, samples)
+            return ones, ones ^ valid_mask
+
+        values: Dict[str, PlanePair] = {}
+        for name in self.netlist.primary_inputs:
+            bits = bit_planes.pop(name, None)
+            values[name] = x_pair if bits is None else encode(bits)
+        # Stimulus may also force internal nets that are actually inputs of
+        # sub-blocks under test; remaining planes are applied verbatim.
+        for name, bits in bit_planes.items():
+            values[name] = encode(bits)
+        for net, constant in self._constants:
+            values[net] = (valid_mask, zero_words) if constant else (zero_words, valid_mask)
+        for op in self._ops:
+            planes = [values.get(net, x_pair) for net in op.in_nets]
+            values[op.out_net] = op.fn(planes)
+        for net in self.netlist.nets:
+            if net not in values:
+                values[net] = x_pair
+
+        activity_by_cell: Dict[str, int] = {}
+        activity_by_type: Dict[str, int] = {}
+        if baseline is not None:
+            rest = self.run_arrays(baseline, baseline=None)
+            for op in self._ops:
+                rest_value = rest.value_of(op.out_net, 0)
+                if rest_value is None:
+                    continue
+                # Lanes that differ from a known rest value are exactly the
+                # opposite plane's set bits; unknown lanes (tail included)
+                # have neither bit set and drop out for free.
+                ones, zeros = values[op.out_net]
+                toggles = popcount(zeros if rest_value == 1 else ones)
+                if toggles:
+                    transitions = toggles * transitions_per_toggle
+                    activity_by_cell[op.cell_name] = transitions
+                    activity_by_type[op.cell_type] = (
+                        activity_by_type.get(op.cell_type, 0) + transitions
+                    )
+        return PackedBatchResult(
+            samples=samples,
+            packed=values,
+            activity_by_cell=activity_by_cell,
+            activity_by_cell_type=activity_by_type,
+        )
+
+    # ----------------------------------------------------------- protocol
+    def evaluate(self, assignments: Mapping[str, int]) -> Dict[str, LogicValue]:
+        """Settled value of every net for one primary-input assignment."""
+        result = self.run_arrays(assignments)
+        return {net: result.value_of(net, 0) for net in self.netlist.nets}
+
+    def run_batch(
+        self,
+        batch: Sequence[Mapping[str, int]],
+        baseline: Optional[Mapping[str, int]] = None,
+    ) -> BatchResult:
+        """Protocol-compliant batched evaluation over per-sample mappings."""
+        if not batch:
+            return BatchResult(samples=0, outputs=[])
+        result = self.run_arrays(stacked_batch_inputs(batch), baseline=baseline)
+        return boxed_batch_result(result, self.netlist)
+
+
+register_backend("bitpack", BitpackBackend)

@@ -96,6 +96,14 @@ def test_event_and_batch_backends_agree_functionally():
     assert batch.timed_operands == TINY.timing_operands
 
 
+def test_bitpack_point_is_identical_to_batch_point():
+    """The bitpack sweep backend yields the batch backend's record, field for field."""
+    batch = evaluate_point(spec_for("dual-rail-reduced"), TINY, backend="batch")
+    bitpack = evaluate_point(spec_for("dual-rail-reduced"), TINY, backend="bitpack")
+    assert bitpack.backend == "bitpack"
+    assert dataclasses.replace(bitpack, backend="batch") == batch
+
+
 def test_infeasible_point_is_rejected():
     with pytest.raises(ValueError, match="infeasible"):
         evaluate_point(spec_for("sync", vdd=0.3), TINY)

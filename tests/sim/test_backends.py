@@ -45,16 +45,20 @@ def _spacer_assignments(circuit):
 def test_backend_registry_names():
     assert "event" in available_backends()
     assert "batch" in available_backends()
+    assert "bitpack" in available_backends()
     with pytest.raises(BackendError, match="unknown simulation backend"):
         get_backend("nope", None, None)
 
 
+@pytest.mark.parametrize("vectorized", ["batch", "bitpack"])
 @pytest.mark.parametrize(
     "num_features,clauses_per_polarity,seed",
     [(2, 2, 11), (3, 4, 23), (4, 8, 47)],
 )
-def test_batch_matches_event_gate_for_gate(umc, num_features, clauses_per_polarity, seed):
-    """Settled values of *every* net agree between the two backends."""
+def test_vectorized_matches_event_gate_for_gate(
+    umc, num_features, clauses_per_polarity, seed, vectorized
+):
+    """Settled values of *every* net agree between each vectorized backend and event."""
     workload = random_workload(
         num_features=num_features,
         clauses_per_polarity=clauses_per_polarity,
@@ -63,23 +67,26 @@ def test_batch_matches_event_gate_for_gate(umc, num_features, clauses_per_polari
     )
     datapath = DualRailDatapath(workload.config)
     netlist = datapath.circuit.netlist
-    batch = get_backend("batch", netlist, umc)
+    fast = get_backend(vectorized, netlist, umc)
     event = get_backend("event", netlist, umc)
     for features in workload.feature_vectors:
         assignments = _rail_assignments(
             datapath.circuit, datapath.operand_assignments(features, workload.exclude)
         )
         event_values = event.evaluate(assignments)
-        batch_values = batch.evaluate(assignments)
-        assert event_values == batch_values
+        fast_values = fast.evaluate(assignments)
+        assert event_values == fast_values
 
 
+@pytest.mark.parametrize("backend_name", ["batch", "bitpack"])
 @pytest.mark.parametrize(
     "num_features,clauses_per_polarity,seed",
     [(2, 2, 3), (3, 4, 5), (4, 8, 7), (5, 3, 13)],
 )
-def test_batch_decisions_match_inference_model(umc, num_features, clauses_per_polarity, seed):
-    """The batch backend's decoded verdicts reproduce the golden model."""
+def test_batch_decisions_match_inference_model(
+    umc, num_features, clauses_per_polarity, seed, backend_name
+):
+    """The vectorized backends' decoded verdicts reproduce the golden model."""
     workload = random_workload(
         num_features=num_features,
         clauses_per_polarity=clauses_per_polarity,
@@ -88,7 +95,7 @@ def test_batch_decisions_match_inference_model(umc, num_features, clauses_per_po
     )
     datapath = DualRailDatapath(workload.config)
     circuit = datapath.circuit
-    backend = BatchBackend(circuit.netlist, umc)
+    backend = get_backend(backend_name, circuit.netlist, umc)
     batch = [
         _rail_assignments(circuit, datapath.operand_assignments(f, workload.exclude))
         for f in workload.feature_vectors

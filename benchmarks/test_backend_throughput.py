@@ -13,7 +13,12 @@ in ``BENCH_sim.json``:
   (in practice it is two to three orders of magnitude);
 * ``bitpack_backend_samples_per_sec`` / ``bitpack_vs_batch_speedup`` — the
   bit-packed 64-lane engine vs the batch engine on the same 10k-sample
-  stream, asserted to be >= 5x (in practice ~10x).
+  stream, asserted to be >= 5x (in practice ~10x);
+* ``timed_backend_samples_per_sec`` / ``timed_vs_event_speedup`` — the
+  vectorized data-dependent timing engine (full handshake cycles: latency,
+  reset and energy per sample) vs per-operand event-driven handshakes on a
+  10k-operand stream, asserted to be >= 10x (in practice two to three
+  orders of magnitude).
 """
 
 from __future__ import annotations
@@ -25,6 +30,11 @@ import numpy as np
 
 from repro.analysis import random_workload
 from repro.analysis import workload_input_planes
+from repro.analysis.measure import (
+    build_mapped_dual_rail,
+    make_dual_rail_environment,
+    spacer_assignments,
+)
 from repro.core.dual_rail import encode_bit
 from repro.datapath.datapath import DualRailDatapath
 from repro.sim.backends import BatchBackend, BitpackBackend, EventBackend
@@ -36,6 +46,9 @@ EVENT_SAMPLES = int(os.environ.get("BENCH_EVENT_SAMPLES", "8"))
 #: Batch size of the bitpack-vs-batch comparison (the acceptance criterion's
 #: 10k; deliberately ragged would also work — tails are masked).
 BITPACK_SAMPLES = int(os.environ.get("BENCH_BITPACK_SAMPLES", "10000"))
+#: Operand count of the timed-engine measurement (the acceptance
+#: criterion's 10k timed samples).
+TIMED_SAMPLES = int(os.environ.get("BENCH_TIMED_SAMPLES", "10000"))
 
 
 def _rail_assignments(circuit, operand):
@@ -164,3 +177,70 @@ def test_bitpack_backend_speedup(benchmark, umc, bench_records):
     verdict = datapath.circuit.one_of_n_outputs[0]
     for rail in verdict.rails:
         assert np.array_equal(bitpack_result.values[rail], batch_result.values[rail])
+
+
+def test_timed_backend_speedup(benchmark, umc, bench_records):
+    """Vectorized timing engine vs event-driven handshakes at 10k operands.
+
+    The timed engine produces the *full* per-operand measurement set —
+    spacer→valid latency, reset times, internal settle, done edges and
+    switching energy — so its event-driven counterpart is a complete
+    handshake cycle per operand (the ``measure_dual_rail`` hot loop), not a
+    bare functional settle.  The event rate is measured over a small
+    operand prefix and extrapolated, exactly like the batch-vs-event
+    comparison above.
+    """
+    workload = random_workload(
+        num_features=4, clauses_per_polarity=8, num_operands=TIMED_SAMPLES, seed=5
+    )
+    mapped = build_mapped_dual_rail(workload.config, umc)
+
+    # Event-driven timing rate: full handshake cycles over a prefix.
+    bench = make_dual_rail_environment(mapped)
+    event_operands = [
+        mapped.datapath.operand_assignments(f, workload.exclude)
+        for f in workload.feature_vectors[:EVENT_SAMPLES]
+    ]
+    start = time.perf_counter()
+    event_results = [bench.environment.infer(op) for op in event_operands]
+    event_elapsed = time.perf_counter() - start
+    event_rate = len(event_results) / event_elapsed
+
+    planes = workload_input_planes(mapped.circuit, mapped.datapath, workload)
+    spacer = spacer_assignments(mapped.circuit)
+
+    def run_timed():
+        # Compile + run, like the other backend measurements: a fresh
+        # backend per round so program caching cannot flatter the figure.
+        backend = BatchBackend(mapped.circuit.netlist, umc)
+        return backend.run_timed(planes, spacer)
+
+    start = time.perf_counter()
+    timed_result = benchmark.pedantic(run_timed, rounds=1, iterations=1)
+    timed_elapsed = time.perf_counter() - start
+    timed_rate = timed_result.samples / timed_elapsed
+
+    speedup = timed_rate / event_rate
+    print(
+        f"\nTimed throughput: event={event_rate:.1f} cycles/s, "
+        f"timed={timed_rate:,.0f} cycles/s "
+        f"({timed_result.samples} operands) -> {speedup:.0f}x"
+    )
+    bench_records["timed_backend_samples_per_sec"] = timed_rate
+    bench_records["timed_vs_event_speedup"] = speedup
+
+    assert timed_result.samples == TIMED_SAMPLES
+    # Acceptance criterion: >= 10x timed samples/sec over the event
+    # environment at 10k operands.  Real measurements sit at two to three
+    # orders of magnitude; 10x leaves headroom for slow CI machines.  The
+    # assertion is scoped to the acceptance budget so a shrunken
+    # BENCH_TIMED_SAMPLES smoke run still records metrics without a
+    # spurious red.
+    if TIMED_SAMPLES >= 10000:
+        assert speedup >= 10.0
+
+    # Cross-check: the timed latencies agree with the event prefix.
+    rails = mapped.circuit.all_output_rails()
+    timed_latency = timed_result.max_arrival(rails, "valid")
+    for k, result in enumerate(event_results):
+        assert abs(timed_latency[k] - result.t_s_to_v) <= 1e-6 * result.t_s_to_v

@@ -58,6 +58,11 @@ def main(argv=None) -> int:
                         help="parallel evaluation processes (results are jobs-invariant)")
     parser.add_argument("--backend", default="batch", choices=SWEEP_BACKENDS,
                         help="functional evaluation backend (default: batch)")
+    parser.add_argument("--timing-backend", default="event", choices=SWEEP_BACKENDS,
+                        help="timing source for the latency/energy axes: 'event' "
+                             "(per-operand event simulation, the oracle) or "
+                             "'batch'/'bitpack' (vectorized timing engine over "
+                             "the full operand stream)")
     parser.add_argument("--store", default=".dse_store",
                         help="result-store directory; 'none' disables caching")
     parser.add_argument("--out", default="dse_out",
@@ -83,7 +88,8 @@ def main(argv=None) -> int:
     store = None if args.store.lower() == "none" else ResultStore(args.store)
 
     start = time.perf_counter()
-    result = run_sweep(grid, backend=args.backend, jobs=args.jobs, store=store)
+    result = run_sweep(grid, backend=args.backend, jobs=args.jobs, store=store,
+                       timing_backend=args.timing_backend)
     elapsed = time.perf_counter() - start
 
     print(f"Grid '{args.grid}': {len(result.points)} design points "
@@ -91,7 +97,8 @@ def main(argv=None) -> int:
           f"{result.dropped_infeasible} infeasible combinations dropped)")
     print(f"Evaluated {result.evaluated}, served {result.cached} from the store "
           f"(hit rate {result.cache_hit_rate:.0%}) in {elapsed:.1f}s "
-          f"with jobs={args.jobs}, backend={args.backend}")
+          f"with jobs={args.jobs}, backend={args.backend}, "
+          f"timing_backend={args.timing_backend}")
 
     failures = []
     if len(result.points) < args.min_points:
@@ -139,7 +146,8 @@ def main(argv=None) -> int:
     if args.check_determinism:
         print("\nDeterminism check: re-evaluating serially without the store ...")
         check_start = time.perf_counter()
-        serial = run_sweep(grid, backend=args.backend, jobs=1, store=None)
+        serial = run_sweep(grid, backend=args.backend, jobs=1, store=None,
+                           timing_backend=args.timing_backend)
         check_elapsed = time.perf_counter() - check_start
         same_points = (
             [p.to_dict() for p in serial.points]
@@ -162,6 +170,7 @@ def main(argv=None) -> int:
     bench = {
         "grid": args.grid,
         "backend": args.backend,
+        "timing_backend": args.timing_backend,
         "jobs": args.jobs,
         "design_points": len(result.points),
         "evaluated": result.evaluated,

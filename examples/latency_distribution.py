@@ -5,12 +5,21 @@ the data-dependent latency of the early-propagating comparator: operands
 whose positive/negative counts differ at a high-order bit finish earlier
 than operands that must be compared all the way down to the LSB.
 
-Run with:  python examples/latency_distribution.py
+Run with:  python examples/latency_distribution.py [--timing-backend batch]
+           [--operands N]
+
+``--timing-backend batch`` (or ``bitpack``) measures the per-operand
+latencies through the vectorized data-dependent timing engine instead of
+event-simulating every handshake — the lever that makes 10k-operand
+distribution studies practical (see docs/guides/timing-and-energy-model.md).
 """
 
 from __future__ import annotations
 
+import argparse
+
 from repro.analysis import (
+    TIMING_BACKENDS,
     default_workload,
     format_histogram,
     latency_histogram,
@@ -23,8 +32,17 @@ from repro.circuits import umc_ll_library
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--timing-backend", choices=TIMING_BACKENDS, default="event",
+                        help="timing source for the per-operand latencies "
+                             "(batch/bitpack = vectorized timing engine)")
+    parser.add_argument("--operands", type=int, default=16,
+                        help="operand-stream length to measure")
+    args = parser.parse_args()
+
     library = umc_ll_library()
-    workload = default_workload(num_features=4, clauses_per_polarity=8, num_operands=16)
+    workload = default_workload(num_features=4, clauses_per_polarity=8,
+                                num_operands=args.operands)
     print(f"Workload: {workload.description}\n")
 
     width = workload.config.count_width
@@ -36,8 +54,10 @@ def main() -> None:
     print("\nComparator decision-depth distribution (1 = decided at the MSB):")
     print(format_histogram(dists["decision_depth"].counts, label="depth"))
 
-    print("\nSimulating the dual-rail datapath to measure per-operand latency...")
-    measurement = measure_dual_rail(workload, library)
+    print(f"\nMeasuring per-operand latency "
+          f"(timing_backend={args.timing_backend})...")
+    measurement = measure_dual_rail(workload, library,
+                                    timing_backend=args.timing_backend)
 
     class _R:  # minimal adapter for latency_histogram / depth correlation
         def __init__(self, latency):

@@ -7,13 +7,15 @@ derived per voltage, it keeps working without modification across the whole
 range — only its latency scales with gate delay, exploding exponentially
 below ~0.6 V exactly as in the paper's Figure 3.
 
-Run with:  python examples/voltage_scaling_sweep.py [--backend batch] [--jobs N]
+Run with:  python examples/voltage_scaling_sweep.py [--backend batch]
+           [--timing-backend batch] [--jobs N]
 
-``--jobs N`` sweeps N voltage points in parallel — that is where the
-wall-clock win comes from.  ``--backend batch`` sources the per-point
-correctness checks from the vectorized batch backend (latencies stay
-event-driven; they are what the figure plots).  Either way the printed
-numbers are identical to the serial event-driven sweep.
+``--jobs N`` sweeps N voltage points in parallel.  ``--backend batch``
+sources the per-point correctness checks from the vectorized batch backend
+(latencies stay event-driven).  ``--timing-backend batch`` makes each point
+itself cheap: the latencies the figure plots come from the vectorized
+data-dependent timing engine, matching the event-driven sweep within float
+re-association accuracy (see docs/guides/timing-and-energy-model.md).
 """
 
 from __future__ import annotations
@@ -21,7 +23,13 @@ from __future__ import annotations
 import argparse
 import math
 
-from repro.analysis import EXPERIMENT_BACKENDS, default_workload, format_figure3, run_figure3
+from repro.analysis import (
+    EXPERIMENT_BACKENDS,
+    TIMING_BACKENDS,
+    default_workload,
+    format_figure3,
+    run_figure3,
+)
 from repro.circuits import full_diffusion_library
 
 VOLTAGES = (0.25, 0.3, 0.35, 0.4, 0.5, 0.6, 0.8, 1.0, 1.2)
@@ -31,6 +39,9 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--backend", choices=EXPERIMENT_BACKENDS, default="event",
                         help="simulation backend for the functional checks")
+    parser.add_argument("--timing-backend", choices=TIMING_BACKENDS, default="event",
+                        help="timing source for the plotted latencies "
+                             "(batch/bitpack = vectorized timing engine)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="parallel voltage points (0 = CPU count)")
     args = parser.parse_args()
@@ -39,10 +50,12 @@ def main() -> None:
     workload = default_workload(num_features=4, clauses_per_polarity=8, num_operands=6)
     print(f"Workload: {workload.description}")
     print(f"Library : {library.name} ({library.description})")
-    print(f"Runner  : backend={args.backend}, jobs={args.jobs}\n")
+    print(f"Runner  : backend={args.backend}, "
+          f"timing_backend={args.timing_backend}, jobs={args.jobs}\n")
 
     points = run_figure3(workload, voltages=VOLTAGES, library=library,
-                         operands_per_point=3, backend=args.backend, jobs=args.jobs)
+                         operands_per_point=3, backend=args.backend, jobs=args.jobs,
+                         timing_backend=args.timing_backend)
     print(format_figure3(points))
 
     nominal = next(p for p in points if abs(p.vdd - 1.2) < 1e-9)

@@ -38,12 +38,21 @@ The sweep harnesses accept ``backend=`` and ``jobs=`` arguments:
 * ``jobs=N`` fans independent work units (voltage points, library×design
   measurements, operand chunks) out over :func:`repro.analysis.runner.run_parallel`;
   results are deterministic and identical for every ``jobs`` value.
+* ``timing_backend="batch"|"bitpack"`` (on :func:`measure_dual_rail`,
+  :func:`run_table1`, :func:`run_figure3`, :func:`run_latency_distribution`)
+  swaps the *timing* source: instead of event-simulating every operand, the
+  vectorized data-dependent timing engine (:mod:`repro.sim.backends.timed`)
+  times the whole stream in one levelized pass — per-operand latencies,
+  reset times and energies equivalent to the event oracle (see the
+  timing-and-energy-model guide for the tolerance contract) at batch-backend
+  throughput.  ``timing_backend="event"`` (default) keeps the seed
+  behaviour and remains the equivalence oracle.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -65,12 +74,17 @@ from .measure import (
     Workload,
     batch_functional_pass,
     build_mapped_dual_rail,
+    check_timing_backend,
+    decode_verdict_planes,
     make_dual_rail_environment,
     rebind_interface,
     resolve_libraries,
     resolve_library,
     resolve_workload,
+    timed_dual_rail_run,
+    timed_power_report,
     truncate_workload,
+    verdict_signal,
 )
 from .runner import run_parallel
 from .tables import Figure3Point, Table1Row
@@ -165,6 +179,7 @@ def measure_dual_rail(
     vdd: Optional[float] = None,
     check_monotonic: bool = True,
     backend: str = "event",
+    timing_backend: str = "event",
 ) -> DualRailMeasurement:
     """Build, synthesise and simulate the dual-rail datapath on *workload*.
 
@@ -172,17 +187,28 @@ def measure_dual_rail(
     correctness come from the selected vectorized backend (one pass over the
     whole operand stream) while every timing quantity — latency, reset
     times, grace period, power windows — still comes from the event-driven
-    simulation, as timing must.  All backends settle to identical values
-    net-for-net, so the returned measurement is numerically identical
-    either way.
+    simulation.
 
-    Note that this makes the vectorized backends a *decision source and live
-    cross-check*, not a speed optimisation: the event loop still simulates
-    every operand for the timing columns, and the vectorized pass is a small
-    additional cost.  The wall-clock levers are ``jobs=`` on the sweep
-    harnesses and :func:`functional_sweep` when no timing is needed.
+    ``timing_backend`` selects where the timing quantities come from:
+
+    * ``"event"`` (default) — the seed behaviour: per-operand event-driven
+      handshake cycles, with the monotonicity and forbidden-state monitors
+      attached as requested;
+    * ``"batch"`` / ``"bitpack"`` — the vectorized data-dependent timing
+      engine (:mod:`repro.sim.backends.timed`): the whole stream is timed
+      in one levelized pass, producing per-operand latencies, reset times
+      and energies equivalent to the event oracle (pinned by the
+      equivalence suite, within float re-association accuracy) at one to
+      three orders of magnitude higher throughput.  No event simulation
+      runs at all, so ``check_monotonic`` does not apply — monotonic
+      settling is an *assumption* of the timed model (guaranteed by the
+      unate mapping, Requirement 2) and the measurement reports
+      ``monotonic=True``; see the timing-and-energy-model guide.
     """
     _check_backend(backend)
+    check_timing_backend(timing_backend)
+    if timing_backend != "event":
+        return _measure_dual_rail_timed(workload, library, vdd, timing_backend)
     mapped = build_mapped_dual_rail(workload.config, library, vdd=vdd)
     datapath, synthesis = mapped.datapath, mapped.synthesis
     circuit, grace = mapped.circuit, mapped.grace
@@ -233,6 +259,46 @@ def measure_dual_rail(
         correctness=correct / len(results),
         monotonic=bench.monitors_ok,
         latencies_ps=[r.t_s_to_v for r in results],
+        verdicts=verdicts,
+    )
+
+
+def _measure_dual_rail_timed(
+    workload: Workload,
+    library: CellLibrary,
+    vdd: Optional[float],
+    timing_backend: str,
+) -> DualRailMeasurement:
+    """The all-vectorized measurement path behind ``timing_backend != "event"``.
+
+    One levelized timed pass produces every quantity the event loop would:
+    per-operand latencies and reset times, the power window, switching
+    energy, verdicts and correctness.  The construction half (build → map →
+    grace) is shared with the event path, so area, grace-period and
+    synthesis figures are identical by construction.
+    """
+    mapped = build_mapped_dual_rail(workload.config, library, vdd=vdd)
+    run = timed_dual_rail_run(mapped, workload, timing_backend)
+    verdicts = decode_verdict_planes(run.timed, verdict_signal(mapped.circuit))
+    correct = sum(
+        1
+        for verdict, features in zip(verdicts, workload.feature_vectors)
+        if DualRailDatapath.decision_from_verdict(verdict)
+        == workload.model.decision(features)
+    )
+    latency = summarize_latencies(run.results)
+    power = timed_power_report(mapped, run)
+    throughput = dual_rail_throughput(run.results, grace_period=mapped.grace.td)
+    return DualRailMeasurement(
+        library=library.name,
+        synthesis=mapped.synthesis,
+        latency=latency,
+        power=power,
+        grace=mapped.grace,
+        throughput_millions=throughput.millions_per_second,
+        correctness=correct / len(verdicts),
+        monotonic=True,  # model assumption (unate mapping), not a monitor verdict
+        latencies_ps=[r.t_s_to_v for r in run.results],
         verdicts=verdicts,
     )
 
@@ -326,12 +392,14 @@ def single_rail_table_row(measurement: SingleRailMeasurement) -> Table1Row:
     )
 
 
-def _table1_worker(item: Tuple[Workload, CellLibrary, str, str]) -> object:
+def _table1_worker(item: Tuple[Workload, CellLibrary, str, str, str]) -> object:
     """Process-pool work unit of :func:`run_table1`: one library × design."""
-    workload, library, design, backend = item
+    workload, library, design, backend, timing_backend = item
     if design == "single-rail":
         return measure_single_rail(workload, library)
-    return measure_dual_rail(workload, library, backend=backend)
+    return measure_dual_rail(
+        workload, library, backend=backend, timing_backend=timing_backend
+    )
 
 
 def run_table1(
@@ -339,6 +407,7 @@ def run_table1(
     libraries: Optional[Sequence[CellLibrary]] = None,
     backend: str = "event",
     jobs: int = 1,
+    timing_backend: str = "event",
 ) -> Tuple[List[Table1Row], Dict[str, object]]:
     """Reproduce Table I: single-rail vs dual-rail on both libraries.
 
@@ -346,19 +415,29 @@ def run_table1(
     ``"<library>/<design>"`` for deeper inspection.  The four measurements
     are independent work units, so ``jobs=4`` runs them concurrently; the
     single-rail baseline is clocked (flip-flops) and therefore always uses
-    the event backend regardless of *backend*.
+    the event backend regardless of *backend* or *timing_backend* (its
+    latency is the STA clock period by definition).
+
+    ``timing_backend="batch"`` (or ``"bitpack"``) obtains the dual-rail
+    latency, power and throughput columns from the vectorized timing engine
+    instead of per-operand event simulation — the whole-table wall-clock
+    lever; values agree with the event run within float re-association
+    accuracy (documented in the timing-and-energy-model guide).
     """
     _check_backend(backend)
+    check_timing_backend(timing_backend)
     workload = resolve_workload(workload)
     libs = resolve_libraries(libraries)
     items = []
     for library in libs:
-        items.append((workload, library, "single-rail", backend))
-        items.append((workload, library, "dual-rail", backend))
+        items.append((workload, library, "single-rail", backend, timing_backend))
+        items.append((workload, library, "dual-rail", backend, timing_backend))
     measurements = run_parallel(_table1_worker, items, jobs=jobs)
     rows: List[Table1Row] = []
     raw: Dict[str, object] = {}
-    for (workload, library, design, _backend), measurement in zip(items, measurements):
+    for (workload, library, design, _backend, _timing), measurement in zip(
+        items, measurements
+    ):
         if design == "single-rail":
             rows.append(single_rail_table_row(measurement))
         else:
@@ -368,16 +447,17 @@ def run_table1(
 
 
 def _figure3_worker(
-    item: Tuple[Workload, CellLibrary, float, str]
+    item: Tuple[Workload, CellLibrary, float, str, str]
 ) -> Figure3Point:
     """Process-pool work unit of :func:`run_figure3`: one voltage point."""
-    workload, library, vdd, backend = item
+    workload, library, vdd, backend, timing_backend = item
     if not library.voltage_model.is_functional(vdd):
         return Figure3Point(vdd=vdd, avg_latency_ps=float("nan"),
                             max_latency_ps=float("nan"),
                             functional=False, correct=False)
     measurement = measure_dual_rail(
-        workload, library, vdd=vdd, check_monotonic=False, backend=backend
+        workload, library, vdd=vdd, check_monotonic=False, backend=backend,
+        timing_backend=timing_backend,
     )
     return Figure3Point(
         vdd=vdd,
@@ -395,6 +475,7 @@ def run_figure3(
     operands_per_point: Optional[int] = None,
     backend: str = "event",
     jobs: int = 1,
+    timing_backend: str = "event",
 ) -> List[Figure3Point]:
     """Reproduce Figure 3: dual-rail latency versus supply voltage.
 
@@ -403,31 +484,43 @@ def run_figure3(
     checked at each voltage (the paper's headline robustness claim).
 
     Every voltage point is an independent work unit: ``jobs=N`` sweeps N
-    supplies concurrently with identical results — that is the wall-clock
-    lever.  ``backend="batch"`` sources the per-point correctness check from
-    the vectorized backend as a live cross-check (latencies stay
-    event-driven — they are what the figure plots — so this knob does not
-    make a point cheaper).
+    supplies concurrently with identical results.  ``backend="batch"``
+    sources the per-point correctness check from the vectorized backend as
+    a live cross-check (latencies stay event-driven, so this knob does not
+    make a point cheaper).  ``timing_backend="batch"``/``"bitpack"`` is the
+    per-point wall-clock lever: the latencies the figure plots come from
+    the vectorized timing engine, one levelized pass per voltage point
+    instead of one event-driven handshake per operand, with sweep values
+    equal to the event run within float re-association accuracy.
     """
     _check_backend(backend)
+    check_timing_backend(timing_backend)
     workload = resolve_workload(workload, num_operands=12)
     library = resolve_library(library)
     sub_workload = truncate_workload(workload, operands_per_point)
-    items = [(sub_workload, library, float(vdd), backend) for vdd in voltages]
+    items = [
+        (sub_workload, library, float(vdd), backend, timing_backend)
+        for vdd in voltages
+    ]
     return run_parallel(_figure3_worker, items, jobs=jobs)
 
 
 def _latency_chunk_worker(
-    item: Tuple[Workload, CellLibrary, Optional[float], np.ndarray]
+    item: Tuple[Workload, CellLibrary, Optional[float], np.ndarray, str]
 ) -> List[object]:
     """Work unit of :func:`run_latency_distribution`: one operand chunk.
 
     Builds a private datapath + simulator (work units share nothing, so any
     chunking gives identical per-operand measurements: every inference
-    starts from the fully-settled spacer state).
+    starts from the fully-settled spacer state).  Under a vectorized timing
+    backend the chunk is timed in one levelized pass instead of one
+    event-driven handshake per operand.
     """
-    workload, library, vdd, chunk_features = item
+    workload, library, vdd, chunk_features, timing_backend = item
     mapped = build_mapped_dual_rail(workload.config, library, vdd=vdd)
+    if timing_backend != "event":
+        chunk_workload = replace(workload, feature_vectors=np.asarray(chunk_features))
+        return timed_dual_rail_run(mapped, chunk_workload, timing_backend).results
     bench = make_dual_rail_environment(mapped)
     results = []
     for features in chunk_features:
@@ -453,6 +546,7 @@ def run_latency_distribution(
     vdd: Optional[float] = None,
     jobs: int = 1,
     chunk_size: Optional[int] = None,
+    timing_backend: str = "event",
 ) -> List[object]:
     """Per-operand dual-rail inference results for distribution analysis.
 
@@ -463,7 +557,16 @@ def run_latency_distribution(
     own datapath instance.  Chunk boundaries depend only on *chunk_size* —
     never on *jobs* — so ``jobs=1`` and ``jobs=N`` return bit-identical
     measurements (operands land at the same absolute simulation times).
+
+    ``timing_backend="batch"``/``"bitpack"`` times each chunk in one
+    vectorized pass (the long-stream wall-clock lever: chunks still fan out
+    over *jobs*, and within a chunk the per-operand cost collapses to array
+    sweeps).  Relative per-operand quantities match the event oracle within
+    float re-association accuracy; absolute ``t_start`` timestamps restart
+    at 0 per chunk, whereas the event path's origin is each chunk's initial
+    reset settle.
     """
+    check_timing_backend(timing_backend)
     features = list(workload.feature_vectors)
     if not features:
         return []
@@ -473,7 +576,7 @@ def run_latency_distribution(
         np.asarray(features[start: start + chunk_size])
         for start in range(0, len(features), chunk_size)
     ]
-    items = [(workload, library, vdd, chunk) for chunk in chunks]
+    items = [(workload, library, vdd, chunk, timing_backend) for chunk in chunks]
     nested = run_parallel(_latency_chunk_worker, items, jobs=jobs)
     return [result for chunk_results in nested for result in chunk_results]
 

@@ -33,17 +33,23 @@ import numpy as np
 
 from repro.circuits.library import CellLibrary, default_libraries, full_diffusion_library
 from repro.core.completion import GracePeriod, compute_grace_period
-from repro.core.dual_rail import DualRailCircuit, OneOfNSignal
+from repro.core.dual_rail import DualRailCircuit, OneOfNSignal, decode_pair
+from repro.core.one_of_n import decode_one_of_n
 from repro.datapath.datapath import (
     DatapathConfig,
     DualRailDatapath,
     VERDICT_LABELS,
     feature_input_name,
 )
-from repro.sim.backends import ArrayBatchResult, PackedBatchResult, get_backend
-from repro.sim.handshake import DualRailEnvironment
-from repro.sim.monitors import ForbiddenStateMonitor, MonotonicityMonitor
-from repro.sim.power import PowerAccountant
+from repro.sim.backends import (
+    ArrayBatchResult,
+    PackedBatchResult,
+    TimedBatchResult,
+    get_backend,
+)
+from repro.sim.handshake import DualRailEnvironment, DualRailInferenceResult
+from repro.sim.monitors import ForbiddenStateMonitor, MonotonicityMonitor, ProtocolViolation
+from repro.sim.power import PowerAccountant, PowerReport
 from repro.sim.simulator import GateLevelSimulator
 from repro.synth.flow import SynthesisResult, synthesize
 from repro.tm.inference import InferenceModel
@@ -392,6 +398,13 @@ def spacer_assignments(circuit: DualRailCircuit) -> Dict[str, int]:
     return spacer
 
 
+def verdict_signal(circuit: DualRailCircuit) -> OneOfNSignal:
+    """The 1-of-3 verdict output port of a datapath circuit."""
+    return next(
+        sig for sig in circuit.one_of_n_outputs if tuple(sig.labels) == VERDICT_LABELS
+    )
+
+
 def decode_verdict_planes(
     result: Union[ArrayBatchResult, PackedBatchResult], sig: OneOfNSignal
 ) -> List[str]:
@@ -443,10 +456,7 @@ def batch_functional_pass(
     planes = workload_input_planes(circuit, datapath, workload)
     baseline = spacer_assignments(circuit) if with_activity else None
     result = engine.run_arrays(planes, baseline=baseline)
-    verdict_sig = next(
-        sig for sig in circuit.one_of_n_outputs if tuple(sig.labels) == VERDICT_LABELS
-    )
-    verdicts = decode_verdict_planes(result, verdict_sig)
+    verdicts = decode_verdict_planes(result, verdict_signal(circuit))
     decisions = [DualRailDatapath.decision_from_verdict(v) for v in verdicts]
     golden = [workload.model.decision(f) for f in workload.feature_vectors]
     correct = sum(1 for d, g in zip(decisions, golden) if d == g)
@@ -467,4 +477,234 @@ def batch_functional_pass(
         energy_per_inference_fj=(
             energy.total_fj / samples if energy is not None and samples else 0.0
         ),
+    )
+
+
+# --------------------------------------------------------------------------
+# Vectorized timing (the data-dependent timing engine)
+# --------------------------------------------------------------------------
+
+#: Backends the experiment harnesses accept as a *timing* source.  ``"event"``
+#: is the reference (per-operand event-driven handshake cycles); ``"batch"``
+#: and ``"bitpack"`` time the whole operand stream through the vectorized
+#: :mod:`repro.sim.backends.timed` engine — equivalent per sample (the
+#: equivalence suite pins it against the event oracle) and one to three
+#: orders of magnitude faster.
+TIMING_BACKENDS = ("event", "batch", "bitpack")
+
+
+def check_timing_backend(timing_backend: str) -> None:
+    """Raise :class:`ValueError` for timing-backend names no harness accepts."""
+    if timing_backend not in TIMING_BACKENDS:
+        raise ValueError(
+            f"unknown timing backend {timing_backend!r}; "
+            f"expected one of {TIMING_BACKENDS}"
+        )
+
+
+@dataclass
+class TimedDualRailRun:
+    """A whole operand stream timed through the vectorized engine.
+
+    Attributes
+    ----------
+    results:
+        One :class:`~repro.sim.handshake.DualRailInferenceResult` per
+        operand, field-compatible with the event-driven environment's
+        results (latency summaries, histograms and throughput all work
+        unchanged).  Absolute timestamps (``t_start``, ``done_rise``,
+        ``done_fall``) start from 0 at the first operand, whereas the event
+        environment's origin is its initial reset settle; all *relative*
+        quantities agree with the event oracle to float re-association
+        accuracy.
+    timed:
+        The raw :class:`~repro.sim.backends.timed.TimedBatchResult` (per-net
+        arrival planes, per-sample energy, activity counts).
+    window_ps:
+        Total duration of the run — the sum of every operand's full
+        handshake cycle including the grace period, i.e. exactly the
+        measurement window the event-driven power accounting uses.
+    """
+
+    results: List[DualRailInferenceResult]
+    timed: TimedBatchResult
+    window_ps: float
+
+
+def _logic_value(plane: np.ndarray, sample: int) -> Optional[int]:
+    """Decode one plane entry back into the scalar LogicValue domain."""
+    value = int(plane[sample])
+    return None if value == 2 else value
+
+
+def _check_output_protocol(circuit: DualRailCircuit, timed: TimedBatchResult) -> None:
+    """Enforce the event environment's output-state obligations on a timed run.
+
+    :class:`~repro.sim.handshake.DualRailEnvironment` raises
+    :class:`~repro.sim.monitors.ProtocolViolation` when an output port fails
+    to reach a valid codeword after valid inputs, or fails to return to
+    spacer — states the reduced-CD ``done`` signal does not necessarily
+    observe.  The timed path checks the same obligations vectorized: every
+    dual-rail pair must settle to a valid codeword (rails known and
+    complementary) in the valid phase and to spacer at rest; every 1-of-n
+    port must assert exactly one rail per sample and rest all-spacer.
+    """
+    for sig in circuit.outputs:
+        pos, neg = timed.values[sig.pos], timed.values[sig.neg]
+        bad = (pos > 1) | (neg > 1) | (pos == neg)
+        if np.any(bad):
+            k = int(np.argmax(bad))
+            raise ProtocolViolation(
+                f"output {sig.name!r} never reached the valid state for "
+                f"sample {k} (rails are "
+                f"({_logic_value(pos, k)}, {_logic_value(neg, k)}))"
+            )
+        spacer = sig.polarity.spacer_rail_value
+        if (timed.spacer_values[sig.pos] != spacer
+                or timed.spacer_values[sig.neg] != spacer):
+            raise ProtocolViolation(
+                f"output {sig.name!r} never reached the spacer state at rest"
+            )
+    for sig in circuit.one_of_n_outputs:
+        rails = np.stack([timed.values[r] for r in sig.rails])
+        if np.any(rails > 1):
+            raise ProtocolViolation(
+                f"1-of-n output {sig.name!r} carries unknown values"
+            )
+        active = (rails != sig.polarity.spacer_rail_value).sum(axis=0)
+        if np.any(active != 1):
+            k = int(np.argmax(active != 1))
+            raise ProtocolViolation(
+                f"1-of-n output {sig.name!r} never reached the valid state "
+                f"for sample {k} (rails {[int(v) for v in rails[:, k]]})"
+            )
+        idle = sig.polarity.spacer_rail_value
+        if any(timed.spacer_values[r] != idle for r in sig.rails):
+            raise ProtocolViolation(
+                f"1-of-n output {sig.name!r} never reached the spacer state at rest"
+            )
+
+
+def timed_dual_rail_run(
+    mapped: MappedDualRail,
+    workload: Workload,
+    timing_backend: str = "batch",
+) -> TimedDualRailRun:
+    """Time every operand of *workload* in one vectorized pass.
+
+    The vectorized counterpart of driving
+    :func:`make_dual_rail_environment` over the stream: per-operand
+    spacer→valid latency, reset times, internal-reset times, done edges and
+    switching energy, computed by the
+    :mod:`~repro.sim.backends.timed` engine of the chosen backend
+    (``"batch"`` or ``"bitpack"``).  The same protocol obligations are
+    enforced, mirroring the event environment: every output port must reach
+    a valid codeword for every operand and rest at spacer, and ``done``
+    must assert, otherwise
+    :class:`~repro.sim.monitors.ProtocolViolation` is raised.
+    """
+    if timing_backend not in TIMING_BACKENDS or timing_backend == "event":
+        raise ValueError(
+            f"timed_dual_rail_run needs a vectorized timing backend "
+            f"({[b for b in TIMING_BACKENDS if b != 'event']}), got {timing_backend!r}"
+        )
+    circuit, datapath = mapped.circuit, mapped.datapath
+    engine = get_backend(timing_backend, circuit.netlist, mapped.library, vdd=mapped.vdd)
+    planes = workload_input_planes(circuit, datapath, workload)
+    timed = engine.run_timed(planes, spacer_assignments(circuit))
+    _check_output_protocol(circuit, timed)
+
+    rails = circuit.all_output_rails()
+    t_s_to_v = timed.max_arrival(rails, "valid")
+    t_v_to_s = timed.max_arrival(rails, "reset")
+    settle_valid = timed.settle_time("valid")
+    internal_reset = timed.settle_time("reset")
+    done = circuit.done_net
+    if done is not None:
+        if np.any(timed.values[done] != 1):
+            raise ProtocolViolation(
+                "completion (done) never asserted after valid inputs"
+            )
+        done_rise = timed.arrival_of(done, "valid")
+        done_fall = timed.arrival_of(done, "reset")
+    else:
+        done_rise = done_fall = None
+
+    grace = mapped.grace.td
+    results: List[DualRailInferenceResult] = []
+    t_start = 0.0
+    for k in range(timed.samples):
+        operand = datapath.operand_assignments(
+            workload.feature_vectors[k], workload.exclude
+        )
+        outputs: Dict[str, Optional[int]] = {}
+        for sig in circuit.outputs:
+            outputs[sig.name] = decode_pair(
+                _logic_value(timed.values[sig.pos], k),
+                _logic_value(timed.values[sig.neg], k),
+                sig.polarity,
+            )
+        one_of_n: Dict[str, Optional[int]] = {}
+        for sig in circuit.one_of_n_outputs:
+            one_of_n[sig.name] = decode_one_of_n(
+                [_logic_value(timed.values[r], k) for r in sig.rails], sig.polarity
+            )
+        t_spacer = t_start + float(settle_valid[k])
+        # The environment may apply the next operand only once the outputs
+        # have reset, the grace period td has elapsed, done has fallen and
+        # (in practice, because it settles fully) every internal net has
+        # reset — the max below reproduces its ready-time rule exactly.
+        reset_span = max(
+            grace,
+            float(t_v_to_s[k]),
+            float(internal_reset[k]),
+            float(done_fall[k]) if done_fall is not None else 0.0,
+        )
+        results.append(
+            DualRailInferenceResult(
+                operand=dict(operand),
+                outputs=outputs,
+                one_of_n_outputs=one_of_n,
+                t_start=t_start,
+                t_s_to_v=float(t_s_to_v[k]),
+                t_v_to_s=float(t_v_to_s[k]),
+                t_internal_reset=float(internal_reset[k]),
+                done_rise=(
+                    t_start + float(done_rise[k]) if done_rise is not None else None
+                ),
+                done_fall=(
+                    t_spacer + float(done_fall[k]) if done_fall is not None else None
+                ),
+            )
+        )
+        t_start = t_spacer + reset_span
+    return TimedDualRailRun(results=results, timed=timed, window_ps=t_start)
+
+
+def timed_power_report(mapped: MappedDualRail, run: TimedDualRailRun) -> PowerReport:
+    """Average power of a timed run — same accounting as the event window.
+
+    Dynamic energy is the timed engine's per-sample switching energy (two
+    transitions per toggling cell per handshake, priced through the
+    library's per-cell energies at the measurement supply); the window is
+    the run's total duration including grace periods; leakage comes from
+    the same :class:`~repro.sim.power.PowerAccountant` the event path uses.
+    For glitch-free (monotonic) netlists these are exactly the transitions
+    the event simulator logs, so the report matches the event-driven one to
+    float accuracy.
+    """
+    if run.window_ps <= 0:
+        raise ValueError("timed run has an empty measurement window")
+    accountant = PowerAccountant(mapped.circuit.netlist, mapped.library, vdd=mapped.vdd)
+    total_fj = float(run.timed.energy_per_sample_fj.sum())
+    operations = len(run.results)
+    dynamic_uw = total_fj / run.window_ps * 1e3
+    leakage_nw = accountant.leakage_nw()
+    return PowerReport(
+        dynamic_uw=dynamic_uw,
+        leakage_nw=leakage_nw,
+        total_uw=dynamic_uw + leakage_nw * 1e-3,
+        energy_per_operation_fj=total_fj / operations if operations else 0.0,
+        operations=operations,
+        window_ps=run.window_ps,
     )

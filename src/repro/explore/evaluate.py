@@ -46,6 +46,7 @@ from repro.analysis.measure import (
     Workload,
     batch_functional_pass,
     build_mapped_dual_rail,
+    check_timing_backend,
     make_dual_rail_environment,
     truncate_workload,
 )
@@ -121,7 +122,11 @@ class DesignPoint:
 
     ``metric(name)`` provides uniform access for the Pareto machinery; the
     ``to_dict``/``from_dict`` pair is the store and artifact serialization
-    (plain JSON types only).
+    (plain JSON types only).  ``timing_backend`` records where the latency
+    and energy columns came from: the event-driven environment (``"event"``,
+    the seed behaviour) or the vectorized timing engine (``"batch"`` /
+    ``"bitpack"`` — which also raises ``timed_operands`` to the full stream,
+    since timing the whole stream is then as cheap as the functional pass).
     """
 
     spec: DesignPointSpec
@@ -140,6 +145,7 @@ class DesignPoint:
     cell_count: int
     throughput_mops: float
     timed_operands: int
+    timing_backend: str = "event"
 
     def metric(self, name: str) -> float:
         """Numeric metric by attribute name (raises for unknown names)."""
@@ -242,14 +248,20 @@ def _evaluate_dual_rail(
     accuracy: float,
     library: CellLibrary,
     backend: str,
+    timing_backend: str,
 ) -> DesignPoint:
     config = style_config(spec.style, workload.config)
     timed = truncate_workload(workload, settings.timing_operands)
-    if backend == "event":
+    if timing_backend != "event" or backend == "event":
+        # Both the fully-vectorized path (one timed pass over the *full*
+        # stream — no prefix truncation) and the fully-event path are the
+        # Table-I measurement itself: route through measure_dual_rail so
+        # DSE axes cannot drift from the paper-artefact harness.
         timed = workload
         measurement = measure_dual_rail(
             replace_config(workload, config), library, vdd=spec.vdd,
             check_monotonic=False, backend="event",
+            timing_backend=timing_backend,
         )
         correctness = measurement.correctness
         energy = measurement.power.energy_per_operation_fj
@@ -291,6 +303,7 @@ def _evaluate_dual_rail(
         cell_count=synthesis_metrics["cell_count"],
         throughput_mops=throughput,
         timed_operands=timed.num_operands,
+        timing_backend=timing_backend,
     )
 
 
@@ -310,8 +323,9 @@ def _evaluate_synchronous(
     backend: str,
 ) -> DesignPoint:
     # The clocked baseline has no batch evaluator (flip-flop state is
-    # inherently sequential), so both backends share the event measurement;
-    # its latency is the STA clock period by definition.
+    # inherently sequential), so all backends share the event measurement;
+    # its latency is the STA clock period by definition, which is also why
+    # timing_backend does not apply (the point records "event").
     measurement = measure_single_rail(workload, library, vdd=spec.vdd)
     period = measurement.clock_period_ps
     metrics = measurement.synthesis.metrics()
@@ -339,11 +353,26 @@ def evaluate_point(
     spec: DesignPointSpec,
     settings: EvaluationSettings = SMOKE_SETTINGS,
     backend: str = "batch",
+    timing_backend: str = "event",
 ) -> DesignPoint:
-    """Evaluate one design point end to end: train → map → simulate → report."""
+    """Evaluate one design point end to end: train → map → simulate → report.
+
+    ``timing_backend="batch"``/``"bitpack"`` sources the latency, energy and
+    throughput axes from the vectorized timing engine over the *full*
+    operand stream (the ``settings.timing_operands`` prefix only applies to
+    the event-timed paths); ``"event"`` keeps the seed behaviour and is the
+    equivalence oracle the timed axes are validated against.  Under a
+    vectorized *timing_backend* the functional quantities come from the
+    timed engine's own value planes, so *backend* is normalized to
+    *timing_backend* — the recorded provenance (and the store key) name
+    the engine that actually ran.
+    """
     spec = spec.validate().normalized()
     settings.validate()
     _check_sweep_backend(backend)
+    check_timing_backend(timing_backend)
+    if timing_backend != "event":
+        backend = timing_backend
     check_style(spec.style)
     if not spec.is_feasible():
         raise ValueError(
@@ -353,14 +382,18 @@ def evaluate_point(
     library = default_libraries()[spec.library]
     workload, accuracy = build_spec_workload(spec, settings)
     if is_dual_rail(spec.style):
-        return _evaluate_dual_rail(spec, settings, workload, accuracy, library, backend)
+        return _evaluate_dual_rail(
+            spec, settings, workload, accuracy, library, backend, timing_backend
+        )
     return _evaluate_synchronous(spec, settings, workload, accuracy, library, backend)
 
 
-def _sweep_worker(item: Tuple[DesignPointSpec, EvaluationSettings, str]) -> dict:
+def _sweep_worker(
+    item: Tuple[DesignPointSpec, EvaluationSettings, str, str]
+) -> dict:
     """Process-pool work unit of :func:`run_sweep` (pickle-friendly dicts)."""
-    spec, settings, backend = item
-    return evaluate_point(spec, settings, backend).to_dict()
+    spec, settings, backend, timing_backend = item
+    return evaluate_point(spec, settings, backend, timing_backend).to_dict()
 
 
 @dataclass
@@ -386,6 +419,7 @@ def run_sweep(
     backend: str = "batch",
     jobs: int = 1,
     store: Optional[ResultStore] = None,
+    timing_backend: str = "event",
 ) -> SweepResult:
     """Evaluate a grid (or explicit spec list), cached and in parallel.
 
@@ -394,8 +428,16 @@ def run_sweep(
     per work unit — chunk boundaries therefore cannot affect results), and
     fresh results are written back before returning.  The returned points
     are in grid-expansion order regardless of ``jobs`` or cache state.
+    *timing_backend* is part of the store key (a timed point and an
+    event-timed point are different measurements of the same spec); under a
+    vectorized *timing_backend* the functional *backend* is normalized to
+    it, exactly as :func:`evaluate_point` does, so equivalent sweeps share
+    cache entries.
     """
     _check_sweep_backend(backend)
+    check_timing_backend(timing_backend)
+    if timing_backend != "event":
+        backend = timing_backend
     settings.validate()
     dropped_dup = dropped_inf = 0
     if isinstance(grid, ParameterGrid):
@@ -421,13 +463,16 @@ def run_sweep(
             keys[index] = point_key(
                 spec, settings, libraries[spec.library], backend,
                 library_digest=digests[spec.library],
+                timing_backend=timing_backend,
             )
             hit = store.get(keys[index])
             if hit is not None:
                 resolved[index] = hit
     todo = [i for i in range(len(specs)) if i not in resolved]
     fresh = run_parallel(
-        _sweep_worker, [(specs[i], settings, backend) for i in todo], jobs=jobs
+        _sweep_worker,
+        [(specs[i], settings, backend, timing_backend) for i in todo],
+        jobs=jobs,
     )
     for index, record in zip(todo, fresh):
         point = DesignPoint.from_dict(record)

@@ -61,6 +61,7 @@ def point_key(
     backend: str,
     evaluator_version: int = EVALUATOR_VERSION,
     library_digest: Optional[str] = None,
+    timing_backend: str = "event",
 ) -> str:
     """The content hash a design point is stored under.
 
@@ -68,7 +69,9 @@ def point_key(
     and :class:`~repro.explore.evaluate.EvaluationSettings`) so the store
     module stays import-light; any field change in either moves the key.
     *library_digest* lets sweeps amortize :func:`library_fingerprint` over
-    many points of the same library.
+    many points of the same library.  *timing_backend* joins the key only
+    when it departs from the event default, so pre-existing stores keep
+    serving event-timed points unchanged.
     """
     payload = {
         "spec": asdict(spec),
@@ -80,6 +83,8 @@ def point_key(
         "backend": backend,
         "evaluator_version": evaluator_version,
     }
+    if timing_backend != "event":
+        payload["timing_backend"] = timing_backend
     canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canon.encode("utf-8")).hexdigest()
 

@@ -24,6 +24,8 @@ from .backends import (
     BitpackBackend,
     EventBackend,
     SimulationBackend,
+    TimedBatchResult,
+    TimedProgram,
     available_backends,
     get_backend,
 )
@@ -50,7 +52,14 @@ from .simulator import (
     TransitionRecord,
     WIRE_CAP_PER_FANOUT_FF,
 )
-from .sta import TimingReport, arrival_of_nets, register_to_register_period, static_timing_analysis
+from .sta import (
+    TimingReport,
+    arrival_of_nets,
+    cell_output_delay,
+    output_load,
+    register_to_register_period,
+    static_timing_analysis,
+)
 from .voltage import (
     FIGURE3_VOLTAGES,
     VoltagePoint,
@@ -87,6 +96,8 @@ __all__ = [
     "SimulationError",
     "SynchronousCycleResult",
     "SynchronousEnvironment",
+    "TimedBatchResult",
+    "TimedProgram",
     "TimingReport",
     "TransitionRecord",
     "Violation",
@@ -95,10 +106,12 @@ __all__ = [
     "Waveform",
     "arrival_of_nets",
     "available_backends",
+    "cell_output_delay",
     "delay_scaling_curve",
     "exponential_region_slope",
     "get_backend",
     "latency_ratio",
+    "output_load",
     "register_to_register_period",
     "static_timing_analysis",
     "sweep_supply_voltages",

@@ -11,6 +11,12 @@ to use which backend.  Summary:
 * ``get_backend("bitpack", netlist, library)`` — the bit-packed 64-lane
   engine: 64 samples per ``uint64`` word, two bit-planes per net, every
   gate a handful of bitwise word ops.  The fastest functional backend.
+
+The vectorized backends additionally expose ``run_timed`` — the
+data-dependent timing engine (:mod:`repro.sim.backends.timed`): per-sample
+arrival times and switching energy for whole batches of handshake cycles,
+equivalent to the event-driven environment on monotonic netlists within
+float re-association accuracy (see the module docstring for the contract).
 """
 
 from .base import (
@@ -26,6 +32,7 @@ from .base import (
 from .batch import ArrayBatchResult, BatchBackend
 from .bitpack import BitpackBackend, PackedBatchResult
 from .event import EventBackend
+from .timed import TimedBatchResult, TimedProgram
 
 __all__ = [
     "ArrayBatchResult",
@@ -37,6 +44,8 @@ __all__ = [
     "EventBackend",
     "PackedBatchResult",
     "SimulationBackend",
+    "TimedBatchResult",
+    "TimedProgram",
     "available_backends",
     "compile_levelized_ops",
     "get_backend",

@@ -338,6 +338,33 @@ class BatchBackend:
             activity_by_cell_type=activity_by_type,
         )
 
+    # -------------------------------------------------------------- timing
+    def run_timed(
+        self,
+        inputs: Mapping[str, Union[int, np.ndarray, Sequence[int]]],
+        spacer: Mapping[str, int],
+        delay_variation: Optional[Dict[str, float]] = None,
+    ):
+        """Per-sample arrival times and energy for a batch of handshake cycles.
+
+        The vectorized data-dependent timing engine
+        (:class:`~repro.sim.backends.timed.TimedProgram`): every cycle is a
+        spacer→valid→spacer handshake starting from the *spacer* rest word,
+        and the result carries per-sample per-net arrival times for both
+        phases plus per-sample switching energy — equivalent to the
+        event-driven environment on monotonic (dual-rail) netlists within
+        float re-association accuracy (see :mod:`repro.sim.backends.timed`
+        for the tolerance contract), at batch-backend throughput.  Requires
+        the backend to have been built with a characterised library; the
+        compiled program is cached, so repeated calls only pay the array
+        sweeps.
+
+        Returns a :class:`~repro.sim.backends.timed.TimedBatchResult`.
+        """
+        from .timed import backend_run_timed
+
+        return backend_run_timed(self, inputs, spacer, delay_variation)
+
     # ----------------------------------------------------------- protocol
     def evaluate(self, assignments: Mapping[str, int]) -> Dict[str, LogicValue]:
         """Settled value of every net for one primary-input assignment."""

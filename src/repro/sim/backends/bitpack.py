@@ -371,6 +371,33 @@ class BitpackBackend:
             activity_by_cell_type=activity_by_type,
         )
 
+    # -------------------------------------------------------------- timing
+    def run_timed(
+        self,
+        inputs: Mapping[str, Union[int, np.ndarray, Sequence[int]]],
+        spacer: Mapping[str, int],
+        delay_variation: Optional[Dict[str, float]] = None,
+    ):
+        """Per-sample arrival times and energy — the masked-lane timed variant.
+
+        Arrival times are per-sample ``float64`` quantities, so unlike
+        values they cannot be packed 64-to-a-word; the timed pass therefore
+        runs on dense ``(samples,)`` lanes shared with
+        :meth:`~repro.sim.backends.batch.BatchBackend.run_timed`.  The
+        dense sweep is sized to exactly ``samples`` lanes, which is what
+        masks the ragged tail: lanes past the stream length simply do not
+        exist in the timing arrays, so they can never leak into latency
+        percentiles or energy sums the way unmasked packed tail lanes
+        could.  Results are bit-identical to the batch backend's for every
+        sample count, 64-aligned or not (the equivalence tests pin 1, 63,
+        64, 65 and 1000).
+
+        Returns a :class:`~repro.sim.backends.timed.TimedBatchResult`.
+        """
+        from .timed import backend_run_timed
+
+        return backend_run_timed(self, inputs, spacer, delay_variation)
+
     # ----------------------------------------------------------- protocol
     def evaluate(self, assignments: Mapping[str, int]) -> Dict[str, LogicValue]:
         """Settled value of every net for one primary-input assignment."""

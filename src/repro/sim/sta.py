@@ -63,8 +63,16 @@ class TimingReport:
         return max(self.max_over_outputs, self.max_over_internal)
 
 
-def _output_load(netlist: Netlist, library: CellLibrary, net_name: str) -> float:
-    """Estimated capacitive load on *net_name* (same model as the simulator)."""
+def output_load(netlist: Netlist, library: CellLibrary, net_name: str) -> float:
+    """Estimated capacitive load on *net_name* in fF.
+
+    Fanout input-pin capacitances plus the per-fanout wire estimate — the
+    *same* load model :class:`~repro.sim.simulator.GateLevelSimulator` uses,
+    so STA worst-case arrivals, event-driven switching times and the
+    vectorized timing engine (:mod:`repro.sim.backends.timed`) all price a
+    net's load identically.  This shared formula is what makes the
+    "per-sample latency ≤ STA critical delay" property hold exactly.
+    """
     net = netlist.nets[net_name]
     load = WIRE_CAP_PER_FANOUT_FF * max(1, net.fanout)
     for sink_name, _pin in net.sinks:
@@ -72,6 +80,29 @@ def _output_load(netlist: Netlist, library: CellLibrary, net_name: str) -> float
         if library.has_cell(sink.cell_type):
             load += library.cell(sink.cell_type).input_cap
     return load
+
+
+def cell_output_delay(
+    netlist: Netlist,
+    library: CellLibrary,
+    cell_type: str,
+    cell_name: str,
+    out_net: str,
+    vdd: float,
+    delay_variation: Optional[Dict[str, float]] = None,
+) -> float:
+    """Switching delay (ps) of one cell instance driving *out_net* at *vdd*.
+
+    The single source of per-instance delays shared by STA, the event-driven
+    simulator's cache and the vectorized timing engine: library pin-to-output
+    delay at the net's actual load, scaled by the voltage model and the
+    optional per-instance variation factor.
+    """
+    load = output_load(netlist, library, out_net)
+    delay = library.cell_delay(cell_type, load, vdd=vdd)
+    if delay_variation:
+        delay *= delay_variation.get(cell_name, 1.0)
+    return delay
 
 
 def static_timing_analysis(
@@ -115,9 +146,10 @@ def static_timing_analysis(
     for cell in netlist.topological_order():
         is_ff = cell.cell_type == "DFF"
         for pin, out_net in cell.outputs.items():
-            load = _output_load(netlist, library, out_net)
-            delay = library.cell_delay(cell.cell_type, load, vdd=vdd)
-            delay *= variation.get(cell.name, 1.0)
+            delay = cell_output_delay(
+                netlist, library, cell.cell_type, cell.name, out_net, vdd,
+                delay_variation=variation,
+            )
             if is_ff and break_at_sequential:
                 # Clock-to-output delay with the real output load: the path
                 # restarts here, but the launch delay must match what the

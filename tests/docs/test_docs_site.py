@@ -42,7 +42,7 @@ def doc_files():
 def test_docs_tree_exists_and_is_nontrivial():
     assert MKDOCS_YML.is_file()
     pages = doc_files()
-    assert len(pages) >= 13  # index + guide + 10 architecture + 3 API pages
+    assert len(pages) >= 17  # index + 3 guides + 10 architecture + 4 API pages
     for page in pages:
         assert page.read_text().lstrip().startswith("#"), f"{page} has no title"
 
@@ -50,7 +50,7 @@ def test_docs_tree_exists_and_is_nontrivial():
 def test_every_nav_entry_resolves_to_a_real_page():
     pages = nav_pages()
     assert "index.md" in pages
-    assert len(pages) >= 13
+    assert len(pages) >= 17
     for rel in pages:
         assert (DOCS / rel).is_file(), f"mkdocs.yml nav references missing {rel}"
 
@@ -95,7 +95,10 @@ def test_autodoc_covers_the_docstring_enforced_surface():
         "repro.sim.backends.batch",
         "repro.sim.backends.bitpack",
         "repro.sim.backends.event",
+        "repro.sim.backends.timed",
         "repro.analysis.measure",
+        "repro.analysis.latency",
+        "repro.analysis.distributions",
         "repro.explore.grid",
         "repro.explore.evaluate",
         "repro.explore.store",

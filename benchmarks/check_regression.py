@@ -14,6 +14,19 @@ Usage::
     # (directions and tolerances of existing entries are preserved):
     python benchmarks/check_regression.py --bench BENCH_sim.json --update
 
+One baseline file tracks several bench records (``BENCH_sim.json`` from
+bench-smoke, ``BENCH_serve.json`` from serve-smoke).  Each gate invocation
+scopes the baseline to its own metric family, so one record is never
+failed for "missing" the other family's metrics::
+
+    python benchmarks/check_regression.py --bench BENCH_sim.json \
+        --skip-prefix serve_
+    python benchmarks/check_regression.py --bench BENCH_serve.json \
+        --only-prefix serve_
+
+``--update`` honours the same flags: entries outside the scope are
+preserved verbatim instead of being pruned as stale.
+
 The comparison semantics (directions, per-metric tolerance bands, missing
 tracked metrics failing the gate) live in
 :mod:`repro.analysis.regression` so they are unit-tested like any other
@@ -28,10 +41,20 @@ import sys
 from pathlib import Path
 
 try:
-    from repro.analysis.regression import compare_to_baseline, load_baseline, regressions
+    from repro.analysis.regression import (
+        compare_to_baseline,
+        filter_baseline,
+        load_baseline,
+        regressions,
+    )
 except ImportError:  # pragma: no cover - direct invocation without install
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
-    from repro.analysis.regression import compare_to_baseline, load_baseline, regressions
+    from repro.analysis.regression import (
+        compare_to_baseline,
+        filter_baseline,
+        load_baseline,
+        regressions,
+    )
 
 #: Keys in BENCH_sim.json's metrics block that are run configuration, not
 #: performance figures; never gated or baselined.
@@ -45,18 +68,42 @@ def load_bench_metrics(path: Path) -> dict:
     return {k: v for k, v in metrics.items() if k not in CONFIG_KEYS}
 
 
-def update_baseline(bench_path: Path, baseline_path: Path) -> None:
+def _in_scope(name: str, only_prefix, skip_prefix) -> bool:
+    """Whether *name* belongs to this gate invocation's metric family."""
+    if only_prefix is not None and not name.startswith(only_prefix):
+        return False
+    if skip_prefix is not None and name.startswith(skip_prefix):
+        return False
+    return True
+
+
+def update_baseline(
+    bench_path: Path,
+    baseline_path: Path,
+    only_prefix=None,
+    skip_prefix=None,
+) -> None:
     """Rewrite the baseline's values from a fresh run, keeping its policy.
 
     Existing entries keep their direction and tolerance; metrics new to the
     run are added as plain higher-is-better entries with the default band,
-    and entries for metrics the run no longer produces are pruned (they
-    would otherwise fail the gate forever as "missing").
+    and in-scope entries for metrics the run no longer produces are pruned
+    (they would otherwise fail the gate forever as "missing").  Entries
+    outside the ``--only-prefix`` / ``--skip-prefix`` scope belong to a
+    different bench record and are preserved verbatim.
     """
-    current = load_bench_metrics(bench_path)
+    current = {
+        name: value
+        for name, value in load_bench_metrics(bench_path).items()
+        if _in_scope(name, only_prefix, skip_prefix)
+    }
     raw = json.loads(baseline_path.read_text()) if baseline_path.exists() else {}
     old_entries = raw.get("metrics", {})
-    entries = {}
+    entries = {
+        name: entry
+        for name, entry in old_entries.items()
+        if not _in_scope(name, only_prefix, skip_prefix)
+    }
     for name, value in sorted(current.items()):
         entry = dict(old_entries.get(name, {"direction": "higher-is-better"}))
         entry["value"] = round(float(value), 2)
@@ -64,7 +111,7 @@ def update_baseline(bench_path: Path, baseline_path: Path) -> None:
     stale = sorted(set(old_entries) - set(entries))
     if stale:
         print(f"pruned stale baseline metrics: {', '.join(stale)}")
-    raw["metrics"] = entries
+    raw["metrics"] = dict(sorted(entries.items()))
     raw.setdefault("default_tolerance", 0.3)
     baseline_path.write_text(json.dumps(raw, indent=2, sort_keys=True) + "\n")
     print(f"baseline updated from {bench_path} -> {baseline_path}")
@@ -83,6 +130,10 @@ def main(argv=None) -> int:
                         help="override the default tolerance band (fraction)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline values from --bench and exit")
+    parser.add_argument("--only-prefix", default=None,
+                        help="scope the gate to baseline metrics with this prefix")
+    parser.add_argument("--skip-prefix", default=None,
+                        help="exclude baseline metrics with this prefix from the gate")
     args = parser.parse_args(argv)
 
     bench_path = Path(args.bench)
@@ -91,10 +142,17 @@ def main(argv=None) -> int:
         print(f"error: benchmark record {bench_path} does not exist", file=sys.stderr)
         return 2
     if args.update:
-        update_baseline(bench_path, baseline_path)
+        update_baseline(
+            bench_path, baseline_path,
+            only_prefix=args.only_prefix, skip_prefix=args.skip_prefix,
+        )
         return 0
 
-    baseline = load_baseline(baseline_path)
+    baseline = filter_baseline(
+        load_baseline(baseline_path),
+        only_prefix=args.only_prefix,
+        skip_prefix=args.skip_prefix,
+    )
     current = load_bench_metrics(bench_path)
     comparisons = compare_to_baseline(current, baseline, default_tolerance=args.tolerance)
     print(f"Benchmark regression gate: {bench_path} vs {baseline_path}")

@@ -1,9 +1,16 @@
-"""Latency statistics of dual-rail inference runs.
+"""Latency statistics of dual-rail inference runs — and of served requests.
 
 Table I reports per-design *average* latency, *maximum* latency and the
 valid→spacer reset time; this module turns a list of per-operand
 :class:`~repro.sim.handshake.DualRailInferenceResult` objects into those
 numbers (plus percentiles used by the distribution analyses).
+
+The same percentile discipline applies one layer up: the serving gateway
+(:mod:`repro.serve`) reports end-to-end request latencies with exactly the
+rank-order percentile estimator used here, through
+:func:`summarize_slo` / :class:`SloSummary` — so a p95 quoted for the
+hardware handshake and a p95 quoted for a served request mean the same
+thing.
 """
 
 from __future__ import annotations
@@ -59,3 +66,54 @@ def summarize_latencies(results: Sequence[DualRailInferenceResult]) -> LatencySu
 def latencies_of(results: Sequence[DualRailInferenceResult]) -> List[float]:
     """The raw per-operand spacer→valid latencies (histogram input)."""
     return [r.t_s_to_v for r in results]
+
+
+@dataclass
+class SloSummary:
+    """Percentile summary of an arbitrary latency sample (SLO reporting).
+
+    The unit is whatever the caller's values carry (picoseconds for the
+    hardware handshake, seconds for served requests); the estimator is the
+    same rank-order percentile used by :func:`summarize_latencies`, so
+    hardware-level and service-level tail figures are directly comparable.
+    """
+
+    samples: int
+    mean: float
+    minimum: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def scaled(self, factor: float) -> "SloSummary":
+        """The same summary with every quantity multiplied by *factor*.
+
+        Unit conversion helper (e.g. seconds → milliseconds with
+        ``factor=1e3``); *samples* is left untouched.
+        """
+        return SloSummary(
+            samples=self.samples,
+            mean=self.mean * factor,
+            minimum=self.minimum * factor,
+            p50=self.p50 * factor,
+            p95=self.p95 * factor,
+            p99=self.p99 * factor,
+            maximum=self.maximum * factor,
+        )
+
+
+def summarize_slo(values: Sequence[float]) -> SloSummary:
+    """Summarise any latency sample into the p50/p95/p99/max SLO figures."""
+    if not values:
+        raise ValueError("cannot summarise an empty latency sample")
+    ordered = sorted(values)
+    return SloSummary(
+        samples=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        minimum=ordered[0],
+        p50=_percentile(ordered, 0.50),
+        p95=_percentile(ordered, 0.95),
+        p99=_percentile(ordered, 0.99),
+        maximum=ordered[-1],
+    )

@@ -38,6 +38,13 @@ A metric present in the baseline but missing from the current run is a
 failure too: silently dropping a tracked benchmark must not pass the gate.
 Metrics in the current run that the baseline does not track are reported
 but never fail (new benchmarks can land before their baseline).
+
+One baseline file may back several independently produced bench records
+(``BENCH_sim.json`` from bench-smoke, ``BENCH_serve.json`` from
+serve-smoke): each gate invocation scopes the baseline to its own metric
+family with :func:`filter_baseline` (``--only-prefix`` / ``--skip-prefix``
+on the CLI), so a simulator run is never failed for "missing" serving
+metrics and vice versa.
 """
 
 from __future__ import annotations
@@ -132,6 +139,28 @@ def load_baseline(path: Union[str, Path]) -> BaselineFile:
             tolerance=entry.get("tolerance"),
         )
     return BaselineFile(default_tolerance=default_tolerance, metrics=metrics)
+
+
+def filter_baseline(
+    baseline: BaselineFile,
+    only_prefix: Optional[str] = None,
+    skip_prefix: Optional[str] = None,
+) -> BaselineFile:
+    """A view of *baseline* scoped to one metric family.
+
+    ``only_prefix`` keeps only metrics whose name starts with the prefix;
+    ``skip_prefix`` drops them.  Both may be given (``only`` applies
+    first).  Used by gate invocations that compare a bench record which by
+    design carries only a subset of the tracked metrics.
+    """
+    metrics = dict(baseline.metrics)
+    if only_prefix is not None:
+        metrics = {n: m for n, m in metrics.items() if n.startswith(only_prefix)}
+    if skip_prefix is not None:
+        metrics = {n: m for n, m in metrics.items() if not n.startswith(skip_prefix)}
+    return BaselineFile(
+        default_tolerance=baseline.default_tolerance, metrics=metrics
+    )
 
 
 def compare_to_baseline(

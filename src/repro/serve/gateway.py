@@ -1,0 +1,367 @@
+"""Asyncio micro-batching gateway over the vectorized inference backends.
+
+The bitpack backend evaluates 64 samples per machine word, but a serving
+workload arrives one operand at a time.  This module closes that gap with
+*micro-batching*: single-operand requests are queued, coalesced into one
+feature matrix, and flushed to a compile-once worker when either
+
+* the word is **full** (``max_batch`` requests, default 64 — one bitpack
+  lane per request), or
+* the **deadline** expires (``max_delay_ms`` after the request that opened
+  the word), whichever comes first.
+
+Every request gets its own :class:`asyncio.Future`; the batch reply is
+fanned back out in request order, so concurrent submitters always receive
+their own classification.  Admission is bounded (``queue_depth``): when the
+queue is full, :meth:`MicroBatchGateway.submit` fails fast with
+:class:`GatewayOverloaded` instead of letting latency grow without bound —
+the standard explicit-overload-rejection discipline for SLO-driven
+services.
+
+Backpressure shapes the batches.  The gateway dispatches at most as many
+micro-batches concurrently as the classifier has workers; while all workers
+are busy, the batching loop keeps the current word open, so occupancy rises
+exactly when the system is loaded — adaptive batching without a tuning
+loop.
+
+Shutdown is graceful: :meth:`MicroBatchGateway.stop` rejects new
+submissions, drains every queued request through the normal batch path,
+waits for in-flight replies and only then releases the classifier.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+import numpy as np
+
+from repro.sim.backends.bitpack import WORD_BITS
+
+from .worker import (
+    BatchReply,
+    InProcessClassifier,
+    ModelSpec,
+    ProcessPoolClassifier,
+)
+
+#: Flush-reason labels recorded on every dispatched micro-batch.
+FLUSH_FULL = "full"
+FLUSH_DEADLINE = "deadline"
+FLUSH_DRAIN = "drain"
+
+
+class GatewayOverloaded(RuntimeError):
+    """Raised by ``submit`` when the bounded request queue is full."""
+
+
+class GatewayClosed(RuntimeError):
+    """Raised by ``submit`` after ``stop`` has begun (or before ``start``)."""
+
+
+@dataclass
+class GatewayConfig:
+    """Tuning knobs of the micro-batching engine.
+
+    Attributes
+    ----------
+    max_batch:
+        Lanes per micro-batch; the default is one full bitpack word
+        (:data:`~repro.sim.backends.bitpack.WORD_BITS` = 64 lanes).
+    max_delay_ms:
+        Deadline from the request that *opens* a word to its flush.  The
+        latency cost of batching is bounded by this number; the throughput
+        win grows with it.  See the serving guide's tuning table.
+    queue_depth:
+        Bounded admission queue; beyond it, submissions are rejected with
+        :class:`GatewayOverloaded`.
+    workers:
+        ``0`` = in-process classification (default thread-pool executor);
+        ``N >= 1`` = a :class:`~repro.serve.worker.ProcessPoolClassifier`
+        with *N* compile-once worker processes.
+    """
+
+    max_batch: int = WORD_BITS
+    max_delay_ms: float = 2.0
+    queue_depth: int = 256
+    workers: int = 0
+
+    def __post_init__(self) -> None:
+        """Validate the knob ranges."""
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay_ms < 0:
+            raise ValueError(f"max_delay_ms must be >= 0, got {self.max_delay_ms}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+
+
+@dataclass
+class ServeResult:
+    """One request's classification plus its batch provenance.
+
+    ``model_latency_ps`` / ``model_energy_fj`` carry the timed engine's
+    per-sample simulated-hardware attribution when the model spec enabled
+    it (``None`` otherwise) — the service-level reply quotes the same
+    quantities the paper's latency/energy harnesses measure.
+    """
+
+    verdict: str
+    decision: int
+    batch_size: int
+    flush_reason: str
+    model_latency_ps: Optional[float] = None
+    model_energy_fj: Optional[float] = None
+
+
+@dataclass
+class GatewayStats:
+    """Monotonic counters the gateway keeps while serving.
+
+    ``batching_efficiency`` is mean dispatched occupancy over ``max_batch``
+    — 1.0 means every dispatched word was full.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    batches: int = 0
+    lanes: int = 0
+    full_flushes: int = 0
+    deadline_flushes: int = 0
+    drain_flushes: int = 0
+    max_batch: int = WORD_BITS
+
+    @property
+    def batching_efficiency(self) -> float:
+        """Mean lanes per dispatched micro-batch, as a fraction of a word."""
+        if self.batches == 0:
+            return 0.0
+        return self.lanes / (self.batches * self.max_batch)
+
+
+@dataclass
+class _Pending:
+    """A queued request: its operand and the future its reply resolves."""
+
+    features: np.ndarray
+    future: "asyncio.Future[ServeResult]" = field(repr=False)
+
+
+#: Queue sentinel that tells the batching loop to drain and exit.
+_SHUTDOWN = object()
+
+
+class MicroBatchGateway:
+    """The asyncio micro-batching engine fronting a compiled model.
+
+    Usage::
+
+        gateway = MicroBatchGateway(spec, GatewayConfig(max_delay_ms=2.0))
+        await gateway.start()
+        result = await gateway.submit([0, 1, 1, 0])
+        await gateway.stop()
+
+    ``submit`` may be called from any number of tasks concurrently; replies
+    are routed per request.  The classifier may also be injected (any
+    object with ``classify(features) -> BatchReply`` and ``close()``),
+    which is how the tests drive the batching logic with controllable
+    stubs.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[ModelSpec] = None,
+        config: Optional[GatewayConfig] = None,
+        classifier=None,
+    ) -> None:
+        if (spec is None) == (classifier is None):
+            raise ValueError("provide exactly one of spec or classifier")
+        self.config = config or GatewayConfig()
+        self._spec = spec
+        self._classifier = classifier
+        self._queue: Optional[asyncio.Queue] = None
+        self._batcher: Optional[asyncio.Task] = None
+        self._dispatches: Set[asyncio.Task] = set()
+        self._dispatch_slots: Optional[asyncio.Semaphore] = None
+        self._running = False
+        self._closing = False
+        self.stats = GatewayStats(max_batch=self.config.max_batch)
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> None:
+        """Compile the model (or pool) and start the batching loop."""
+        if self._running:
+            raise RuntimeError("gateway is already running")
+        loop = asyncio.get_running_loop()
+        if self._classifier is None:
+            if self.config.workers > 0:
+                self._classifier = await loop.run_in_executor(
+                    None,
+                    lambda: ProcessPoolClassifier(self._spec, self.config.workers),
+                )
+            else:
+                self._classifier = await loop.run_in_executor(
+                    None, InProcessClassifier, self._spec
+                )
+        self._queue = asyncio.Queue(maxsize=self.config.queue_depth)
+        self._dispatch_slots = asyncio.Semaphore(max(1, self.config.workers))
+        self._closing = False
+        self._running = True
+        self._batcher = asyncio.create_task(self._run())
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain queued work, then release the classifier.
+
+        New submissions are rejected immediately; every request admitted
+        before the call still receives its reply.
+        """
+        if not self._running:
+            return
+        self._closing = True
+        assert self._queue is not None
+        await self._queue.put(_SHUTDOWN)
+        assert self._batcher is not None
+        await self._batcher
+        if self._dispatches:
+            await asyncio.gather(*tuple(self._dispatches))
+        self._running = False
+        if self._classifier is not None:
+            self._classifier.close()
+
+    # ----------------------------------------------------------- submission
+    async def submit(self, features) -> ServeResult:
+        """Classify one operand; resolves when its micro-batch completes.
+
+        Raises
+        ------
+        GatewayOverloaded
+            When the bounded queue is full (explicit overload rejection).
+        GatewayClosed
+            Before :meth:`start` or after :meth:`stop` has begun.
+        """
+        if not self._running or self._closing or self._queue is None:
+            raise GatewayClosed("gateway is not accepting requests")
+        loop = asyncio.get_running_loop()
+        pending = _Pending(
+            features=np.asarray(features, dtype=np.uint8),
+            future=loop.create_future(),
+        )
+        try:
+            self._queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            self.stats.rejected += 1
+            raise GatewayOverloaded(
+                f"request queue is full ({self.config.queue_depth} pending)"
+            ) from None
+        self.stats.submitted += 1
+        return await pending.future
+
+    # ------------------------------------------------------------- batching
+    async def _run(self) -> None:
+        """The batching loop: collect words, flush on full or deadline."""
+        assert self._queue is not None and self._dispatch_slots is not None
+        loop = asyncio.get_running_loop()
+        draining = False
+        while not draining:
+            # A worker slot gates the *collection* of the next word, not
+            # just its dispatch: while every worker is busy the word stays
+            # open and keeps filling — adaptive batching under load.
+            await self._dispatch_slots.acquire()
+            first = await self._queue.get()
+            if first is _SHUTDOWN:
+                self._dispatch_slots.release()
+                break
+            batch: List[_Pending] = [first]
+            deadline = loop.time() + self.config.max_delay_ms / 1e3
+            flush_reason = FLUSH_FULL
+            while len(batch) < self.config.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    flush_reason = FLUSH_DEADLINE
+                    break
+                try:
+                    item = await asyncio.wait_for(self._queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    flush_reason = FLUSH_DEADLINE
+                    break
+                if item is _SHUTDOWN:
+                    flush_reason = FLUSH_DRAIN
+                    draining = True
+                    break
+                batch.append(item)
+            self._dispatch(batch, flush_reason)
+        # Serve any requests that raced their way in behind the sentinel.
+        leftovers: List[_Pending] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is not _SHUTDOWN:
+                leftovers.append(item)
+        for start in range(0, len(leftovers), self.config.max_batch):
+            await self._dispatch_slots.acquire()
+            self._dispatch(
+                leftovers[start: start + self.config.max_batch], FLUSH_DRAIN
+            )
+
+    def _dispatch(self, batch: List[_Pending], flush_reason: str) -> None:
+        """Hand one collected word to the classifier without blocking."""
+        self.stats.batches += 1
+        self.stats.lanes += len(batch)
+        if flush_reason == FLUSH_FULL:
+            self.stats.full_flushes += 1
+        elif flush_reason == FLUSH_DEADLINE:
+            self.stats.deadline_flushes += 1
+        else:
+            self.stats.drain_flushes += 1
+        task = asyncio.create_task(self._classify(batch, flush_reason))
+        self._dispatches.add(task)
+        task.add_done_callback(self._dispatches.discard)
+
+    async def _classify(self, batch: List[_Pending], flush_reason: str) -> None:
+        """Run one micro-batch in the executor and fan results back out."""
+        assert self._dispatch_slots is not None
+        loop = asyncio.get_running_loop()
+        features = np.stack([p.features for p in batch])
+        executor = getattr(self._classifier, "pool", None)
+        try:
+            if executor is not None:
+                from .worker import _classify_in_process
+
+                reply: BatchReply = await loop.run_in_executor(
+                    executor, _classify_in_process, features
+                )
+            else:
+                reply = await loop.run_in_executor(
+                    None, self._classifier.classify, features
+                )
+        except Exception as err:  # propagate the failure to every submitter
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(err)
+            return
+        finally:
+            self._dispatch_slots.release()
+        for index, pending in enumerate(batch):
+            if pending.future.done():
+                continue
+            pending.future.set_result(
+                ServeResult(
+                    verdict=reply.verdicts[index],
+                    decision=reply.decisions[index],
+                    batch_size=reply.samples,
+                    flush_reason=flush_reason,
+                    model_latency_ps=(
+                        reply.latency_ps[index] if reply.latency_ps else None
+                    ),
+                    model_energy_fj=(
+                        reply.energy_fj[index] if reply.energy_fj else None
+                    ),
+                )
+            )
+            self.stats.completed += 1

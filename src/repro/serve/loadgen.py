@@ -1,0 +1,252 @@
+"""Load generation and SLO reporting for the micro-batching gateway.
+
+Two arrival processes, the standard pair for latency-vs-throughput studies:
+
+**Open loop (Poisson)** — requests arrive on an exponential inter-arrival
+clock at ``rate_rps`` regardless of how the service is doing.  This is the
+honest model of independent users and the one that exposes queueing delay:
+if the service cannot keep up, latency grows (and the bounded queue starts
+rejecting) instead of the load politely slowing down.  Beware the
+*coordinated omission* trap open-loop avoids: latencies are measured from
+each request's scheduled arrival time, so a stalled service keeps accruing
+the delay of requests it should already have absorbed.
+
+**Closed loop** — ``concurrency`` virtual clients each keep exactly one
+request outstanding.  Throughput is then *demand-limited* by the clients:
+the measured rate is the service's sustainable capacity at that
+concurrency, which is what the ``serve-smoke`` CI gate tracks.
+
+Both report end-to-end latency through the same
+:func:`repro.analysis.latency.summarize_slo` percentile estimator the
+hardware harnesses use (p50/p95/p99/max), and both emit a
+``BENCH_serve.json`` record in the same ``{python, platform, metrics}``
+schema as the simulator and DSE baselines, so the existing regression gate
+(:mod:`repro.analysis.regression`) applies unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.analysis.latency import SloSummary, summarize_slo
+
+from .gateway import GatewayOverloaded, MicroBatchGateway, ServeResult
+
+#: Supported arrival processes.
+LOAD_MODES = ("open", "closed")
+
+
+@dataclass
+class LoadConfig:
+    """Shape of one load-generation run.
+
+    Attributes
+    ----------
+    mode:
+        ``"open"`` (Poisson arrivals at *rate_rps*) or ``"closed"``
+        (*concurrency* clients, one outstanding request each).
+    requests:
+        Total requests to issue.
+    rate_rps:
+        Open-loop offered rate (requests per second).
+    concurrency:
+        Closed-loop virtual-client count.
+    seed:
+        Seeds both the operand choice and the Poisson arrival clock, so a
+        run is reproducible end to end.
+    """
+
+    mode: str = "closed"
+    requests: int = 512
+    rate_rps: float = 1000.0
+    concurrency: int = 64
+    seed: int = 2021
+
+    def __post_init__(self) -> None:
+        """Validate the run shape."""
+        if self.mode not in LOAD_MODES:
+            raise ValueError(f"mode must be one of {LOAD_MODES}, got {self.mode!r}")
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.rate_rps <= 0:
+            raise ValueError(f"rate_rps must be > 0, got {self.rate_rps}")
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run measured.
+
+    ``latencies_s`` are end-to-end seconds (submit → reply, including queue
+    wait and batching delay); ``slo_ms`` is their millisecond percentile
+    summary.  ``decisions`` / ``verdicts`` are in *request index* order —
+    request ``k`` classified ``operands[k]`` — which is what the
+    determinism check compares against a direct batch pass.
+    """
+
+    mode: str
+    requests: int
+    completed: int
+    rejected: int
+    wall_clock_s: float
+    achieved_rps: float
+    offered_rps: Optional[float]
+    batches: int
+    batching_efficiency: float
+    slo_ms: SloSummary
+    latencies_s: List[float] = field(repr=False)
+    verdicts: List[str] = field(repr=False)
+    decisions: List[int] = field(repr=False)
+    request_indices: List[int] = field(repr=False)
+    model_latency_ps: Optional[SloSummary] = None
+
+    def metrics(self) -> Dict[str, float]:
+        """The flat metric dict for ``BENCH_serve.json`` (gate input)."""
+        metrics = {
+            "serve_throughput_rps": self.achieved_rps,
+            "serve_batching_efficiency": self.batching_efficiency,
+            "serve_requests": float(self.requests),
+            "serve_completed": float(self.completed),
+            "serve_rejected": float(self.rejected),
+            "serve_batches": float(self.batches),
+            "serve_latency_p50_ms": self.slo_ms.p50,
+            "serve_latency_p95_ms": self.slo_ms.p95,
+            "serve_latency_p99_ms": self.slo_ms.p99,
+            "serve_latency_max_ms": self.slo_ms.maximum,
+        }
+        if self.offered_rps is not None:
+            metrics["serve_offered_rps"] = self.offered_rps
+        return metrics
+
+    def write_bench_json(self, path: Union[str, Path]) -> None:
+        """Write the ``BENCH_serve.json`` record (sim/DSE baseline schema)."""
+        payload = {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "mode": self.mode,
+            "metrics": dict(sorted(self.metrics().items())),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    def summary_lines(self) -> List[str]:
+        """The human-readable SLO report (printed by ``serve_demo``)."""
+        slo = self.slo_ms
+        lines = [
+            f"Serving SLO report ({self.mode}-loop, {self.requests} requests)",
+            f"  achieved throughput : {self.achieved_rps:,.0f} req/s",
+        ]
+        if self.offered_rps is not None:
+            lines.append(f"  offered rate        : {self.offered_rps:,.0f} req/s")
+        lines.append(
+            f"  batching efficiency : {self.batching_efficiency:.2f} "
+            f"({self.batches} batches, {self.rejected} rejected)"
+        )
+        lines.append(
+            "  latency p50/p95/p99/max : "
+            f"{slo.p50:.2f} / {slo.p95:.2f} / {slo.p99:.2f} / "
+            f"{slo.maximum:.2f} ms"
+        )
+        if self.model_latency_ps is not None:
+            hw = self.model_latency_ps
+            lines.append(
+                "  model latency p50/p95/p99/max : "
+                f"{hw.p50:.0f} / {hw.p95:.0f} / {hw.p99:.0f} / "
+                f"{hw.maximum:.0f} ps (simulated hardware)"
+            )
+        return lines
+
+
+async def run_load(
+    gateway: MicroBatchGateway,
+    operands: np.ndarray,
+    config: Optional[LoadConfig] = None,
+) -> LoadReport:
+    """Drive *gateway* with *config*'s arrival process and measure SLOs.
+
+    Request ``k`` submits ``operands[k % len(operands)]``; per-request
+    latency is wall-clock submit→reply.  Open-loop latencies are measured
+    from each request's *scheduled* arrival (coordinated-omission safe);
+    rejected submissions count separately and never contribute latencies.
+    """
+    config = config or LoadConfig()
+    operands = np.asarray(operands, dtype=np.uint8)
+    if operands.ndim != 2 or operands.shape[0] == 0:
+        raise ValueError("operands must be a non-empty (n, num_features) matrix")
+    results: Dict[int, ServeResult] = {}
+    latencies: Dict[int, float] = {}
+    rejected = 0
+
+    async def issue(index: int, scheduled: Optional[float] = None) -> None:
+        """Submit request *index*, recording latency or a rejection."""
+        nonlocal rejected
+        start = time.perf_counter() if scheduled is None else scheduled
+        try:
+            result = await gateway.submit(operands[index % operands.shape[0]])
+        except GatewayOverloaded:
+            rejected += 1
+            return
+        latencies[index] = time.perf_counter() - start
+        results[index] = result
+
+    wall_start = time.perf_counter()
+    if config.mode == "open":
+        rng = np.random.default_rng(config.seed)
+        gaps = rng.exponential(1.0 / config.rate_rps, size=config.requests)
+        tasks = []
+        next_arrival = time.perf_counter()
+        for index in range(config.requests):
+            next_arrival += float(gaps[index])
+            delay = next_arrival - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(asyncio.create_task(issue(index, scheduled=next_arrival)))
+        await asyncio.gather(*tasks)
+    else:
+        counter = iter(range(config.requests))
+
+        async def client() -> None:
+            """One closed-loop virtual client: always one request in flight."""
+            for index in counter:
+                await issue(index)
+
+        await asyncio.gather(
+            *(client() for _ in range(min(config.concurrency, config.requests)))
+        )
+    wall_clock = time.perf_counter() - wall_start
+
+    completed = sorted(results)
+    latency_values = [latencies[k] for k in completed]
+    model_latencies = [
+        results[k].model_latency_ps
+        for k in completed
+        if results[k].model_latency_ps is not None
+    ]
+    stats = gateway.stats
+    return LoadReport(
+        mode=config.mode,
+        requests=config.requests,
+        completed=len(completed),
+        rejected=rejected,
+        wall_clock_s=wall_clock,
+        achieved_rps=len(completed) / wall_clock if wall_clock > 0 else 0.0,
+        offered_rps=config.rate_rps if config.mode == "open" else None,
+        batches=stats.batches,
+        batching_efficiency=stats.batching_efficiency,
+        slo_ms=summarize_slo(latency_values).scaled(1e3),
+        latencies_s=latency_values,
+        verdicts=[results[k].verdict for k in completed],
+        decisions=[results[k].decision for k in completed],
+        request_indices=completed,
+        model_latency_ps=(
+            summarize_slo(model_latencies) if model_latencies else None
+        ),
+    )

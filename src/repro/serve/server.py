@@ -1,0 +1,201 @@
+"""Minimal asyncio TCP front-end for the micro-batching gateway.
+
+The wire protocol is **JSON lines** — one request object per ``\\n``
+-terminated line, one reply object per line back, correlated by an
+optional client-chosen ``id``:
+
+Request::
+
+    {"id": 7, "features": [0, 1, 1, 0]}
+
+Reply::
+
+    {"id": 7, "verdict": "greater", "decision": 1,
+     "batch_size": 64, "flush": "full"}
+
+(plus ``"model_latency_ps"`` / ``"model_energy_fj"`` when the served model
+enables timed attribution).  Error replies carry an ``"error"`` field
+instead of a verdict: ``"overloaded"`` when the gateway's bounded queue
+rejected the request (the client should back off), or ``"bad-request: …"``
+for malformed lines.
+
+Lines are handled concurrently *per connection* — each line spawns a task
+and replies are serialized through a per-connection lock — so a single
+pipelined client can fill whole 64-lane words by itself.  Shutdown is
+graceful: :meth:`InferenceServer.stop` stops accepting connections, lets
+every in-flight line finish through the gateway's drain path, then closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Set
+
+from .gateway import GatewayClosed, GatewayOverloaded, MicroBatchGateway, ServeResult
+
+
+def _encode_reply(request_id, result: ServeResult) -> bytes:
+    """Serialize one successful reply line."""
+    payload = {
+        "id": request_id,
+        "verdict": result.verdict,
+        "decision": result.decision,
+        "batch_size": result.batch_size,
+        "flush": result.flush_reason,
+    }
+    if result.model_latency_ps is not None:
+        payload["model_latency_ps"] = result.model_latency_ps
+    if result.model_energy_fj is not None:
+        payload["model_energy_fj"] = result.model_energy_fj
+    return (json.dumps(payload) + "\n").encode()
+
+
+def _encode_error(request_id, message: str) -> bytes:
+    """Serialize one error reply line."""
+    return (json.dumps({"id": request_id, "error": message}) + "\n").encode()
+
+
+class InferenceServer:
+    """A JSON-lines TCP listener feeding a :class:`MicroBatchGateway`.
+
+    The server owns only the listener and the per-connection tasks; the
+    gateway's lifecycle (``start``/``stop``) stays with the caller, so one
+    gateway can back several front-ends.
+
+    Parameters
+    ----------
+    gateway:
+        A started gateway requests are submitted to.
+    host / port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start` — the tests do).
+    """
+
+    def __init__(
+        self,
+        gateway: MicroBatchGateway,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.gateway = gateway
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[asyncio.Task] = set()
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (valid after :meth:`start`)."""
+        assert self._server is not None and self._server.sockets
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind the listener and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("server is already running")
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self._requested_port
+        )
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight lines, close."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        if self._connections:
+            await asyncio.gather(
+                *tuple(self._connections), return_exceptions=True
+            )
+        self._server = None
+
+    # ---------------------------------------------------------- connection
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Track one client connection for the drain path."""
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        finally:
+            self._connections.discard(task)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Read request lines, spawn per-line handlers, close on EOF."""
+        write_lock = asyncio.Lock()
+        lines: Set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                task = asyncio.create_task(
+                    self._handle_line(line, writer, write_lock)
+                )
+                lines.add(task)
+                task.add_done_callback(lines.discard)
+            if lines:
+                await asyncio.gather(*tuple(lines), return_exceptions=True)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        """Parse one request line, submit it, write exactly one reply line."""
+        request_id = None
+        try:
+            request = json.loads(line)
+            request_id = request.get("id") if isinstance(request, dict) else None
+            if not isinstance(request, dict) or "features" not in request:
+                raise ValueError("request must be an object with a 'features' list")
+            features = request["features"]
+            if not isinstance(features, list) or not all(
+                isinstance(bit, int) and bit in (0, 1) for bit in features
+            ):
+                raise ValueError("'features' must be a list of 0/1 integers")
+        except (json.JSONDecodeError, ValueError) as err:
+            await self._write(writer, write_lock,
+                              _encode_error(request_id, f"bad-request: {err}"))
+            return
+        try:
+            result = await self.gateway.submit(features)
+        except GatewayOverloaded:
+            await self._write(writer, write_lock,
+                              _encode_error(request_id, "overloaded"))
+            return
+        except GatewayClosed:
+            await self._write(writer, write_lock,
+                              _encode_error(request_id, "shutting-down"))
+            return
+        except Exception as err:  # classification failure: reply, don't drop
+            await self._write(writer, write_lock,
+                              _encode_error(request_id, f"internal: {err}"))
+            return
+        await self._write(writer, write_lock, _encode_reply(request_id, result))
+
+    @staticmethod
+    async def _write(
+        writer: asyncio.StreamWriter, write_lock: asyncio.Lock, payload: bytes
+    ) -> None:
+        """Write one reply line atomically with respect to other handlers."""
+        async with write_lock:
+            if writer.is_closing():
+                return
+            writer.write(payload)
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass

@@ -1,0 +1,296 @@
+"""Compile-once inference workers behind the micro-batching gateway.
+
+A worker owns everything that is expensive to build and free to reuse: the
+dual-rail datapath netlist, the levelized backend program, the bound
+exclude-rail constants (via
+:class:`~repro.sim.backends.session.BackendSession`) and, when latency
+attribution is enabled, the technology-mapped design the timed engine runs
+on.  The gateway hands a worker nothing but a ``(batch, num_features)``
+feature matrix per micro-batch and gets verdicts back — the contract is a
+plain function of small arrays, so it crosses process boundaries cheaply.
+
+Two deployment shapes share the same :class:`InferenceWorker`:
+
+* **in-process** — :class:`InProcessClassifier` holds the worker directly
+  and the gateway runs ``classify`` on the event loop's default thread-pool
+  executor (no pickling, no process startup; the right default for tests
+  and single-machine serving);
+* **multi-process** — :class:`ProcessPoolClassifier` ships a picklable
+  :class:`ModelSpec` to each pool process once (the pool *initializer*
+  compiles the model there) and afterwards only feature matrices and
+  verdict lists cross the boundary.
+
+Determinism: a worker built from ``ModelSpec.from_workload(w)`` evaluates
+the exact netlist ``DualRailDatapath(w.config)`` builds, through the same
+backend entry points as
+:func:`repro.analysis.measure.batch_functional_pass` — so gateway
+classifications are bit-identical to a direct batch pass over the same
+operands (the serve test-suite and the ``serve-smoke`` CI job assert
+this).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.measure import (
+    Workload,
+    build_mapped_dual_rail,
+    decode_verdict_planes,
+    resolve_library,
+    spacer_assignments,
+    verdict_signal,
+)
+from repro.circuits.library import CellLibrary
+from repro.datapath.datapath import (
+    DatapathConfig,
+    DualRailDatapath,
+    feature_input_name,
+)
+from repro.sim.backends import BackendSession, get_backend
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Everything a worker process needs to compile the served model.
+
+    Picklable by construction (dataclass config, a NumPy exclude matrix and
+    plain scalars), so the same spec describes an in-process worker and a
+    process-pool initializer argument.
+
+    Attributes
+    ----------
+    config:
+        Datapath shape (features, clauses per polarity, latches).
+    exclude:
+        The trained clause-composition matrix, hardware ordering (see
+        :meth:`repro.datapath.datapath.DualRailDatapath.operand_assignments`).
+    library:
+        Cell library the backend is instantiated with (functional results
+        do not depend on it; delays and energies do).
+    backend:
+        Vectorized backend name, ``"batch"`` or ``"bitpack"``.
+    vdd:
+        Supply point for delay/energy attribution (``None`` = nominal).
+    attribution:
+        When ``True`` the worker maps the design once and runs every
+        micro-batch through the timed engine, attaching per-request
+        simulated-hardware latency (ps) and switching energy (fJ).
+    """
+
+    config: DatapathConfig
+    exclude: np.ndarray
+    library: Optional[CellLibrary] = None
+    backend: str = "bitpack"
+    vdd: Optional[float] = None
+    attribution: bool = False
+
+    @classmethod
+    def from_workload(
+        cls,
+        workload: Workload,
+        library: Optional[CellLibrary] = None,
+        backend: str = "bitpack",
+        vdd: Optional[float] = None,
+        attribution: bool = False,
+    ) -> "ModelSpec":
+        """Spec for serving *workload*'s trained clause configuration."""
+        return cls(
+            config=workload.config,
+            exclude=np.asarray(workload.exclude),
+            library=library,
+            backend=backend,
+            vdd=vdd,
+            attribution=attribution,
+        )
+
+
+@dataclass
+class BatchReply:
+    """One micro-batch's classifications, in request order.
+
+    ``latency_ps`` / ``energy_fj`` are per-sample simulated-hardware
+    quantities from the timed engine, present only when the spec enabled
+    attribution.
+    """
+
+    verdicts: List[str]
+    decisions: List[int]
+    latency_ps: Optional[List[float]] = None
+    energy_fj: Optional[List[float]] = None
+
+    @property
+    def samples(self) -> int:
+        """Number of classified requests in the reply."""
+        return len(self.verdicts)
+
+
+class InferenceWorker:
+    """A served model, compiled once and reusable across micro-batches.
+
+    Construction does all the heavy lifting — datapath build (plus
+    synthesis mapping when attribution is on), backend levelization, and
+    constant-plane binding of the exclude rails — so :meth:`classify` costs
+    only the per-call feature planes and the gate evaluation itself.
+    """
+
+    def __init__(self, spec: ModelSpec) -> None:
+        self.spec = spec
+        library = resolve_library(spec.library)
+        if spec.attribution:
+            mapped = build_mapped_dual_rail(spec.config, library, vdd=spec.vdd)
+            self.datapath = mapped.datapath
+            self.circuit = mapped.circuit
+        else:
+            self.datapath = DualRailDatapath(spec.config)
+            self.circuit = self.datapath.circuit
+        engine = get_backend(spec.backend, self.circuit.netlist, library, vdd=spec.vdd)
+        # Bind every non-feature input rail as a session constant: the
+        # exclude configuration never changes between requests, so its
+        # planes are broadcast once per batch size instead of per call.
+        num_features = spec.config.num_features
+        reference = self.datapath.operand_assignments(
+            np.zeros(num_features, dtype=np.int8), spec.exclude
+        )
+        feature_names = {feature_input_name(m) for m in range(num_features)}
+        by_name = {sig.name: sig for sig in self.circuit.inputs}
+        self._feature_rails = [
+            (by_name[feature_input_name(m)].pos, by_name[feature_input_name(m)].neg)
+            for m in range(num_features)
+        ]
+        constants = {}
+        for sig in self.circuit.inputs:
+            if sig.name not in feature_names:
+                bit = int(reference[sig.name])
+                constants[sig.pos] = bit
+                constants[sig.neg] = 1 - bit
+        self.session = BackendSession(engine, constants)
+        self._verdict_signal = verdict_signal(self.circuit)
+        self._spacer = spacer_assignments(self.circuit)
+        self._output_rails = self.circuit.all_output_rails()
+
+    def _feature_planes(self, features: np.ndarray) -> dict:
+        """Per-rail input planes for a ``(batch, num_features)`` matrix."""
+        features = np.asarray(features, dtype=np.uint8)
+        if features.ndim != 2 or features.shape[1] != self.spec.config.num_features:
+            raise ValueError(
+                f"expected a (batch, {self.spec.config.num_features}) feature "
+                f"matrix, got shape {features.shape}"
+            )
+        planes = {}
+        for m, (pos, neg) in enumerate(self._feature_rails):
+            bits = features[:, m]
+            planes[pos] = bits
+            planes[neg] = (1 - bits).astype(np.uint8)
+        return planes
+
+    def classify(self, features: np.ndarray) -> BatchReply:
+        """Classify one micro-batch; request order is preserved.
+
+        Functional mode runs a single ``run_arrays`` pass; attribution mode
+        runs the timed engine instead, which additionally yields each
+        request's simulated spacer→valid hardware latency and switching
+        energy.
+        """
+        planes = self._feature_planes(features)
+        if self.spec.attribution:
+            timed = self.session.run_timed(planes, self._spacer)
+            verdicts = decode_verdict_planes(timed, self._verdict_signal)
+            latency = timed.max_arrival(self._output_rails, "valid")
+            return BatchReply(
+                verdicts=verdicts,
+                decisions=[
+                    DualRailDatapath.decision_from_verdict(v) for v in verdicts
+                ],
+                latency_ps=[float(t) for t in latency],
+                energy_fj=[float(e) for e in timed.energy_per_sample_fj],
+            )
+        result = self.session.run_arrays(planes)
+        verdicts = decode_verdict_planes(result, self._verdict_signal)
+        return BatchReply(
+            verdicts=verdicts,
+            decisions=[DualRailDatapath.decision_from_verdict(v) for v in verdicts],
+        )
+
+
+class InProcessClassifier:
+    """The gateway's default execution shape: one worker, this process.
+
+    ``classify`` is plain synchronous code; the gateway moves it off the
+    event loop onto the default thread-pool executor, so the batching loop
+    keeps collecting the next word while the current one evaluates.
+    """
+
+    def __init__(self, spec: ModelSpec) -> None:
+        self.worker = InferenceWorker(spec)
+
+    def classify(self, features: np.ndarray) -> BatchReply:
+        """Classify a micro-batch on the caller's thread."""
+        return self.worker.classify(features)
+
+    def close(self) -> None:
+        """Nothing to release for the in-process shape."""
+
+
+#: Per-process worker slot of :class:`ProcessPoolClassifier` (set by the
+#: pool initializer, used by the pure-function task entry point).
+_PROCESS_WORKER: Optional[InferenceWorker] = None
+
+
+def _init_process_worker(spec: ModelSpec) -> None:
+    """Pool initializer: compile the model once in this worker process."""
+    global _PROCESS_WORKER
+    _PROCESS_WORKER = InferenceWorker(spec)
+
+
+def _classify_in_process(features: np.ndarray) -> BatchReply:
+    """Pool task entry point: classify against the process-local worker."""
+    assert _PROCESS_WORKER is not None, "pool initializer did not run"
+    return _PROCESS_WORKER.classify(features)
+
+
+@dataclass
+class ProcessPoolClassifier:
+    """Micro-batch execution over a pool of compile-once worker processes.
+
+    Each pool process compiles the model exactly once (in the pool
+    initializer); afterwards only ``(batch, num_features)`` matrices and
+    :class:`BatchReply` lists cross the process boundary.  The gateway
+    dispatches at most ``workers`` micro-batches concurrently, so a full
+    pool applies natural backpressure to the batching loop (which responds
+    by collecting larger words).
+    """
+
+    spec: ModelSpec
+    workers: int = 2
+    _pool: Optional[ProcessPoolExecutor] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        """Start the pool; workers compile lazily on their first task."""
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_process_worker,
+            initargs=(self.spec,),
+        )
+
+    @property
+    def pool(self) -> ProcessPoolExecutor:
+        """The live executor (for the gateway's ``run_in_executor``)."""
+        assert self._pool is not None
+        return self._pool
+
+    def classify(self, features: np.ndarray) -> BatchReply:
+        """Classify a micro-batch in some pool process (blocking)."""
+        return self.pool.submit(_classify_in_process, features).result()
+
+    def close(self) -> None:
+        """Shut the pool down, waiting for in-flight batches."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

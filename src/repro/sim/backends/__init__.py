@@ -32,11 +32,13 @@ from .base import (
 from .batch import ArrayBatchResult, BatchBackend
 from .bitpack import BitpackBackend, PackedBatchResult
 from .event import EventBackend
+from .session import BackendSession
 from .timed import TimedBatchResult, TimedProgram
 
 __all__ = [
     "ArrayBatchResult",
     "BackendError",
+    "BackendSession",
     "BatchBackend",
     "BatchResult",
     "BitpackBackend",

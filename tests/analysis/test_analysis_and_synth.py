@@ -16,6 +16,7 @@ from repro.analysis import (
     mean_latency_by_depth,
     operand_distributions,
     summarize_latencies,
+    summarize_slo,
     synchronous_throughput,
     throughput_from_period,
 )
@@ -46,6 +47,30 @@ def test_latency_summary_statistics():
     assert summary.early_propagation_gain == pytest.approx(400.0 / 250.0)
     with pytest.raises(ValueError):
         summarize_latencies([])
+
+
+def test_slo_summary_percentiles_and_scaling():
+    values = [float(v) for v in range(1, 101)]  # 1..100
+    slo = summarize_slo(values)
+    assert slo.samples == 100
+    assert slo.mean == pytest.approx(50.5)
+    assert slo.minimum == 1.0 and slo.maximum == 100.0
+    # Rank-order estimator on 1..100: pXX lands on an actual sample.
+    assert slo.p50 in (50.0, 51.0)
+    assert slo.p95 in (95.0, 96.0)
+    assert slo.p99 in (99.0, 100.0)
+    ms = slo.scaled(1e3)
+    assert ms.samples == 100
+    assert ms.p95 == pytest.approx(slo.p95 * 1e3)
+    assert ms.maximum == pytest.approx(1e5)
+    with pytest.raises(ValueError):
+        summarize_slo([])
+
+
+def test_slo_summary_single_sample_is_degenerate():
+    slo = summarize_slo([42.0])
+    assert (slo.p50, slo.p95, slo.p99) == (42.0, 42.0, 42.0)
+    assert slo.minimum == slo.maximum == slo.mean == 42.0
 
 
 def test_throughput_computations():

@@ -11,6 +11,7 @@ from repro.analysis.regression import (
     BaselineFile,
     BaselineMetric,
     compare_to_baseline,
+    filter_baseline,
     load_baseline,
     regressions,
 )
@@ -93,6 +94,60 @@ def test_load_baseline_parses_the_committed_schema(tmp_path):
         Path(__file__).resolve().parents[2] / "benchmarks" / "baseline.json"
     )
     assert "batch_vs_event_speedup" in committed.metrics
+
+
+def test_filter_baseline_scopes_one_metric_family():
+    base = baseline(
+        serve_tput=BaselineMetric("serve_tput", 100.0),
+        serve_eff=BaselineMetric("serve_eff", 0.8),
+        sim_tput=BaselineMetric("sim_tput", 50.0),
+    )
+    only = filter_baseline(base, only_prefix="serve_")
+    assert set(only.metrics) == {"serve_tput", "serve_eff"}
+    skipped = filter_baseline(base, skip_prefix="serve_")
+    assert set(skipped.metrics) == {"sim_tput"}
+    assert skipped.default_tolerance == base.default_tolerance
+    # A serve-only bench record passes the serve-scoped gate even though it
+    # misses every simulator metric (and vice versa).
+    serve_run = {"serve_tput": 100.0, "serve_eff": 0.8}
+    assert not regressions(compare_to_baseline(serve_run, only))
+    assert regressions(compare_to_baseline(serve_run, base))  # unscoped fails
+    assert not regressions(compare_to_baseline({"sim_tput": 50.0}, skipped))
+
+
+def test_check_regression_cli_prefix_flags(tmp_path):
+    """The gate CLI scopes comparisons and preserves out-of-scope updates."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "check_regression",
+        Path(__file__).resolve().parents[2] / "benchmarks" / "check_regression.py",
+    )
+    cli = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(cli)
+
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps({
+        "default_tolerance": 0.3,
+        "metrics": {
+            "serve_throughput_rps": {"value": 100.0, "tolerance": 0.8},
+            "sim_tput": {"value": 50.0},
+        },
+    }))
+    bench_path = tmp_path / "BENCH_serve.json"
+    bench_path.write_text(json.dumps({
+        "metrics": {"serve_throughput_rps": 90.0}
+    }))
+
+    argv = ["--bench", str(bench_path), "--baseline", str(baseline_path)]
+    assert cli.main(argv) == 1                      # unscoped: sim_tput missing
+    assert cli.main(argv + ["--only-prefix", "serve_"]) == 0
+    # --update scoped to serve_ must leave sim_tput untouched.
+    assert cli.main(argv + ["--only-prefix", "serve_", "--update"]) == 0
+    updated = json.loads(baseline_path.read_text())
+    assert updated["metrics"]["sim_tput"]["value"] == 50.0
+    assert updated["metrics"]["serve_throughput_rps"]["value"] == 90.0
+    assert updated["metrics"]["serve_throughput_rps"]["tolerance"] == 0.8
 
 
 def test_comparison_describe_lines_are_informative():

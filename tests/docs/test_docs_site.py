@@ -42,7 +42,7 @@ def doc_files():
 def test_docs_tree_exists_and_is_nontrivial():
     assert MKDOCS_YML.is_file()
     pages = doc_files()
-    assert len(pages) >= 17  # index + 3 guides + 10 architecture + 4 API pages
+    assert len(pages) >= 20  # index + 4 guides + 11 architecture + 5 API pages
     for page in pages:
         assert page.read_text().lstrip().startswith("#"), f"{page} has no title"
 
@@ -50,7 +50,7 @@ def test_docs_tree_exists_and_is_nontrivial():
 def test_every_nav_entry_resolves_to_a_real_page():
     pages = nav_pages()
     assert "index.md" in pages
-    assert len(pages) >= 17
+    assert len(pages) >= 20
     for rel in pages:
         assert (DOCS / rel).is_file(), f"mkdocs.yml nav references missing {rel}"
 
@@ -103,5 +103,10 @@ def test_autodoc_covers_the_docstring_enforced_surface():
         "repro.explore.evaluate",
         "repro.explore.store",
         "repro.explore.pareto",
+        "repro.sim.backends.session",
+        "repro.serve.gateway",
+        "repro.serve.worker",
+        "repro.serve.server",
+        "repro.serve.loadgen",
     ):
         assert expected in rendered, f"{expected} missing from the API reference"

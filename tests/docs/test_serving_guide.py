@@ -1,0 +1,100 @@
+"""Pin the serving guide against the code it documents.
+
+Dependency-free (no mkdocs, no asyncio servers): the checks parse the
+guide and assert that every documented CLI flag is a real argparse option
+of ``examples/serve_demo.py``, that the pinned SLO-report excerpts are
+what the code actually prints, that the documented tuning knobs exist on
+``GatewayConfig``, and that the guide is cross-linked from the pages that
+promise it.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+GUIDE = REPO / "docs" / "guides" / "serving.md"
+DEMO = REPO / "examples" / "serve_demo.py"
+
+_COMMAND = re.compile(r"^(?:PYTHONPATH=\S+\s+)?python (\S+\.py)(.*)$")
+_FLAG = re.compile(r"(--[a-z][a-z0-9-]*)")
+
+
+def guide_commands():
+    commands = []
+    for block in re.findall(r"```bash\n(.*?)```", GUIDE.read_text(), re.DOTALL):
+        for line in block.strip().replace("\\\n", " ").splitlines():
+            match = _COMMAND.match(line.strip())
+            if match:
+                commands.append((match.group(1), match.group(2)))
+    return commands
+
+
+def test_guide_exists_and_covers_the_contract():
+    text = GUIDE.read_text()
+    for topic in (
+        "micro-batching",
+        "deadline",
+        "Open loop vs closed loop",
+        "coordinated omission",
+        "Overload",
+        "bit-identical",
+    ):
+        assert topic in text, f"serving guide does not cover {topic!r}"
+
+
+def test_every_documented_command_and_flag_is_real():
+    commands = guide_commands()
+    assert len(commands) >= 2, "guide lost its runnable commands"
+    for target, args in commands:
+        script = REPO / target
+        assert script.is_file(), f"guide references missing {target}"
+        source = script.read_text()
+        for flag in _FLAG.findall(args):
+            assert f'"{flag}"' in source, f"{target} has no argparse flag {flag}"
+
+
+def test_slo_report_excerpts_match_the_code():
+    """The pinned report lines are printed verbatim by loadgen/serve_demo."""
+    text = GUIDE.read_text()
+    loadgen = (REPO / "src" / "repro" / "serve" / "loadgen.py").read_text()
+    for excerpt in (
+        "Serving SLO report",
+        "achieved throughput",
+        "batching efficiency",
+        "latency p50/p95/p99/max",
+    ):
+        assert excerpt in text, f"guide lost the excerpt {excerpt!r}"
+        assert excerpt in loadgen, f"loadgen no longer prints {excerpt!r}"
+    assert "determinism         : OK" in text
+    assert "determinism         : OK" in DEMO.read_text()
+
+
+def test_documented_tuning_knobs_exist_on_gateway_config():
+    gateway = (REPO / "src" / "repro" / "serve" / "gateway.py").read_text()
+    text = GUIDE.read_text()
+    for knob in ("max_batch", "max_delay_ms", "queue_depth", "workers"):
+        assert f"`{knob}`" in text, f"guide lost the tuning knob {knob}"
+        assert f"{knob}:" in gateway, f"GatewayConfig lost the knob {knob}"
+
+
+def test_wire_protocol_excerpt_matches_the_server():
+    """The documented reply fields are the ones the server encodes."""
+    server = (REPO / "src" / "repro" / "serve" / "server.py").read_text()
+    text = GUIDE.read_text()
+    for key in ('"verdict"', '"decision"', '"batch_size"', '"flush"'):
+        assert key in text, f"guide lost the reply field {key}"
+        assert key.strip('"') in server
+    assert '"error": "overloaded"' in text
+    assert '"overloaded"' in server
+
+
+def test_serving_guide_is_cross_linked():
+    assert "serving.md" in (REPO / "docs" / "index.md").read_text()
+    assert (
+        "serving.md" in (REPO / "docs" / "guides" / "choosing-a-backend.md").read_text()
+    )
+    assert "serving.md" in (REPO / "docs" / "architecture" / "serve.md").read_text()
+    assert "serve.md" in GUIDE.read_text()
+    assert "serving.md" in (REPO / "mkdocs.yml").read_text()

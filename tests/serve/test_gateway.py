@@ -1,0 +1,257 @@
+"""Behavioural tests for the micro-batching gateway.
+
+These drive :class:`repro.serve.MicroBatchGateway` with controllable stub
+classifiers (no circuits compiled), pinning the batching contract:
+
+* a full word flushes immediately (``flush == "full"``);
+* an under-full word flushes at the deadline, ragged (``"deadline"``);
+* concurrent submitters each receive *their own* classification;
+* the bounded queue rejects with :class:`GatewayOverloaded` when full;
+* ``stop`` drains every admitted request before releasing the classifier;
+* a classifier failure propagates to every submitter in the batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    FLUSH_DEADLINE,
+    FLUSH_DRAIN,
+    FLUSH_FULL,
+    GatewayClosed,
+    GatewayConfig,
+    GatewayOverloaded,
+    MicroBatchGateway,
+)
+from repro.serve.worker import BatchReply
+
+
+class EchoClassifier:
+    """Replies with each operand's first feature bit; records batch shapes."""
+
+    def __init__(self, delay_s: float = 0.0):
+        self.delay_s = delay_s
+        self.batch_sizes = []
+        self.closed = False
+        self._lock = threading.Lock()
+
+    def classify(self, features: np.ndarray) -> BatchReply:
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        with self._lock:
+            self.batch_sizes.append(features.shape[0])
+        bits = [int(row[0]) for row in features]
+        return BatchReply(
+            verdicts=["greater" if b else "less" for b in bits],
+            decisions=bits,
+        )
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class FailingClassifier:
+    """Always raises — for error-propagation tests."""
+
+    def classify(self, features):
+        raise RuntimeError("backend exploded")
+
+    def close(self) -> None:
+        pass
+
+
+def run(coro):
+    """Run one async test body to completion."""
+    return asyncio.run(coro)
+
+
+def test_full_word_flushes_immediately():
+    """max_batch concurrent submissions dispatch as one full-word batch."""
+
+    async def body():
+        stub = EchoClassifier()
+        gw = MicroBatchGateway(
+            classifier=stub,
+            config=GatewayConfig(max_batch=4, max_delay_ms=10_000.0),
+        )
+        await gw.start()
+        results = await asyncio.gather(*(gw.submit([i % 2, 0]) for i in range(4)))
+        await gw.stop()
+        return stub, results
+
+    stub, results = run(body())
+    assert stub.batch_sizes == [4]
+    assert [r.flush_reason for r in results] == [FLUSH_FULL] * 4
+    assert [r.batch_size for r in results] == [4] * 4
+
+
+def test_deadline_flushes_ragged_word():
+    """An under-full word flushes at the deadline with its ragged size."""
+
+    async def body():
+        stub = EchoClassifier()
+        gw = MicroBatchGateway(
+            classifier=stub,
+            config=GatewayConfig(max_batch=64, max_delay_ms=30.0),
+        )
+        await gw.start()
+        results = await asyncio.gather(*(gw.submit([1, 0]) for _ in range(3)))
+        await gw.stop()
+        return stub, results
+
+    stub, results = run(body())
+    assert stub.batch_sizes == [3]
+    assert [r.flush_reason for r in results] == [FLUSH_DEADLINE] * 3
+    assert all(r.batch_size == 3 for r in results)
+
+
+def test_concurrent_submitters_get_their_own_replies():
+    """Replies are routed per request, not per batch position."""
+
+    async def body():
+        stub = EchoClassifier()
+        gw = MicroBatchGateway(
+            classifier=stub,
+            config=GatewayConfig(max_batch=8, max_delay_ms=20.0),
+        )
+        await gw.start()
+
+        async def one(bit):
+            result = await gw.submit([bit, 1])
+            return bit, result.decision
+
+        pairs = await asyncio.gather(*(one(k % 2) for k in range(24)))
+        await gw.stop()
+        return pairs
+
+    for bit, decision in run(body()):
+        assert decision == bit
+
+
+def test_bounded_queue_rejects_overload():
+    """When the queue is full, submit fails fast with GatewayOverloaded."""
+
+    async def body():
+        stub = EchoClassifier(delay_s=0.2)
+        gw = MicroBatchGateway(
+            classifier=stub,
+            config=GatewayConfig(max_batch=1, max_delay_ms=0.0, queue_depth=2),
+        )
+        await gw.start()
+        first = asyncio.ensure_future(gw.submit([1]))
+        await asyncio.sleep(0.05)  # let the batcher pull it and block in classify
+        backlog = [asyncio.ensure_future(gw.submit([0])) for _ in range(2)]
+        await asyncio.sleep(0)  # queue now holds queue_depth pending requests
+        with pytest.raises(GatewayOverloaded):
+            await gw.submit([0])
+        results = await asyncio.gather(first, *backlog)
+        await gw.stop()
+        return gw, results
+
+    gw, results = run(body())
+    assert gw.stats.rejected == 1
+    assert gw.stats.completed == 3
+    assert [r.decision for r in results] == [1, 0, 0]
+
+
+def test_stop_drains_admitted_requests():
+    """Every request admitted before stop() still gets its reply."""
+
+    async def body():
+        stub = EchoClassifier(delay_s=0.05)
+        gw = MicroBatchGateway(
+            classifier=stub,
+            config=GatewayConfig(max_batch=4, max_delay_ms=10_000.0),
+        )
+        await gw.start()
+        # 6 requests: one full word dispatches, 2 remain queued behind the
+        # busy worker slot when stop() lands — they must drain, not hang.
+        pending = [asyncio.ensure_future(gw.submit([1, 0])) for _ in range(6)]
+        await asyncio.sleep(0.02)
+        await gw.stop()
+        results = await asyncio.gather(*pending)
+        with pytest.raises(GatewayClosed):
+            await gw.submit([0, 0])
+        return stub, gw, results
+
+    stub, gw, results = run(body())
+    assert stub.closed
+    assert len(results) == 6
+    assert gw.stats.completed == 6
+    assert sorted(stub.batch_sizes) == [2, 4]
+    assert {r.flush_reason for r in results} == {FLUSH_FULL, FLUSH_DRAIN}
+
+
+def test_classifier_failure_propagates_to_all_submitters():
+    """A failing batch rejects every future in it with the original error."""
+
+    async def body():
+        gw = MicroBatchGateway(
+            classifier=FailingClassifier(),
+            config=GatewayConfig(max_batch=2, max_delay_ms=10_000.0),
+        )
+        await gw.start()
+        results = await asyncio.gather(
+            gw.submit([1]), gw.submit([0]), return_exceptions=True
+        )
+        await gw.stop()
+        return results
+
+    results = run(body())
+    assert len(results) == 2
+    assert all(isinstance(r, RuntimeError) for r in results)
+    assert all("backend exploded" in str(r) for r in results)
+
+
+def test_submit_before_start_raises_closed():
+    """A gateway that never started refuses submissions."""
+
+    async def body():
+        gw = MicroBatchGateway(classifier=EchoClassifier())
+        with pytest.raises(GatewayClosed):
+            await gw.submit([1])
+
+    run(body())
+
+
+def test_config_validation_and_constructor_contract():
+    """Knob ranges and the spec-xor-classifier constructor rule."""
+    with pytest.raises(ValueError, match="max_batch"):
+        GatewayConfig(max_batch=0)
+    with pytest.raises(ValueError, match="queue_depth"):
+        GatewayConfig(queue_depth=0)
+    with pytest.raises(ValueError, match="exactly one"):
+        MicroBatchGateway()
+    with pytest.raises(ValueError, match="exactly one"):
+        MicroBatchGateway(spec=object(), classifier=EchoClassifier())
+
+
+def test_stats_track_flush_reasons_and_efficiency():
+    """Counters add up and batching_efficiency is lanes over capacity."""
+
+    async def body():
+        stub = EchoClassifier()
+        gw = MicroBatchGateway(
+            classifier=stub,
+            config=GatewayConfig(max_batch=4, max_delay_ms=25.0),
+        )
+        await gw.start()
+        await asyncio.gather(*(gw.submit([1]) for _ in range(4)))  # full
+        await asyncio.gather(*(gw.submit([0]) for _ in range(2)))  # deadline
+        await gw.stop()
+        return gw
+
+    gw = run(body())
+    assert gw.stats.submitted == 6
+    assert gw.stats.completed == 6
+    assert gw.stats.batches == 2
+    assert gw.stats.full_flushes == 1
+    assert gw.stats.deadline_flushes == 1
+    assert gw.stats.lanes == 6
+    assert gw.stats.batching_efficiency == pytest.approx(6 / 8)

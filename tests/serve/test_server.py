@@ -1,0 +1,164 @@
+"""Round-trip tests for the JSON-lines TCP front-end.
+
+A real client connects over a loopback socket (port 0 → ephemeral), pins
+the wire protocol: reply correlation by ``id``, batch provenance fields,
+``bad-request`` / ``overloaded`` / ``shutting-down`` error replies, and
+pipelined lines from one connection filling a shared word.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.serve import GatewayConfig, InferenceServer, MicroBatchGateway
+from repro.serve.worker import BatchReply
+
+
+class EchoClassifier:
+    """Replies with each operand's first feature bit."""
+
+    def __init__(self, delay_s: float = 0.0):
+        self.delay_s = delay_s
+
+    def classify(self, features):
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        bits = [int(row[0]) for row in features]
+        return BatchReply(
+            verdicts=["greater" if b else "less" for b in bits],
+            decisions=bits,
+        )
+
+    def close(self) -> None:
+        pass
+
+
+async def _start(config: GatewayConfig, classifier=None):
+    """A started gateway + server on an ephemeral loopback port."""
+    gateway = MicroBatchGateway(
+        classifier=classifier or EchoClassifier(), config=config
+    )
+    await gateway.start()
+    server = InferenceServer(gateway, port=0)
+    await server.start()
+    return gateway, server
+
+
+async def _request_lines(port: int, lines):
+    """Send raw lines down one connection; return one parsed reply per line."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(b"".join(lines))
+    await writer.drain()
+    replies = [json.loads(await reader.readline()) for _ in lines]
+    writer.close()
+    await writer.wait_closed()
+    return replies
+
+
+def test_round_trip_with_id_correlation_and_provenance():
+    """Pipelined requests share a word; replies correlate by client id."""
+
+    async def body():
+        gateway, server = await _start(GatewayConfig(max_batch=4, max_delay_ms=25.0))
+        lines = [
+            (json.dumps({"id": k, "features": [k % 2, 1]}) + "\n").encode()
+            for k in range(4)
+        ]
+        replies = await _request_lines(server.port, lines)
+        await server.stop()
+        await gateway.stop()
+        return replies
+
+    replies = asyncio.run(body())
+    by_id = {r["id"]: r for r in replies}
+    assert set(by_id) == {0, 1, 2, 3}
+    for k, reply in by_id.items():
+        assert reply["decision"] == k % 2
+        assert reply["verdict"] == ("greater" if k % 2 else "less")
+        assert reply["batch_size"] == 4
+        assert reply["flush"] == "full"
+
+
+def test_bad_requests_get_error_replies_not_disconnects():
+    """Malformed lines produce bad-request replies; the connection lives on."""
+
+    async def body():
+        gateway, server = await _start(GatewayConfig(max_batch=1, max_delay_ms=0.0))
+        replies = await _request_lines(
+            server.port,
+            [
+                b"this is not json\n",
+                b'{"id": 1, "no_features": true}\n',
+                b'{"id": 2, "features": [0, 2]}\n',
+                b'{"id": 3, "features": [1]}\n',
+            ],
+        )
+        await server.stop()
+        await gateway.stop()
+        return replies
+
+    replies = asyncio.run(body())
+    by_id = {r.get("id"): r for r in replies}
+    assert by_id[None]["error"].startswith("bad-request")
+    assert by_id[1]["error"].startswith("bad-request")
+    assert by_id[2]["error"].startswith("bad-request")
+    assert by_id[3]["decision"] == 1
+
+
+def test_overload_maps_to_error_reply():
+    """Queue-full rejections surface as {'error': 'overloaded'} replies."""
+
+    async def body():
+        gateway, server = await _start(
+            GatewayConfig(max_batch=1, max_delay_ms=0.0, queue_depth=1),
+            classifier=EchoClassifier(delay_s=0.25),
+        )
+        lines = [
+            (json.dumps({"id": k, "features": [1]}) + "\n").encode()
+            for k in range(6)
+        ]
+        replies = await _request_lines(server.port, lines)
+        await server.stop()
+        await gateway.stop()
+        return replies
+
+    replies = asyncio.run(body())
+    overloaded = [r for r in replies if r.get("error") == "overloaded"]
+    served = [r for r in replies if "decision" in r]
+    assert len(overloaded) >= 1
+    assert len(served) >= 1
+    assert len(overloaded) + len(served) == 6
+
+
+def test_stopped_gateway_maps_to_shutting_down():
+    """Requests after gateway.stop() get the shutting-down error reply."""
+
+    async def body():
+        gateway, server = await _start(GatewayConfig(max_batch=1, max_delay_ms=0.0))
+        await gateway.stop()
+        replies = await _request_lines(
+            server.port, [b'{"id": 9, "features": [0]}\n']
+        )
+        await server.stop()
+        return replies
+
+    replies = asyncio.run(body())
+    assert replies == [{"id": 9, "error": "shutting-down"}]
+
+
+def test_server_start_stop_contract():
+    """Double start is refused; stop is idempotent."""
+
+    async def body():
+        gateway, server = await _start(GatewayConfig(max_batch=1, max_delay_ms=0.0))
+        with pytest.raises(RuntimeError, match="already running"):
+            await server.start()
+        await server.stop()
+        await server.stop()  # idempotent
+        await gateway.stop()
+
+    asyncio.run(body())

@@ -183,6 +183,7 @@ class MicroBatchGateway:
         self.config = config or GatewayConfig()
         self._spec = spec
         self._classifier = classifier
+        self._num_features = self._resolve_num_features(spec, classifier)
         self._queue: Optional[asyncio.Queue] = None
         self._batcher: Optional[asyncio.Task] = None
         self._dispatches: Set[asyncio.Task] = set()
@@ -190,6 +191,29 @@ class MicroBatchGateway:
         self._running = False
         self._closing = False
         self.stats = GatewayStats(max_batch=self.config.max_batch)
+
+    @staticmethod
+    def _resolve_num_features(spec, classifier) -> Optional[int]:
+        """The served model's feature width, when discoverable.
+
+        Known from the spec, or from an injected classifier that exposes
+        one (``.spec`` on the pool shape, ``.worker.spec`` in-process);
+        ``None`` for bare stub classifiers, which disables length checks.
+        """
+        for candidate in (
+            spec,
+            getattr(classifier, "spec", None),
+            getattr(getattr(classifier, "worker", None), "spec", None),
+        ):
+            config = getattr(candidate, "config", None)
+            if config is not None and hasattr(config, "num_features"):
+                return int(config.num_features)
+        return None
+
+    @property
+    def num_features(self) -> Optional[int]:
+        """Expected feature-vector length (``None`` when unknown)."""
+        return self._num_features
 
     # ------------------------------------------------------------ lifecycle
     async def start(self) -> None:
@@ -242,14 +266,25 @@ class MicroBatchGateway:
             When the bounded queue is full (explicit overload rejection).
         GatewayClosed
             Before :meth:`start` or after :meth:`stop` has begun.
+        ValueError
+            When *features* is not a flat vector of the served model's
+            width.  Shape errors are rejected here, per request, so one
+            malformed submission can never poison the micro-batch it
+            would have been coalesced into.
         """
         if not self._running or self._closing or self._queue is None:
             raise GatewayClosed("gateway is not accepting requests")
+        operand = np.asarray(features, dtype=np.uint8)
+        if operand.ndim != 1:
+            raise ValueError(
+                f"features must be a flat vector, got shape {operand.shape}"
+            )
+        if self._num_features is not None and operand.shape[0] != self._num_features:
+            raise ValueError(
+                f"expected {self._num_features} features, got {operand.shape[0]}"
+            )
         loop = asyncio.get_running_loop()
-        pending = _Pending(
-            features=np.asarray(features, dtype=np.uint8),
-            future=loop.create_future(),
-        )
+        pending = _Pending(features=operand, future=loop.create_future())
         try:
             self._queue.put_nowait(pending)
         except asyncio.QueueFull:
@@ -327,9 +362,12 @@ class MicroBatchGateway:
         """Run one micro-batch in the executor and fan results back out."""
         assert self._dispatch_slots is not None
         loop = asyncio.get_running_loop()
-        features = np.stack([p.features for p in batch])
         executor = getattr(self._classifier, "pool", None)
         try:
+            # Inside the try so a ragged batch (possible only when the
+            # feature width is unknown at submit) still fans the error out
+            # to every future and releases the dispatch slot.
+            features = np.stack([p.features for p in batch])
             if executor is not None:
                 from .worker import _classify_in_process
 

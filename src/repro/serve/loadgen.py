@@ -176,11 +176,18 @@ async def run_load(
     latency is wall-clock submit→reply.  Open-loop latencies are measured
     from each request's *scheduled* arrival (coordinated-omission safe);
     rejected submissions count separately and never contribute latencies.
+
+    The report's ``batches`` / ``batching_efficiency`` are deltas over
+    *this* run — the gateway's cumulative counters are snapshotted on
+    entry — so back-to-back runs against one gateway each report their
+    own batching behaviour.
     """
     config = config or LoadConfig()
     operands = np.asarray(operands, dtype=np.uint8)
     if operands.ndim != 2 or operands.shape[0] == 0:
         raise ValueError("operands must be a non-empty (n, num_features) matrix")
+    batches_before = gateway.stats.batches
+    lanes_before = gateway.stats.lanes
     results: Dict[int, ServeResult] = {}
     latencies: Dict[int, float] = {}
     rejected = 0
@@ -231,6 +238,8 @@ async def run_load(
         if results[k].model_latency_ps is not None
     ]
     stats = gateway.stats
+    run_batches = stats.batches - batches_before
+    run_lanes = stats.lanes - lanes_before
     return LoadReport(
         mode=config.mode,
         requests=config.requests,
@@ -239,8 +248,10 @@ async def run_load(
         wall_clock_s=wall_clock,
         achieved_rps=len(completed) / wall_clock if wall_clock > 0 else 0.0,
         offered_rps=config.rate_rps if config.mode == "open" else None,
-        batches=stats.batches,
-        batching_efficiency=stats.batching_efficiency,
+        batches=run_batches,
+        batching_efficiency=(
+            run_lanes / (run_batches * stats.max_batch) if run_batches else 0.0
+        ),
         slo_ms=summarize_slo(latency_values).scaled(1e3),
         latencies_s=latency_values,
         verdicts=[results[k].verdict for k in completed],

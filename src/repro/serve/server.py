@@ -17,13 +17,18 @@ Reply::
 enables timed attribution).  Error replies carry an ``"error"`` field
 instead of a verdict: ``"overloaded"`` when the gateway's bounded queue
 rejected the request (the client should back off), or ``"bad-request: …"``
-for malformed lines.
+for malformed lines — including feature vectors whose length does not
+match the served model, which are rejected per request *before* batching
+so one bad client can never poison a co-batched word.
 
 Lines are handled concurrently *per connection* — each line spawns a task
 and replies are serialized through a per-connection lock — so a single
 pipelined client can fill whole 64-lane words by itself.  Shutdown is
-graceful: :meth:`InferenceServer.stop` stops accepting connections, lets
-every in-flight line finish through the gateway's drain path, then closes.
+graceful without trusting clients to hang up:
+:meth:`InferenceServer.stop` stops accepting connections, cancels the
+read loop of every open connection (so idle keep-alive clients cannot
+stall it), lets every in-flight line finish through the gateway's drain
+path, then closes.
 """
 
 from __future__ import annotations
@@ -99,11 +104,20 @@ class InferenceServer:
         )
 
     async def stop(self) -> None:
-        """Graceful shutdown: stop accepting, drain in-flight lines, close."""
+        """Graceful shutdown: stop accepting, drain in-flight lines, close.
+
+        Idle keep-alive connections are told to stop reading (their tasks
+        are cancelled at the ``readline`` await); lines already being
+        handled still complete and get their reply before the connection
+        closes, so ``stop`` cannot hang on a client that simply never
+        sends EOF.
+        """
         if self._server is None:
             return
         self._server.close()
         await self._server.wait_closed()
+        for connection in tuple(self._connections):
+            connection.cancel()
         if self._connections:
             await asyncio.gather(
                 *tuple(self._connections), return_exceptions=True
@@ -126,7 +140,12 @@ class InferenceServer:
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        """Read request lines, spawn per-line handlers, close on EOF."""
+        """Read request lines, spawn per-line handlers, close on EOF.
+
+        Cancellation (from :meth:`stop`) only ends the *read* loop; any
+        line handlers already in flight are still awaited so every
+        admitted request gets its reply line before the socket closes.
+        """
         write_lock = asyncio.Lock()
         lines: Set[asyncio.Task] = set()
         try:
@@ -139,9 +158,16 @@ class InferenceServer:
                 )
                 lines.add(task)
                 task.add_done_callback(lines.discard)
-            if lines:
-                await asyncio.gather(*tuple(lines), return_exceptions=True)
+        except asyncio.CancelledError:
+            pass  # stop(): quit reading; in-flight lines drain below
         finally:
+            try:
+                if lines:
+                    await asyncio.shield(
+                        asyncio.gather(*tuple(lines), return_exceptions=True)
+                    )
+            except asyncio.CancelledError:
+                pass
             writer.close()
             try:
                 await writer.wait_closed()
@@ -166,12 +192,21 @@ class InferenceServer:
                 isinstance(bit, int) and bit in (0, 1) for bit in features
             ):
                 raise ValueError("'features' must be a list of 0/1 integers")
+            expected = self.gateway.num_features
+            if expected is not None and len(features) != expected:
+                raise ValueError(
+                    f"'features' must have length {expected}, got {len(features)}"
+                )
         except (json.JSONDecodeError, ValueError) as err:
             await self._write(writer, write_lock,
                               _encode_error(request_id, f"bad-request: {err}"))
             return
         try:
             result = await self.gateway.submit(features)
+        except ValueError as err:  # gateway-side shape rejection
+            await self._write(writer, write_lock,
+                              _encode_error(request_id, f"bad-request: {err}"))
+            return
         except GatewayOverloaded:
             await self._write(writer, write_lock,
                               _encode_error(request_id, "overloaded"))

@@ -16,6 +16,7 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
+from types import SimpleNamespace
 
 import numpy as np
 import pytest
@@ -207,6 +208,64 @@ def test_classifier_failure_propagates_to_all_submitters():
     assert len(results) == 2
     assert all(isinstance(r, RuntimeError) for r in results)
     assert all("backend exploded" in str(r) for r in results)
+
+
+def test_known_width_rejects_wrong_length_per_request():
+    """With a discoverable feature width, shape errors are per-request.
+
+    The wrong-length submission fails immediately with ValueError and the
+    valid request it would have been co-batched with still classifies —
+    one malformed client cannot poison its micro-batch.
+    """
+
+    async def body():
+        stub = EchoClassifier()
+        stub.spec = SimpleNamespace(config=SimpleNamespace(num_features=2))
+        gw = MicroBatchGateway(
+            classifier=stub,
+            config=GatewayConfig(max_batch=2, max_delay_ms=20.0),
+        )
+        await gw.start()
+        assert gw.num_features == 2
+        good = asyncio.ensure_future(gw.submit([1, 0]))
+        with pytest.raises(ValueError, match="expected 2 features, got 3"):
+            await gw.submit([1, 0, 1])
+        with pytest.raises(ValueError, match="flat vector"):
+            await gw.submit([[1, 0]])
+        result = await good
+        await gw.stop()
+        return result
+
+    result = run(body())
+    assert result.decision == 1
+
+
+def test_mixed_length_batch_fails_without_wedging_the_gateway():
+    """A ragged word (width unknown) errors out and releases its slot.
+
+    Pre-fix, np.stack raised outside the error fan-out: every future in
+    the batch hung and the dispatch slot leaked, permanently wedging the
+    gateway.  Now all submitters get the error and the next word serves.
+    """
+
+    async def body():
+        stub = EchoClassifier()
+        gw = MicroBatchGateway(
+            classifier=stub,
+            config=GatewayConfig(max_batch=2, max_delay_ms=100.0),
+        )
+        await gw.start()
+        mixed = await asyncio.gather(
+            gw.submit([1]), gw.submit([1, 0]), return_exceptions=True
+        )
+        # workers=0 → a single dispatch slot: a leak would hang this.
+        follow_up = await asyncio.wait_for(gw.submit([0]), timeout=5.0)
+        await gw.stop()
+        return mixed, follow_up
+
+    mixed, follow_up = run(body())
+    assert all(isinstance(r, ValueError) for r in mixed)
+    assert follow_up.decision == 0
 
 
 def test_submit_before_start_raises_closed():

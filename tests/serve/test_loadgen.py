@@ -120,6 +120,37 @@ def test_bench_json_matches_gate_schema(tmp_path, workload):
     assert metrics["serve_latency_p50_ms"] <= metrics["serve_latency_max_ms"]
 
 
+def test_back_to_back_runs_report_per_run_batches(workload):
+    """A second run_load on one gateway reports its own deltas.
+
+    Pre-fix the report quoted the gateway's cumulative counters, so a
+    reused gateway inflated ``batches`` and skewed the efficiency metric
+    the CI gate reads.
+    """
+
+    async def body():
+        spec = ModelSpec.from_workload(workload)
+        gateway = MicroBatchGateway(
+            spec, GatewayConfig(max_batch=16, max_delay_ms=5.0)
+        )
+        await gateway.start()
+        try:
+            load = LoadConfig(mode="closed", requests=32, concurrency=8, seed=4)
+            first = await run_load(gateway, workload.feature_vectors, load)
+            second = await run_load(gateway, workload.feature_vectors, load)
+        finally:
+            await gateway.stop()
+        return gateway, first, second
+
+    gateway, first, second = asyncio.run(body())
+    assert first.completed == second.completed == 32
+    assert 0 < first.batches and 0 < second.batches
+    # The two per-run deltas partition the gateway's cumulative counter;
+    # cumulative reporting would have made second.batches equal the total.
+    assert first.batches + second.batches == gateway.stats.batches
+    assert 0 < second.batching_efficiency <= 1
+
+
 def test_load_config_validation():
     """Bad run shapes fail before any serving starts."""
     with pytest.raises(ValueError, match="mode"):

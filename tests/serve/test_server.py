@@ -11,6 +11,7 @@ from __future__ import annotations
 import asyncio
 import json
 import time
+from types import SimpleNamespace
 
 import pytest
 
@@ -107,6 +108,82 @@ def test_bad_requests_get_error_replies_not_disconnects():
     assert by_id[1]["error"].startswith("bad-request")
     assert by_id[2]["error"].startswith("bad-request")
     assert by_id[3]["decision"] == 1
+
+
+def test_wrong_length_features_get_bad_request_not_internal():
+    """A wrong-width 'features' list is rejected per request up front.
+
+    Pre-fix it reached np.stack inside the batch and wedged the gateway;
+    now the server checks the width against ``gateway.num_features`` and
+    replies bad-request, while valid concurrent lines still classify.
+    """
+
+    async def body():
+        classifier = EchoClassifier()
+        classifier.spec = SimpleNamespace(config=SimpleNamespace(num_features=2))
+        gateway, server = await _start(
+            GatewayConfig(max_batch=2, max_delay_ms=20.0), classifier=classifier
+        )
+        replies = await _request_lines(
+            server.port,
+            [
+                b'{"id": 0, "features": [1, 0, 1]}\n',
+                b'{"id": 1, "features": [1, 0]}\n',
+                b'{"id": 2, "features": [0, 1]}\n',
+            ],
+        )
+        await server.stop()
+        await gateway.stop()
+        return replies
+
+    replies = asyncio.run(body())
+    by_id = {r["id"]: r for r in replies}
+    assert by_id[0]["error"].startswith("bad-request")
+    assert "length 2" in by_id[0]["error"]
+    assert by_id[1]["decision"] == 1
+    assert by_id[2]["decision"] == 0
+
+
+def test_stop_does_not_hang_on_idle_keepalive_connection():
+    """stop() completes even when a client never sends EOF.
+
+    One idle connection stays open while another has a line in flight:
+    stop() must cancel the idle read, drain the in-flight reply, and
+    return — pre-fix it awaited client EOF forever.
+    """
+
+    async def body():
+        gateway, server = await _start(
+            GatewayConfig(max_batch=4, max_delay_ms=20.0),
+            classifier=EchoClassifier(delay_s=0.05),
+        )
+        # Idle keep-alive client: connects, sends nothing, never closes.
+        idle_reader, idle_writer = await asyncio.open_connection(
+            "127.0.0.1", server.port
+        )
+        # Busy client: one request in flight when stop() lands.
+        busy_reader, busy_writer = await asyncio.open_connection(
+            "127.0.0.1", server.port
+        )
+        busy_writer.write(b'{"id": 1, "features": [1]}\n')
+        await busy_writer.drain()
+        await asyncio.sleep(0.02)
+        await asyncio.wait_for(server.stop(), timeout=5.0)
+        reply = json.loads(await busy_reader.readline())
+        assert await idle_reader.read() == b""  # server closed the socket
+        for writer in (idle_writer, busy_writer):
+            writer.close()
+        await gateway.stop()
+        return reply
+
+    reply = asyncio.run(body())
+    assert reply == {
+        "id": 1,
+        "verdict": "greater",
+        "decision": 1,
+        "batch_size": 1,
+        "flush": "deadline",
+    }
 
 
 def test_overload_maps_to_error_reply():

@@ -38,6 +38,8 @@ from repro.explore import (
     parse_metric_pair,
     run_sweep,
 )
+from repro.explore.grid import GridExpansion
+from repro.obs.profile import tracing_session
 
 #: Metric pairs swept by default: the paper's headline trade-offs.
 DEFAULT_PARETO_PAIRS = ("accuracy,energy", "accuracy,latency", "latency,area")
@@ -75,6 +77,12 @@ def main(argv=None) -> int:
                              f"default: {', '.join(DEFAULT_PARETO_PAIRS)})")
     parser.add_argument("--min-points", type=int, default=0,
                         help="fail unless at least this many design points were swept")
+    parser.add_argument("--max-points", type=int, default=0,
+                        help="evaluate only the first N expanded design points "
+                             "(0 = all); handy for profiling smoke runs")
+    parser.add_argument("--trace-out", default=None,
+                        help="write a Chrome/Perfetto trace of the sweep to this "
+                             "path (.json = trace_event, .jsonl = raw spans)")
     parser.add_argument("--check-determinism", action="store_true",
                         help="re-evaluate serially without the store and require "
                              "bit-identical points and fronts")
@@ -85,12 +93,22 @@ def main(argv=None) -> int:
     pair_texts = args.pareto if args.pareto else list(DEFAULT_PARETO_PAIRS)
     pairs = [parse_metric_pair(text) for text in pair_texts]
     grid = named_grid(args.grid)
+    if args.max_points > 0:
+        expansion = grid.expand()
+        grid = GridExpansion(
+            points=tuple(expansion.points[: args.max_points]),
+            dropped_duplicates=expansion.dropped_duplicates,
+            dropped_infeasible=expansion.dropped_infeasible,
+        )
     store = None if args.store.lower() == "none" else ResultStore(args.store)
 
     start = time.perf_counter()
-    result = run_sweep(grid, backend=args.backend, jobs=args.jobs, store=store,
-                       timing_backend=args.timing_backend)
+    with tracing_session(args.trace_out):
+        result = run_sweep(grid, backend=args.backend, jobs=args.jobs, store=store,
+                           timing_backend=args.timing_backend)
     elapsed = time.perf_counter() - start
+    if args.trace_out:
+        print(f"Trace -> {args.trace_out}")
 
     print(f"Grid '{args.grid}': {len(result.points)} design points "
           f"({result.dropped_duplicates} duplicate and "

@@ -29,6 +29,7 @@ from repro.analysis import (
     operand_distributions,
 )
 from repro.circuits import umc_ll_library
+from repro.obs.profile import tracing_session
 
 
 def main() -> None:
@@ -38,6 +39,9 @@ def main() -> None:
                              "(batch/bitpack = vectorized timing engine)")
     parser.add_argument("--operands", type=int, default=16,
                         help="operand-stream length to measure")
+    parser.add_argument("--trace-out", default=None,
+                        help="write a Chrome/Perfetto trace of the measurement "
+                             "to this path")
     args = parser.parse_args()
 
     library = umc_ll_library()
@@ -56,8 +60,11 @@ def main() -> None:
 
     print(f"\nMeasuring per-operand latency "
           f"(timing_backend={args.timing_backend})...")
-    measurement = measure_dual_rail(workload, library,
-                                    timing_backend=args.timing_backend)
+    with tracing_session(args.trace_out):
+        measurement = measure_dual_rail(workload, library,
+                                        timing_backend=args.timing_backend)
+    if args.trace_out:
+        print(f"Trace -> {args.trace_out}")
 
     class _R:  # minimal adapter for latency_histogram / depth correlation
         def __init__(self, latency):

@@ -26,6 +26,7 @@ from repro.analysis import (
     resolve_library,
 )
 from repro.datapath.datapath import DualRailDatapath
+from repro.obs.profile import tracing_session
 from repro.serve import (
     GatewayConfig,
     LOAD_MODES,
@@ -68,6 +69,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seeds the model, operands and Poisson clock")
     parser.add_argument("--bench-json", type=str, default=None,
                         help="write a BENCH_serve.json record to this path")
+    parser.add_argument("--trace-out", type=str, default=None,
+                        help="write a Chrome/Perfetto trace of the run to this path "
+                             "(.json = trace_event, .jsonl = raw span records)")
     parser.add_argument("--check-determinism", action="store_true",
                         help="verify gateway replies == direct batch_functional_pass")
     parser.add_argument("--min-throughput", type=float, default=None,
@@ -141,7 +145,10 @@ def check_determinism(report: LoadReport, workload, backend: str) -> bool:
 def main(argv=None) -> int:
     """Run the demo; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    report, workload = asyncio.run(serve_and_measure(args))
+    with tracing_session(args.trace_out):
+        report, workload = asyncio.run(serve_and_measure(args))
+    if args.trace_out:
+        print(f"trace               : wrote {args.trace_out}")
     for line in report.summary_lines():
         print(line)
     ok = True

@@ -1,0 +1,93 @@
+"""Summarize or convert a trace written by ``--trace-out``.
+
+Every example CLI (and anything wrapped in
+:func:`repro.obs.profile.tracing_session`) can dump the spans of a run
+either as a Chrome/Perfetto ``trace_event`` JSON (``.json``) or as raw
+span records, one JSON object per line (``.jsonl``).  This tool answers
+the two follow-up questions:
+
+* *where did the time go?* — ``--top N`` prints a self-time table
+  (duration minus direct children, aggregated per span name), which is the
+  flame-graph question without leaving the terminal;
+* *can I look at it in Perfetto?* — ``--to-perfetto out.json`` converts a
+  raw ``.jsonl`` span dump into the ``trace_event`` format that
+  https://ui.perfetto.dev and ``chrome://tracing`` open directly.
+
+Run with:  python examples/trace_report.py prof.json [--top 10]
+           python examples/trace_report.py prof.jsonl --to-perfetto prof.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.profile import format_table, self_time_table, to_trace_events
+from repro.obs.schema import validate_trace_events
+from repro.obs.trace import SpanRecord, load_jsonl
+
+
+def load_records(path: Path):
+    """Load span records from a ``.jsonl`` span dump or a trace_event JSON."""
+    if path.suffix == ".jsonl":
+        return load_jsonl(path)
+    payload = json.loads(path.read_text())
+    validate_trace_events(payload)
+    records = []
+    for event in payload["traceEvents"]:
+        args = dict(event.get("args", {}))
+        span_id = args.pop("span_id", "")
+        parent_id = args.pop("parent_id", None)
+        records.append(
+            SpanRecord(
+                name=event["name"],
+                span_id=span_id,
+                parent_id=parent_id,
+                start_us=float(event["ts"]),
+                duration_us=float(event["dur"]),
+                pid=int(event["pid"]),
+                tid=int(event["tid"]),
+                attrs=args,
+            )
+        )
+    return records
+
+
+def main(argv=None) -> int:
+    """Run the report; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", type=Path,
+                        help="trace file from --trace-out (.json or .jsonl)")
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows in the self-time table (0 = all)")
+    parser.add_argument("--to-perfetto", type=Path, default=None,
+                        help="also write a Chrome/Perfetto trace_event JSON here")
+    args = parser.parse_args(argv)
+
+    records = load_records(args.trace)
+    if not records:
+        print(f"{args.trace}: no span records", file=sys.stderr)
+        return 1
+
+    pids = {record.pid for record in records}
+    total_us = sum(r.duration_us for r in records if r.parent_id is None)
+    print(f"{args.trace}: {len(records)} spans across {len(pids)} process(es), "
+          f"{total_us / 1e3:.2f} ms in root spans\n")
+    rows = self_time_table(records, top=args.top if args.top > 0 else None)
+    print("\n".join(format_table(rows)))
+
+    if args.to_perfetto is not None:
+        payload = to_trace_events(records)
+        validate_trace_events(payload)
+        args.to_perfetto.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"\nPerfetto trace -> {args.to_perfetto} "
+              f"(open at https://ui.perfetto.dev)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ from repro.analysis import (
     run_figure3,
 )
 from repro.circuits import full_diffusion_library
+from repro.obs.profile import tracing_session
 
 VOLTAGES = (0.25, 0.3, 0.35, 0.4, 0.5, 0.6, 0.8, 1.0, 1.2)
 
@@ -44,6 +45,8 @@ def main() -> None:
                              "(batch/bitpack = vectorized timing engine)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="parallel voltage points (0 = CPU count)")
+    parser.add_argument("--trace-out", default=None,
+                        help="write a Chrome/Perfetto trace of the sweep to this path")
     args = parser.parse_args()
 
     library = full_diffusion_library()
@@ -53,9 +56,12 @@ def main() -> None:
     print(f"Runner  : backend={args.backend}, "
           f"timing_backend={args.timing_backend}, jobs={args.jobs}\n")
 
-    points = run_figure3(workload, voltages=VOLTAGES, library=library,
-                         operands_per_point=3, backend=args.backend, jobs=args.jobs,
-                         timing_backend=args.timing_backend)
+    with tracing_session(args.trace_out):
+        points = run_figure3(workload, voltages=VOLTAGES, library=library,
+                             operands_per_point=3, backend=args.backend,
+                             jobs=args.jobs, timing_backend=args.timing_backend)
+    if args.trace_out:
+        print(f"Trace -> {args.trace_out}")
     print(format_figure3(points))
 
     nominal = next(p for p in points if abs(p.vdd - 1.2) < 1e-9)

@@ -41,6 +41,7 @@ from repro.datapath.datapath import (
     VERDICT_LABELS,
     feature_input_name,
 )
+from repro.obs import trace as _trace
 from repro.sim.backends import (
     ArrayBatchResult,
     PackedBatchResult,
@@ -250,12 +251,14 @@ def build_mapped_dual_rail(
     (Requirement 2), interface re-binding onto the mapped netlist, and the
     reduced-CD grace period at the measurement supply.
     """
-    datapath = DualRailDatapath(config, library=library)
-    synthesis = synthesize(
-        datapath.circuit.netlist, library, vdd=vdd, clocked=False, enforce_unate=True
-    )
-    circuit = rebind_interface(datapath.circuit, synthesis)
-    grace = compute_grace_period(circuit, library, vdd=vdd)
+    with _trace.span("measure.map", library=library.name):
+        datapath = DualRailDatapath(config, library=library)
+        synthesis = synthesize(
+            datapath.circuit.netlist, library, vdd=vdd, clocked=False,
+            enforce_unate=True,
+        )
+        circuit = rebind_interface(datapath.circuit, synthesis)
+        grace = compute_grace_period(circuit, library, vdd=vdd)
     return MappedDualRail(
         config=config,
         library=library,
@@ -452,20 +455,22 @@ def batch_functional_pass(
         raise ValueError(
             f"unknown functional backend {backend!r}; expected one of {FUNCTIONAL_BACKENDS}"
         )
-    engine = get_backend(backend, circuit.netlist, library, vdd=vdd)
-    planes = workload_input_planes(circuit, datapath, workload)
-    baseline = spacer_assignments(circuit) if with_activity else None
-    result = engine.run_arrays(planes, baseline=baseline)
-    verdicts = decode_verdict_planes(result, verdict_signal(circuit))
-    decisions = [DualRailDatapath.decision_from_verdict(v) for v in verdicts]
-    golden = [workload.model.decision(f) for f in workload.feature_vectors]
-    correct = sum(1 for d, g in zip(decisions, golden) if d == g)
-    if with_activity:
-        accountant = PowerAccountant(circuit.netlist, library, vdd=vdd)
-        energy = accountant.energy_from_activity(result.activity_by_cell_type)
-    else:
-        energy = None
-    samples = len(verdicts)
+    with _trace.span("measure.functional", backend=backend) as sweep_span:
+        engine = get_backend(backend, circuit.netlist, library, vdd=vdd)
+        planes = workload_input_planes(circuit, datapath, workload)
+        baseline = spacer_assignments(circuit) if with_activity else None
+        result = engine.run_arrays(planes, baseline=baseline)
+        verdicts = decode_verdict_planes(result, verdict_signal(circuit))
+        decisions = [DualRailDatapath.decision_from_verdict(v) for v in verdicts]
+        golden = [workload.model.decision(f) for f in workload.feature_vectors]
+        correct = sum(1 for d, g in zip(decisions, golden) if d == g)
+        if with_activity:
+            accountant = PowerAccountant(circuit.netlist, library, vdd=vdd)
+            energy = accountant.energy_from_activity(result.activity_by_cell_type)
+        else:
+            energy = None
+        samples = len(verdicts)
+        sweep_span.add(samples=samples)
     return FunctionalSweep(
         library=library.name,
         backend=backend,
@@ -609,10 +614,13 @@ def timed_dual_rail_run(
             f"({[b for b in TIMING_BACKENDS if b != 'event']}), got {timing_backend!r}"
         )
     circuit, datapath = mapped.circuit, mapped.datapath
-    engine = get_backend(timing_backend, circuit.netlist, mapped.library, vdd=mapped.vdd)
-    planes = workload_input_planes(circuit, datapath, workload)
-    timed = engine.run_timed(planes, spacer_assignments(circuit))
-    _check_output_protocol(circuit, timed)
+    with _trace.span("measure.timed", backend=timing_backend):
+        engine = get_backend(
+            timing_backend, circuit.netlist, mapped.library, vdd=mapped.vdd
+        )
+        planes = workload_input_planes(circuit, datapath, workload)
+        timed = engine.run_timed(planes, spacer_assignments(circuit))
+        _check_output_protocol(circuit, timed)
 
     rails = circuit.all_output_rails()
     t_s_to_v = timed.max_arrival(rails, "valid")

@@ -23,6 +23,12 @@ The contract
   easiest debugging); ``jobs>1`` fans chunks out over a
   :class:`concurrent.futures.ProcessPoolExecutor`, so workers and items
   must be picklable (module-level functions, plain data).
+* **Tracing**: when the :mod:`repro.obs` tracer is enabled, the whole map
+  runs under a ``run_parallel`` span and each chunk under a
+  ``run_parallel.chunk`` child.  Pool workers record their spans locally
+  (:class:`repro.obs.trace.capture`), ship them back alongside the chunk
+  results, and the parent re-parents them onto its span — one coherent
+  tree across processes, at zero cost when tracing is off.
 """
 
 from __future__ import annotations
@@ -33,6 +39,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.obs import trace as _trace
 
 
 @dataclass(frozen=True)
@@ -88,6 +96,23 @@ def _execute_chunk(worker: Callable[..., Any], chunk: WorkChunk) -> List[Any]:
     return results
 
 
+def _execute_chunk_traced(
+    worker: Callable[..., Any], chunk: WorkChunk
+) -> Tuple[List[Any], List["_trace.SpanRecord"]]:
+    """Pool entry point when tracing: chunk results plus the worker's spans.
+
+    Spans are recorded into a private buffer (:class:`repro.obs.trace.capture`
+    — a forked worker may hold a stale copy of the parent's record list) and
+    shipped back with the results for re-parenting in the coordinator.
+    """
+    with _trace.capture() as captured:
+        with _trace.span(
+            "run_parallel.chunk", index=chunk.index, items=len(chunk.items)
+        ):
+            results = _execute_chunk(worker, chunk)
+    return results, captured.records
+
+
 def run_parallel(
     worker: Callable[..., Any],
     items: Sequence[Any],
@@ -115,9 +140,31 @@ def run_parallel(
     chunks = make_chunks(items, chunk_size=chunk_size, seed=seed)
     if not chunks:
         return []
-    if jobs == 1 or len(chunks) == 1:
-        nested = [_execute_chunk(worker, chunk) for chunk in chunks]
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
-            nested = list(pool.map(_execute_chunk, [worker] * len(chunks), chunks))
+    with _trace.span(
+        "run_parallel", jobs=jobs, chunks=len(chunks), items=len(items)
+    ):
+        if jobs == 1 or len(chunks) == 1:
+            nested = []
+            for chunk in chunks:
+                with _trace.span(
+                    "run_parallel.chunk", index=chunk.index, items=len(chunk.items)
+                ):
+                    nested.append(_execute_chunk(worker, chunk))
+        elif _trace.enabled():
+            parent_id = _trace.current_span_id()
+            with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+                shipped = list(
+                    pool.map(
+                        _execute_chunk_traced, [worker] * len(chunks), chunks
+                    )
+                )
+            nested = []
+            for chunk_results, records in shipped:
+                nested.append(chunk_results)
+                _trace.adopt(_trace.reparent(records, parent_id))
+        else:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+                nested = list(
+                    pool.map(_execute_chunk, [worker] * len(chunks), chunks)
+                )
     return [result for chunk_results in nested for result in chunk_results]

@@ -56,6 +56,7 @@ from repro.analysis.throughput import dual_rail_throughput
 from repro.circuits.library import CellLibrary, default_libraries
 from repro.datapath.datapath import DatapathConfig
 from repro.datapath.styles import check_style, is_dual_rail, style_config
+from repro.obs import trace as _trace
 from repro.tm.datasets import make_dataset
 from repro.tm.inference import InferenceModel
 from repro.tm.machine import TsetlinMachine
@@ -189,41 +190,47 @@ def build_spec_workload(
     cached = _WORKLOAD_CACHE.get(key)
     if cached is not None:
         return cached
-    dataset = make_dataset(
-        spec.dataset,
-        num_samples=settings.train_samples,
-        num_features=settings.num_features,
-        booleanizer_levels=spec.booleanizer_levels,
-        seed=settings.seed,
-    )
-    num_features = dataset.num_features
-    config = DatapathConfig(
-        num_features=num_features,
-        clauses_per_polarity=spec.clauses_per_polarity,
-    )
-    machine = TsetlinMachine(
-        num_features=num_features,
-        num_clauses=config.num_clauses,
-        threshold=spec.clauses_per_polarity,
-        s=settings.s,
-        seed=settings.seed,
-    )
-    machine.fit(dataset.train_x, dataset.train_y, epochs=settings.epochs)
-    model = InferenceModel.from_machine(machine)
-    decisions = np.array([model.decision(row) for row in dataset.test_x], dtype=np.int8)
-    accuracy = float(np.mean(decisions == dataset.test_y)) if decisions.size else 0.0
-    rng = np.random.default_rng(settings.seed)
-    indices = rng.integers(0, dataset.test_x.shape[0], size=settings.operands)
-    workload = Workload(
-        config=config,
-        exclude=model.exclude,
-        feature_vectors=dataset.test_x[indices],
-        model=model,
-        description=(
-            f"{spec.dataset} ({num_features} Boolean features, "
-            f"{spec.clauses_per_polarity} clauses per polarity)"
-        ),
-    )
+    with _trace.span("dse.train", dataset=spec.dataset,
+                     clauses=spec.clauses_per_polarity):
+        dataset = make_dataset(
+            spec.dataset,
+            num_samples=settings.train_samples,
+            num_features=settings.num_features,
+            booleanizer_levels=spec.booleanizer_levels,
+            seed=settings.seed,
+        )
+        num_features = dataset.num_features
+        config = DatapathConfig(
+            num_features=num_features,
+            clauses_per_polarity=spec.clauses_per_polarity,
+        )
+        machine = TsetlinMachine(
+            num_features=num_features,
+            num_clauses=config.num_clauses,
+            threshold=spec.clauses_per_polarity,
+            s=settings.s,
+            seed=settings.seed,
+        )
+        machine.fit(dataset.train_x, dataset.train_y, epochs=settings.epochs)
+        model = InferenceModel.from_machine(machine)
+        decisions = np.array(
+            [model.decision(row) for row in dataset.test_x], dtype=np.int8
+        )
+        accuracy = (
+            float(np.mean(decisions == dataset.test_y)) if decisions.size else 0.0
+        )
+        rng = np.random.default_rng(settings.seed)
+        indices = rng.integers(0, dataset.test_x.shape[0], size=settings.operands)
+        workload = Workload(
+            config=config,
+            exclude=model.exclude,
+            feature_vectors=dataset.test_x[indices],
+            model=model,
+            description=(
+                f"{spec.dataset} ({num_features} Boolean features, "
+                f"{spec.clauses_per_polarity} clauses per polarity)"
+            ),
+        )
     _WORKLOAD_CACHE[key] = (workload, accuracy)
     return workload, accuracy
 
@@ -252,40 +259,44 @@ def _evaluate_dual_rail(
 ) -> DesignPoint:
     config = style_config(spec.style, workload.config)
     timed = truncate_workload(workload, settings.timing_operands)
-    if timing_backend != "event" or backend == "event":
-        # Both the fully-vectorized path (one timed pass over the *full*
-        # stream — no prefix truncation) and the fully-event path are the
-        # Table-I measurement itself: route through measure_dual_rail so
-        # DSE axes cannot drift from the paper-artefact harness.
-        timed = workload
-        measurement = measure_dual_rail(
-            replace_config(workload, config), library, vdd=spec.vdd,
-            check_monotonic=False, backend="event",
-            timing_backend=timing_backend,
-        )
-        correctness = measurement.correctness
-        energy = measurement.power.energy_per_operation_fj
-        latency = measurement.latency
-        throughput = measurement.throughput_millions
-        synthesis_metrics = measurement.synthesis.metrics()
-    else:
-        mapped = build_mapped_dual_rail(config, library, vdd=spec.vdd)
-        functional = batch_functional_pass(
-            mapped.datapath, mapped.circuit, replace_config(workload, config),
-            library, vdd=spec.vdd, with_activity=True, backend=backend,
-        )
-        correctness = functional.correctness
-        energy = functional.energy_per_inference_fj
-        bench = make_dual_rail_environment(mapped)
-        results = []
-        for features in timed.feature_vectors:
-            assignments = mapped.datapath.operand_assignments(features, workload.exclude)
-            results.append(bench.environment.infer(assignments))
-        latency = summarize_latencies(results)
-        throughput = dual_rail_throughput(
-            results, grace_period=mapped.grace.td
-        ).millions_per_second
-        synthesis_metrics = mapped.synthesis.metrics()
+    with _trace.span("dse.simulate", backend=backend,
+                     timing_backend=timing_backend):
+        if timing_backend != "event" or backend == "event":
+            # Both the fully-vectorized path (one timed pass over the *full*
+            # stream — no prefix truncation) and the fully-event path are the
+            # Table-I measurement itself: route through measure_dual_rail so
+            # DSE axes cannot drift from the paper-artefact harness.
+            timed = workload
+            measurement = measure_dual_rail(
+                replace_config(workload, config), library, vdd=spec.vdd,
+                check_monotonic=False, backend="event",
+                timing_backend=timing_backend,
+            )
+            correctness = measurement.correctness
+            energy = measurement.power.energy_per_operation_fj
+            latency = measurement.latency
+            throughput = measurement.throughput_millions
+            synthesis_metrics = measurement.synthesis.metrics()
+        else:
+            mapped = build_mapped_dual_rail(config, library, vdd=spec.vdd)
+            functional = batch_functional_pass(
+                mapped.datapath, mapped.circuit, replace_config(workload, config),
+                library, vdd=spec.vdd, with_activity=True, backend=backend,
+            )
+            correctness = functional.correctness
+            energy = functional.energy_per_inference_fj
+            bench = make_dual_rail_environment(mapped)
+            results = []
+            for features in timed.feature_vectors:
+                assignments = mapped.datapath.operand_assignments(
+                    features, workload.exclude
+                )
+                results.append(bench.environment.infer(assignments))
+            latency = summarize_latencies(results)
+            throughput = dual_rail_throughput(
+                results, grace_period=mapped.grace.td
+            ).millions_per_second
+            synthesis_metrics = mapped.synthesis.metrics()
     return DesignPoint(
         spec=spec,
         backend=backend,
@@ -379,13 +390,17 @@ def evaluate_point(
             f"{spec.label()} is infeasible: {spec.vdd} V is below the "
             f"functional floor of {spec.library}"
         )
-    library = default_libraries()[spec.library]
-    workload, accuracy = build_spec_workload(spec, settings)
-    if is_dual_rail(spec.style):
-        return _evaluate_dual_rail(
-            spec, settings, workload, accuracy, library, backend, timing_backend
+    with _trace.span("dse.point", label=spec.label(), backend=backend):
+        library = default_libraries()[spec.library]
+        workload, accuracy = build_spec_workload(spec, settings)
+        if is_dual_rail(spec.style):
+            return _evaluate_dual_rail(
+                spec, settings, workload, accuracy, library, backend,
+                timing_backend,
+            )
+        return _evaluate_synchronous(
+            spec, settings, workload, accuracy, library, backend
         )
-    return _evaluate_synchronous(spec, settings, workload, accuracy, library, backend)
 
 
 def _sweep_worker(

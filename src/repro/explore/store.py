@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.circuits.library import CellLibrary
+from repro.obs import metrics as _metrics
 
 #: Bump when datapath construction, mapping or measurement semantics change
 #: in a way that alters what a stored DesignPoint would contain.
@@ -104,6 +105,13 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        registry = _metrics.default_registry()
+        self._hits_metric = registry.counter(
+            "store_cache_hits", "ResultStore lookups served from disk."
+        )
+        self._misses_metric = registry.counter(
+            "store_cache_misses", "ResultStore lookups that forced evaluation."
+        )
 
     # ------------------------------------------------------------- internals
     def _path(self, key: str) -> Path:
@@ -121,6 +129,7 @@ class ResultStore:
         path = self._path(key)
         if not path.exists():
             self.misses += 1
+            self._misses_metric.inc()
             return None
         try:
             record = json.loads(path.read_text())
@@ -132,12 +141,14 @@ class ResultStore:
         except (ValueError, KeyError, TypeError, json.JSONDecodeError):
             self.corrupt += 1
             self.misses += 1
+            self._misses_metric.inc()
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         self.hits += 1
+        self._hits_metric.inc()
         return point
 
     def put(self, key: str, point) -> Path:

@@ -1,0 +1,67 @@
+"""Unified telemetry for the reproduction: tracing, metrics, profiles.
+
+Three dependency-free pillars (see ``docs/guides/observability.md``):
+
+* :mod:`repro.obs.trace` — nestable wall-time spans, thread/async-safe
+  via ``contextvars``, propagated across ``run_parallel`` worker
+  processes and asyncio tasks; zero-cost no-ops while disabled.
+* :mod:`repro.obs.metrics` — a typed registry of counters, gauges, and
+  fixed-bucket histograms, snapshotable to JSON and renderable in the
+  Prometheus text exposition format.
+* :mod:`repro.obs.profile` — Chrome/Perfetto ``trace_event`` export,
+  per-span self-time tables, and the ``--trace-out`` CLI session helper.
+
+:mod:`repro.obs.schema` validates the emitted artifacts structurally
+(used by the ``obs-smoke`` CI job).  This package deliberately imports
+nothing from the rest of ``repro`` — instrumented modules import *it*,
+never the other way around.
+"""
+
+from . import metrics, profile, schema, trace
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from .profile import (
+    self_time_table,
+    to_trace_events,
+    tracing_session,
+    write_trace,
+)
+from .schema import (
+    METRICS_SNAPSHOT_SCHEMA,
+    TRACE_EVENTS_SCHEMA,
+    SchemaError,
+    validate_metrics_snapshot,
+    validate_trace_events,
+)
+from .trace import SpanRecord, Tracer, capture, default_tracer, span
+
+__all__ = [
+    "METRICS_SNAPSHOT_SCHEMA",
+    "TRACE_EVENTS_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SchemaError",
+    "SpanRecord",
+    "Tracer",
+    "capture",
+    "default_registry",
+    "default_tracer",
+    "metrics",
+    "profile",
+    "schema",
+    "self_time_table",
+    "span",
+    "to_trace_events",
+    "trace",
+    "tracing_session",
+    "validate_metrics_snapshot",
+    "validate_trace_events",
+    "write_trace",
+]

@@ -1,0 +1,329 @@
+"""Typed metrics registry: counters, gauges, fixed-bucket histograms.
+
+A deliberately small, dependency-free subset of the Prometheus data
+model — enough to expose the serving gateway's counters
+(``requests_total``, ``flush_reason``), queue depth, cache hit rates, and
+backend throughput over the TCP ``metrics`` line-command, without pulling
+in a client library.
+
+Metrics are get-or-create by name on a :class:`MetricsRegistry`;
+label sets are applied per observation (``counter.inc(reason="full")``).
+Two render targets:
+
+* :meth:`MetricsRegistry.snapshot` — a plain JSON-able dict, used by
+  tests, the schema check in CI, and ``--metrics-out`` CLI flags.
+* :meth:`MetricsRegistry.render_prometheus` — the text exposition format
+  (``# HELP`` / ``# TYPE`` / ``name{label="v"} value``) served by
+  :class:`repro.serve.server.InferenceServer` on a bare ``metrics`` line.
+
+Everything is lock-guarded; observations may come from worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter_total",
+    "default_registry",
+    "series_value",
+]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    """Normalize a label mapping into a hashable, sorted key."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: LabelKey) -> str:
+    """Render a label key as the ``{name="value"}`` exposition suffix."""
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared name/help/lock plumbing for all metric types."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str) -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    def header_lines(self) -> List[str]:
+        """The ``# HELP`` / ``# TYPE`` exposition preamble."""
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+
+class Counter(_Metric):
+    """A monotonically increasing per-label-set count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str) -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Add *amount* (default 1) to the series selected by *labels*."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """The current count for one label set (0 if never incremented)."""
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able state: kind, help, and every labelled series."""
+        with self._lock:
+            series = [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ]
+        return {"kind": self.kind, "help": self.help, "series": series}
+
+    def render(self) -> List[str]:
+        """Exposition-format sample lines for this counter."""
+        with self._lock:
+            items = sorted(self._values.items())
+        lines = self.header_lines()
+        if not items:
+            lines.append(f"{self.name} 0")
+        for key, value in items:
+            lines.append(f"{self.name}{_format_labels(key)} {_render_value(value)}")
+        return lines
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depth, throughput)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str) -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Set the series selected by *labels* to *value*."""
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Adjust the series by *amount* (may be negative)."""
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """The current value for one label set (0 if never set)."""
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able state: kind, help, and every labelled series."""
+        with self._lock:
+            series = [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._values.items())
+            ]
+        return {"kind": self.kind, "help": self.help, "series": series}
+
+    def render(self) -> List[str]:
+        """Exposition-format sample lines for this gauge."""
+        with self._lock:
+            items = sorted(self._values.items())
+        lines = self.header_lines()
+        if not items:
+            lines.append(f"{self.name} 0")
+        for key, value in items:
+            lines.append(f"{self.name}{_format_labels(key)} {_render_value(value)}")
+        return lines
+
+
+class Histogram(_Metric):
+    """A fixed-bucket histogram (cumulative ``le`` buckets, sum, count)."""
+
+    kind = "histogram"
+
+    #: Default upper bounds, in seconds — tuned for gateway latencies.
+    DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(buckets if buckets is not None else self.DEFAULT_BUCKETS)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name} buckets must be sorted and unique")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # final slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation into the cumulative buckets."""
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[index] += 1
+                    return
+            self._counts[-1] += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able state: bucket bounds, per-bucket counts, sum, count."""
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "help": self.help,
+                "buckets": list(self.buckets),
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+    def render(self) -> List[str]:
+        """Exposition-format ``_bucket`` / ``_sum`` / ``_count`` lines."""
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            acc_sum = self._sum
+        lines = self.header_lines()
+        cumulative = 0
+        for bound, count in zip(self.buckets, counts[:-1]):
+            cumulative += count
+            lines.append(f'{self.name}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {total}')
+        lines.append(f"{self.name}_sum {_render_value(acc_sum)}")
+        lines.append(f"{self.name}_count {total}")
+        return lines
+
+
+def _render_value(value: float) -> str:
+    """Render a sample value: integral floats without the trailing ``.0``."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Get-or-create home for named metrics, snapshotable and renderable.
+
+    Re-registering a name with the same type returns the existing metric
+    (so instrumented modules need no global wiring); re-registering with
+    a *different* type raises, catching collisions early.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter *name*."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge *name*."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        """Get or create the histogram *name* (buckets fixed at creation)."""
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Histogram(name, help, buckets)
+                self._metrics[name] = metric
+            elif not isinstance(metric, Histogram):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def _get_or_create(self, cls: type, name: str, help: str) -> Any:
+        """Shared get-or-create with type-collision detection."""
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help)
+                self._metrics[name] = metric
+            elif type(metric) is not cls:
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def names(self) -> List[str]:
+        """The registered metric names, sorted."""
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-able ``{name: metric-state}`` dict of every metric."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: metrics[name].snapshot() for name in sorted(metrics)}
+
+    def render_prometheus(self) -> str:
+        """The full registry in Prometheus text exposition format."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        lines: List[str] = []
+        for name in sorted(metrics):
+            lines.extend(metrics[name].render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        """Drop every registered metric (tests only)."""
+        with self._lock:
+            self._metrics = {}
+
+
+#: The process-wide registry instrumented modules default to.
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry used when none is passed explicitly."""
+    return _DEFAULT
+
+
+def counter_total(snapshot: Dict[str, Any]) -> float:
+    """Sum a counter snapshot's series — the label-agnostic total."""
+    return sum(entry["value"] for entry in snapshot.get("series", ()))
+
+
+def series_value(
+    snapshot: Dict[str, Any], **labels: Any
+) -> float:
+    """Pull one labelled series' value out of a counter/gauge snapshot."""
+    want = {str(k): str(v) for k, v in labels.items()}
+    for entry in snapshot.get("series", ()):
+        if entry["labels"] == want:
+            return entry["value"]
+    return 0.0

@@ -1,0 +1,135 @@
+"""Profile export and analysis on top of :mod:`repro.obs.trace`.
+
+Converts collected :class:`~repro.obs.trace.SpanRecord` trees into the
+Chrome/Perfetto ``trace_event`` JSON format (open the file at
+``https://ui.perfetto.dev`` or ``chrome://tracing``), computes per-name
+self-time tables for quick ``trace_report`` summaries, and provides the
+:func:`tracing_session` context manager the example CLIs wrap their main
+body in to implement ``--trace-out``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from . import trace as _trace
+from .trace import SpanRecord
+
+__all__ = [
+    "format_table",
+    "self_time_table",
+    "to_trace_events",
+    "tracing_session",
+    "write_trace",
+]
+
+
+def to_trace_events(records: Iterable[SpanRecord]) -> Dict[str, Any]:
+    """Convert span records to a Chrome ``trace_event`` JSON document.
+
+    Each span becomes one complete event (``"ph": "X"``) with
+    microsecond ``ts``/``dur``.  Timestamps are normalized so the
+    earliest span starts at ``ts = 0`` — absolute ``perf_counter``
+    origins are meaningless across runs.  Span attributes (plus the span
+    ids, for tree reconstruction) travel in ``args``.
+    """
+    records = list(records)
+    origin = min((r.start_us for r in records), default=0.0)
+    events = []
+    for record in sorted(records, key=lambda r: r.start_us):
+        args: Dict[str, Any] = {"span_id": record.span_id}
+        if record.parent_id is not None:
+            args["parent_id"] = record.parent_id
+        args.update(record.attrs)
+        events.append(
+            {
+                "name": record.name,
+                "ph": "X",
+                "ts": round(record.start_us - origin, 3),
+                "dur": round(record.duration_us, 3),
+                "pid": record.pid,
+                "tid": record.tid,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_trace(
+    path: Union[str, Path], records: Iterable[SpanRecord]
+) -> None:
+    """Write records to *path*: JSON lines for ``.jsonl``, else Chrome JSON."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        _trace.export_jsonl(path, records)
+    else:
+        payload = to_trace_events(records)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def self_time_table(
+    records: Iterable[SpanRecord], top: Optional[int] = None
+) -> List[Dict[str, Any]]:
+    """Aggregate per span *name*: call count, total time, self time.
+
+    Self time is a span's duration minus the durations of its *direct*
+    children — the part actually spent in that stage rather than in
+    instrumented sub-stages.  Rows are sorted by self time, descending;
+    *top* truncates the table.  Times are in microseconds.
+    """
+    records = list(records)
+    child_time: Dict[str, float] = {}
+    for record in records:
+        if record.parent_id is not None:
+            child_time[record.parent_id] = (
+                child_time.get(record.parent_id, 0.0) + record.duration_us
+            )
+    rows: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        row = rows.setdefault(
+            record.name, {"name": record.name, "count": 0,
+                          "total_us": 0.0, "self_us": 0.0}
+        )
+        row["count"] += 1
+        row["total_us"] += record.duration_us
+        self_us = record.duration_us - child_time.get(record.span_id, 0.0)
+        row["self_us"] += max(0.0, self_us)
+    table = sorted(rows.values(), key=lambda r: r["self_us"], reverse=True)
+    return table[:top] if top is not None else table
+
+
+def format_table(rows: Sequence[Dict[str, Any]]) -> List[str]:
+    """Render a :func:`self_time_table` as aligned report lines."""
+    lines = [f"{'span':<28} {'count':>7} {'total ms':>10} {'self ms':>10}"]
+    for row in rows:
+        lines.append(
+            f"{row['name']:<28} {row['count']:>7} "
+            f"{row['total_us'] / 1e3:>10.3f} {row['self_us'] / 1e3:>10.3f}"
+        )
+    return lines
+
+
+@contextlib.contextmanager
+def tracing_session(path: Optional[Union[str, Path]]) -> Iterator[None]:
+    """Enable tracing for a CLI run and write the profile on exit.
+
+    The ``--trace-out`` implementation: a falsy *path* makes this a
+    no-op, otherwise the default tracer is reset + enabled for the body
+    and the collected records are written to *path* (Chrome JSON, or
+    JSON lines when *path* ends in ``.jsonl``) even if the body raises —
+    a profile of a failed run is the one you want most.
+    """
+    if not path:
+        yield
+        return
+    _trace.reset()
+    _trace.enable()
+    try:
+        yield
+    finally:
+        records = _trace.drain()
+        _trace.disable()
+        write_trace(path, records)

@@ -1,0 +1,187 @@
+"""Dependency-free structural validation for telemetry artifacts.
+
+The ``obs-smoke`` CI job validates the emitted profiles and metrics
+snapshots before uploading them; rather than adding a ``jsonschema``
+dependency, this module implements the small JSON-Schema subset those
+checks need (``type``, ``required``, ``properties``,
+``additionalProperties``, ``items``, ``enum``, ``minItems``,
+``minimum``) plus the two concrete schemas:
+
+* :data:`TRACE_EVENTS_SCHEMA` — a Chrome ``trace_event`` document as
+  produced by :func:`repro.obs.profile.to_trace_events`.
+* :data:`METRICS_SNAPSHOT_SCHEMA` — a
+  :meth:`repro.obs.metrics.MetricsRegistry.snapshot` payload.
+
+Validation failures raise :class:`SchemaError` with a JSON-pointer-style
+path, so a CI failure names the offending field directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = [
+    "METRICS_SNAPSHOT_SCHEMA",
+    "SchemaError",
+    "TRACE_EVENTS_SCHEMA",
+    "validate",
+    "validate_metrics_snapshot",
+    "validate_trace_events",
+]
+
+
+class SchemaError(ValueError):
+    """A document failed schema validation; ``path`` locates the failure."""
+
+    def __init__(self, path: str, message: str) -> None:
+        self.path = path or "/"
+        super().__init__(f"{self.path}: {message}")
+
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _check_type(value: Any, expected: str, path: str) -> None:
+    """Enforce one JSON type name (numbers accept int-but-not-bool)."""
+    if expected == "number":
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SchemaError(path, f"expected number, got {type(value).__name__}")
+        return
+    if expected == "integer":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise SchemaError(path, f"expected integer, got {type(value).__name__}")
+        return
+    cls = _TYPES.get(expected)
+    if cls is None:
+        raise SchemaError(path, f"unknown schema type {expected!r}")
+    if not isinstance(value, cls):
+        raise SchemaError(path, f"expected {expected}, got {type(value).__name__}")
+
+
+def validate(value: Any, schema: Dict[str, Any], path: str = "") -> None:
+    """Validate *value* against the supported JSON-Schema subset.
+
+    Raises :class:`SchemaError` on the first violation; returns ``None``
+    on success.
+    """
+    expected_type = schema.get("type")
+    if expected_type is not None:
+        if isinstance(expected_type, list):
+            for candidate in expected_type:
+                try:
+                    _check_type(value, candidate, path)
+                    break
+                except SchemaError:
+                    continue
+            else:
+                raise SchemaError(
+                    path, f"expected one of {expected_type}, "
+                    f"got {type(value).__name__}"
+                )
+        else:
+            _check_type(value, expected_type, path)
+    if "enum" in schema and value not in schema["enum"]:
+        raise SchemaError(path, f"{value!r} not in enum {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            raise SchemaError(path, f"{value} < minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for name in schema.get("required", ()):
+            if name not in value:
+                raise SchemaError(path, f"missing required property {name!r}")
+        properties = schema.get("properties", {})
+        for name, sub in properties.items():
+            if name in value:
+                validate(value[name], sub, f"{path}/{name}")
+        extra = schema.get("additionalProperties")
+        if extra is False:
+            unknown = sorted(set(value) - set(properties))
+            if unknown:
+                raise SchemaError(path, f"unexpected properties {unknown}")
+        elif isinstance(extra, dict):
+            for name, item in value.items():
+                if name not in properties:
+                    validate(item, extra, f"{path}/{name}")
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            raise SchemaError(
+                path, f"expected at least {schema['minItems']} items, "
+                f"got {len(value)}"
+            )
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for index, item in enumerate(value):
+                validate(item, items, f"{path}/{index}")
+
+
+#: Schema for a Chrome ``trace_event`` profile document.
+TRACE_EVENTS_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["traceEvents"],
+    "properties": {
+        "displayTimeUnit": {"type": "string"},
+        "traceEvents": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["name", "ph", "ts", "dur", "pid", "tid"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "ph": {"enum": ["X"]},
+                    "ts": {"type": "number", "minimum": 0},
+                    "dur": {"type": "number", "minimum": 0},
+                    "pid": {"type": "integer", "minimum": 0},
+                    "tid": {"type": "integer", "minimum": 0},
+                    "args": {"type": "object"},
+                },
+            },
+        },
+    },
+}
+
+#: Schema for a :meth:`MetricsRegistry.snapshot` payload.
+METRICS_SNAPSHOT_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "additionalProperties": {
+        "type": "object",
+        "required": ["kind", "help"],
+        "properties": {
+            "kind": {"enum": ["counter", "gauge", "histogram"]},
+            "help": {"type": "string"},
+            "series": {
+                "type": "array",
+                "items": {
+                    "type": "object",
+                    "required": ["labels", "value"],
+                    "properties": {
+                        "labels": {"type": "object"},
+                        "value": {"type": "number"},
+                    },
+                },
+            },
+            "buckets": {"type": "array", "items": {"type": "number"}},
+            "counts": {"type": "array", "items": {"type": "integer"}},
+            "sum": {"type": "number"},
+            "count": {"type": "integer", "minimum": 0},
+        },
+    },
+}
+
+
+def validate_trace_events(payload: Dict[str, Any]) -> List[str]:
+    """Validate a Chrome trace document; return its sorted span names."""
+    validate(payload, TRACE_EVENTS_SCHEMA)
+    return sorted({event["name"] for event in payload["traceEvents"]})
+
+
+def validate_metrics_snapshot(payload: Dict[str, Any]) -> List[str]:
+    """Validate a metrics snapshot; return its sorted metric names."""
+    validate(payload, METRICS_SNAPSHOT_SCHEMA)
+    return sorted(payload)

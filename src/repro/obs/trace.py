@@ -1,0 +1,392 @@
+"""Wall-time tracing spans: nestable, thread/async-safe, cross-process.
+
+The tracer records a tree of named wall-clock intervals ("spans") around
+the hot pipeline stages — compile, pack/level/unpack loops, timed-engine
+phases, DSE evaluation, gateway batching — and exports them as JSON lines
+or Chrome/Perfetto ``trace_event`` JSON (see :mod:`repro.obs.profile`).
+
+Design constraints, in priority order:
+
+**Zero cost when disabled.**  ``span()`` on a disabled tracer returns a
+shared no-op singleton; the only work on the hot path is one attribute
+read and one ``is``-comparable branch.  The <3% overhead budget on the
+bitpack throughput benchmark (``benchmarks/test_obs_overhead.py``) is the
+enforced contract.
+
+**Thread- and async-safety.**  The "current span" is a
+:class:`contextvars.ContextVar`, so concurrent asyncio tasks (the serve
+gateway spawns one task per request line) and worker threads each see
+their own span stack, and a task created inside a span inherits that span
+as parent — asyncio copies the context at task creation.
+
+**Cross-process propagation.**  Span ids embed the producing PID, so ids
+never collide between a parent and its pool workers.  A worker wraps its
+chunk in :func:`capture` and ships the finished records back with the
+chunk results; the parent re-parents the worker's root spans onto its own
+``run_parallel`` span via :func:`reparent` and folds them in with
+:func:`adopt`.  Timestamps are ``time.perf_counter`` based, which on
+Linux is the system-wide ``CLOCK_MONOTONIC`` — comparable across the
+fork/spawn boundary on the platforms CI runs on.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "adopt",
+    "capture",
+    "current_span_id",
+    "default_tracer",
+    "disable",
+    "drain",
+    "enable",
+    "enabled",
+    "export_jsonl",
+    "load_jsonl",
+    "records",
+    "reparent",
+    "reset",
+    "span",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span: a named wall-clock interval in the trace tree.
+
+    ``start_us`` is an *absolute* ``perf_counter`` microsecond value; the
+    exporters normalize to the earliest record, so only differences are
+    meaningful.  ``span_id`` / ``parent_id`` are ``"<pid-hex>:<n>"``
+    strings, unique across the processes that contribute to one trace.
+    """
+
+    name: str
+    span_id: str
+    parent_id: Optional[str]
+    start_us: float
+    duration_us: float
+    pid: int
+    tid: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-lines wire form of this record."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_us": self.start_us,
+            "duration_us": self.duration_us,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SpanRecord":
+        """Rebuild a record from its :meth:`to_dict` form."""
+        return cls(
+            name=payload["name"],
+            span_id=payload["span_id"],
+            parent_id=payload.get("parent_id"),
+            start_us=float(payload["start_us"]),
+            duration_us=float(payload["duration_us"]),
+            pid=int(payload.get("pid", 0)),
+            tid=int(payload.get("tid", 0)),
+            attrs=dict(payload.get("attrs", {})),
+        )
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        """No-op context entry."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """No-op context exit."""
+
+    def add(self, **attrs: Any) -> None:
+        """Discard post-creation attributes."""
+
+
+#: The singleton returned by :meth:`Tracer.span` when tracing is off.
+NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """A live span: measures wall time between ``__enter__``/``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "span_id", "attrs", "_start", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = tracer._next_id()
+        self.attrs = attrs
+        self._start = 0.0
+        self._token: Optional[contextvars.Token] = None
+
+    def add(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-span (counts, sizes, reasons)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        """Start the clock and become the context's current span."""
+        self._token = self._tracer._current.set(self.span_id)
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Stop the clock, restore the parent span, record the interval."""
+        end = perf_counter()
+        token = self._token
+        parent_id: Optional[str] = None
+        if token is not None:
+            parent_id = token.old_value
+            if parent_id is contextvars.Token.MISSING:
+                parent_id = None
+            self._tracer._current.reset(token)
+        self._tracer._record(
+            SpanRecord(
+                name=self.name,
+                span_id=self.span_id,
+                parent_id=parent_id,
+                start_us=self._start * 1e6,
+                duration_us=(end - self._start) * 1e6,
+                pid=os.getpid(),
+                tid=threading.get_ident() & 0xFFFFFFFF,
+                attrs=self.attrs,
+            )
+        )
+
+
+class Tracer:
+    """A span recorder: hands out spans, collects finished records.
+
+    One module-level instance (:func:`default_tracer`) backs the whole
+    process; instrumented code calls the module-level :func:`span` so the
+    tracer can be swapped in tests.  All mutation of the record list is
+    lock-guarded — spans may finish on worker threads.
+    """
+
+    def __init__(self) -> None:
+        self._enabled = False
+        self._records: List[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._current: contextvars.ContextVar[Optional[str]] = (
+            contextvars.ContextVar("repro_obs_current_span", default=None)
+        )
+
+    # ------------------------------------------------------------- control
+    @property
+    def enabled(self) -> bool:
+        """Whether :meth:`span` returns live spans."""
+        return self._enabled
+
+    def enable(self) -> None:
+        """Start handing out live spans."""
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Return to the zero-cost no-op path."""
+        self._enabled = False
+
+    def reset(self) -> None:
+        """Drop all collected records and restart the id counter."""
+        with self._lock:
+            self._records = []
+            self._counter = 0
+
+    # -------------------------------------------------------------- spans
+    def span(self, name: str, **attrs: Any) -> Union[_Span, _NoopSpan]:
+        """Open a span named *name*; a no-op singleton when disabled.
+
+        Use as a context manager::
+
+            with trace.span("backend.compile", cells=42):
+                ...
+        """
+        if not self._enabled:
+            return NOOP_SPAN
+        return _Span(self, name, attrs)
+
+    def current_span_id(self) -> Optional[str]:
+        """The id of the innermost open span in this context, if any."""
+        return self._current.get()
+
+    def _next_id(self) -> str:
+        """Allocate a process-unique, cross-process-collision-free id."""
+        with self._lock:
+            self._counter += 1
+            return f"{os.getpid():x}:{self._counter}"
+
+    def _record(self, record: SpanRecord) -> None:
+        """Append one finished span (worker threads included)."""
+        with self._lock:
+            self._records.append(record)
+
+    # ------------------------------------------------------------ records
+    def records(self) -> List[SpanRecord]:
+        """A snapshot copy of the records collected so far."""
+        with self._lock:
+            return list(self._records)
+
+    def drain(self) -> List[SpanRecord]:
+        """Return all collected records and clear the buffer."""
+        with self._lock:
+            out = self._records
+            self._records = []
+            return out
+
+    def adopt(self, records: Iterable[SpanRecord]) -> None:
+        """Fold records produced elsewhere (a worker process) into this trace."""
+        with self._lock:
+            self._records.extend(records)
+
+
+#: The process-wide tracer behind the module-level helpers.
+_DEFAULT = Tracer()
+
+
+def default_tracer() -> Tracer:
+    """The process-wide tracer used by the module-level helpers."""
+    return _DEFAULT
+
+
+def span(name: str, **attrs: Any) -> Union[_Span, _NoopSpan]:
+    """Open a span on the default tracer (no-op while disabled)."""
+    return _DEFAULT.span(name, **attrs)
+
+
+def enable() -> None:
+    """Enable the default tracer."""
+    _DEFAULT.enable()
+
+
+def disable() -> None:
+    """Disable the default tracer."""
+    _DEFAULT.disable()
+
+
+def enabled() -> bool:
+    """Whether the default tracer is recording."""
+    return _DEFAULT.enabled
+
+
+def reset() -> None:
+    """Clear the default tracer's records."""
+    _DEFAULT.reset()
+
+
+def records() -> List[SpanRecord]:
+    """Snapshot the default tracer's records."""
+    return _DEFAULT.records()
+
+
+def drain() -> List[SpanRecord]:
+    """Drain the default tracer's records."""
+    return _DEFAULT.drain()
+
+
+def adopt(records: Iterable[SpanRecord]) -> None:
+    """Fold externally produced records into the default tracer."""
+    _DEFAULT.adopt(records)
+
+
+def current_span_id() -> Optional[str]:
+    """The innermost open span id on the default tracer, if any."""
+    return _DEFAULT.current_span_id()
+
+
+class capture:
+    """Context manager: record spans into a private buffer, then hand them over.
+
+    Used by ``run_parallel`` pool workers — the worker may have inherited
+    a half-filled record list through ``fork``, so :class:`capture` swaps
+    in a fresh buffer, force-enables tracing, clears the inherited
+    "current span" for this context, and on exit restores everything and
+    exposes the collected records as :attr:`records`::
+
+        with capture() as grabbed:
+            with span("run_parallel.chunk"):
+                ...
+        ship(grabbed.records)
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self._tracer = tracer or _DEFAULT
+        self.records: List[SpanRecord] = []
+        self._saved: List[SpanRecord] = []
+        self._was_enabled = False
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> "capture":
+        """Swap in a fresh buffer and enable tracing."""
+        tracer = self._tracer
+        with tracer._lock:
+            self._saved = tracer._records
+            tracer._records = []
+        self._was_enabled = tracer._enabled
+        self._token = tracer._current.set(None)
+        tracer.enable()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Collect the buffer and restore the tracer's previous state."""
+        tracer = self._tracer
+        with tracer._lock:
+            self.records = tracer._records
+            tracer._records = self._saved
+        if self._token is not None:
+            tracer._current.reset(self._token)
+        if not self._was_enabled:
+            tracer.disable()
+
+
+def reparent(
+    records: Iterable[SpanRecord], parent_id: Optional[str]
+) -> List[SpanRecord]:
+    """Attach root records (``parent_id is None``) under *parent_id*.
+
+    Non-root records keep their parents; this is how a worker chunk's
+    span tree is grafted under the coordinating ``run_parallel`` span.
+    """
+    out = []
+    for record in records:
+        if record.parent_id is None:
+            record.parent_id = parent_id
+        out.append(record)
+    return out
+
+
+def export_jsonl(
+    path: Union[str, Path], records: Iterable[SpanRecord]
+) -> None:
+    """Write *records* as JSON lines (one span object per line)."""
+    lines = [json.dumps(record.to_dict(), sort_keys=True) for record in records]
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+
+def load_jsonl(path: Union[str, Path]) -> List[SpanRecord]:
+    """Read a JSON-lines trace back into :class:`SpanRecord` objects."""
+    out = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            out.append(SpanRecord.from_dict(json.loads(line)))
+    return out

@@ -32,11 +32,13 @@ waits for in-flight replies and only then releases the classifier.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Set
 
 import numpy as np
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.sim.backends.bitpack import WORD_BITS
 
 from .worker import (
@@ -123,6 +125,17 @@ class GatewayStats:
 
     ``batching_efficiency`` is mean dispatched occupancy over ``max_batch``
     — 1.0 means every dispatched word was full.
+
+    The counters only ever grow, which makes "how did *this* window go?"
+    questions error-prone to answer by hand.  Take a :meth:`snapshot`
+    before the window and a :meth:`delta` after it::
+
+        before = gateway.stats.snapshot()
+        ...  # drive load
+        window = gateway.stats.delta(before)   # per-window counters
+
+    ``run_load`` and the serve-smoke CI job both read per-run values this
+    way instead of subtracting individual fields.
     """
 
     submitted: int = 0
@@ -141,6 +154,29 @@ class GatewayStats:
         if self.batches == 0:
             return 0.0
         return self.lanes / (self.batches * self.max_batch)
+
+    def snapshot(self) -> "GatewayStats":
+        """An immutable copy of the counters as of now."""
+        return replace(self)
+
+    def delta(self, since: "GatewayStats") -> "GatewayStats":
+        """The per-window counters accumulated since *since*.
+
+        ``max_batch`` is configuration, not a counter, so it carries over
+        unchanged — ``delta(...).batching_efficiency`` is therefore the
+        *window's* efficiency.
+        """
+        return GatewayStats(
+            submitted=self.submitted - since.submitted,
+            completed=self.completed - since.completed,
+            rejected=self.rejected - since.rejected,
+            batches=self.batches - since.batches,
+            lanes=self.lanes - since.lanes,
+            full_flushes=self.full_flushes - since.full_flushes,
+            deadline_flushes=self.deadline_flushes - since.deadline_flushes,
+            drain_flushes=self.drain_flushes - since.drain_flushes,
+            max_batch=self.max_batch,
+        )
 
 
 @dataclass
@@ -177,6 +213,7 @@ class MicroBatchGateway:
         spec: Optional[ModelSpec] = None,
         config: Optional[GatewayConfig] = None,
         classifier=None,
+        registry: Optional[_metrics.MetricsRegistry] = None,
     ) -> None:
         if (spec is None) == (classifier is None):
             raise ValueError("provide exactly one of spec or classifier")
@@ -191,6 +228,19 @@ class MicroBatchGateway:
         self._running = False
         self._closing = False
         self.stats = GatewayStats(max_batch=self.config.max_batch)
+        #: The metrics registry this gateway reports into (the process-wide
+        #: default unless injected); also what the TCP ``metrics`` command
+        #: renders.
+        self.registry = registry or _metrics.default_registry()
+        self._requests_total = self.registry.counter(
+            "requests_total", "Gateway requests by outcome."
+        )
+        self._flush_reason = self.registry.counter(
+            "flush_reason", "Dispatched micro-batches by flush reason."
+        )
+        self._queue_depth = self.registry.gauge(
+            "gateway_queue_depth", "Requests waiting in the admission queue."
+        )
 
     @staticmethod
     def _resolve_num_features(spec, classifier) -> Optional[int]:
@@ -285,15 +335,19 @@ class MicroBatchGateway:
             )
         loop = asyncio.get_running_loop()
         pending = _Pending(features=operand, future=loop.create_future())
-        try:
-            self._queue.put_nowait(pending)
-        except asyncio.QueueFull:
-            self.stats.rejected += 1
-            raise GatewayOverloaded(
-                f"request queue is full ({self.config.queue_depth} pending)"
-            ) from None
-        self.stats.submitted += 1
-        return await pending.future
+        with _trace.span("gateway.submit"):
+            try:
+                self._queue.put_nowait(pending)
+            except asyncio.QueueFull:
+                self.stats.rejected += 1
+                self._requests_total.inc(outcome="rejected")
+                raise GatewayOverloaded(
+                    f"request queue is full ({self.config.queue_depth} pending)"
+                ) from None
+            self.stats.submitted += 1
+            self._requests_total.inc(outcome="submitted")
+            self._queue_depth.set(self._queue.qsize())
+            return await pending.future
 
     # ------------------------------------------------------------- batching
     async def _run(self) -> None:
@@ -310,25 +364,27 @@ class MicroBatchGateway:
             if first is _SHUTDOWN:
                 self._dispatch_slots.release()
                 break
-            batch: List[_Pending] = [first]
-            deadline = loop.time() + self.config.max_delay_ms / 1e3
-            flush_reason = FLUSH_FULL
-            while len(batch) < self.config.max_batch:
-                remaining = deadline - loop.time()
-                if remaining <= 0:
-                    flush_reason = FLUSH_DEADLINE
-                    break
-                try:
-                    item = await asyncio.wait_for(self._queue.get(), remaining)
-                except asyncio.TimeoutError:
-                    flush_reason = FLUSH_DEADLINE
-                    break
-                if item is _SHUTDOWN:
-                    flush_reason = FLUSH_DRAIN
-                    draining = True
-                    break
-                batch.append(item)
-            self._dispatch(batch, flush_reason)
+            with _trace.span("gateway.flush") as flush_span:
+                batch: List[_Pending] = [first]
+                deadline = loop.time() + self.config.max_delay_ms / 1e3
+                flush_reason = FLUSH_FULL
+                while len(batch) < self.config.max_batch:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        flush_reason = FLUSH_DEADLINE
+                        break
+                    try:
+                        item = await asyncio.wait_for(self._queue.get(), remaining)
+                    except asyncio.TimeoutError:
+                        flush_reason = FLUSH_DEADLINE
+                        break
+                    if item is _SHUTDOWN:
+                        flush_reason = FLUSH_DRAIN
+                        draining = True
+                        break
+                    batch.append(item)
+                flush_span.add(lanes=len(batch), reason=flush_reason)
+                self._dispatch(batch, flush_reason)
         # Serve any requests that raced their way in behind the sentinel.
         leftovers: List[_Pending] = []
         while True:
@@ -340,9 +396,9 @@ class MicroBatchGateway:
                 leftovers.append(item)
         for start in range(0, len(leftovers), self.config.max_batch):
             await self._dispatch_slots.acquire()
-            self._dispatch(
-                leftovers[start: start + self.config.max_batch], FLUSH_DRAIN
-            )
+            word = leftovers[start: start + self.config.max_batch]
+            with _trace.span("gateway.flush", lanes=len(word), reason=FLUSH_DRAIN):
+                self._dispatch(word, FLUSH_DRAIN)
 
     def _dispatch(self, batch: List[_Pending], flush_reason: str) -> None:
         """Hand one collected word to the classifier without blocking."""
@@ -354,6 +410,11 @@ class MicroBatchGateway:
             self.stats.deadline_flushes += 1
         else:
             self.stats.drain_flushes += 1
+        self._flush_reason.inc(reason=flush_reason)
+        if self._queue is not None:
+            self._queue_depth.set(self._queue.qsize())
+        # The classify task copies this context at creation, so its spans
+        # nest under the surrounding gateway.flush span.
         task = asyncio.create_task(self._classify(batch, flush_reason))
         self._dispatches.add(task)
         task.add_done_callback(self._dispatches.discard)
@@ -364,20 +425,22 @@ class MicroBatchGateway:
         loop = asyncio.get_running_loop()
         executor = getattr(self._classifier, "pool", None)
         try:
-            # Inside the try so a ragged batch (possible only when the
-            # feature width is unknown at submit) still fans the error out
-            # to every future and releases the dispatch slot.
-            features = np.stack([p.features for p in batch])
-            if executor is not None:
-                from .worker import _classify_in_process
+            with _trace.span("gateway.dispatch", lanes=len(batch),
+                             reason=flush_reason):
+                # Inside the try so a ragged batch (possible only when the
+                # feature width is unknown at submit) still fans the error
+                # out to every future and releases the dispatch slot.
+                features = np.stack([p.features for p in batch])
+                if executor is not None:
+                    from .worker import _classify_in_process
 
-                reply: BatchReply = await loop.run_in_executor(
-                    executor, _classify_in_process, features
-                )
-            else:
-                reply = await loop.run_in_executor(
-                    None, self._classifier.classify, features
-                )
+                    reply: BatchReply = await loop.run_in_executor(
+                        executor, _classify_in_process, features
+                    )
+                else:
+                    reply = await loop.run_in_executor(
+                        None, self._classifier.classify, features
+                    )
         except Exception as err:  # propagate the failure to every submitter
             for pending in batch:
                 if not pending.future.done():
@@ -385,21 +448,23 @@ class MicroBatchGateway:
             return
         finally:
             self._dispatch_slots.release()
-        for index, pending in enumerate(batch):
-            if pending.future.done():
-                continue
-            pending.future.set_result(
-                ServeResult(
-                    verdict=reply.verdicts[index],
-                    decision=reply.decisions[index],
-                    batch_size=reply.samples,
-                    flush_reason=flush_reason,
-                    model_latency_ps=(
-                        reply.latency_ps[index] if reply.latency_ps else None
-                    ),
-                    model_energy_fj=(
-                        reply.energy_fj[index] if reply.energy_fj else None
-                    ),
+        with _trace.span("gateway.complete", lanes=len(batch)):
+            for index, pending in enumerate(batch):
+                if pending.future.done():
+                    continue
+                pending.future.set_result(
+                    ServeResult(
+                        verdict=reply.verdicts[index],
+                        decision=reply.decisions[index],
+                        batch_size=reply.samples,
+                        flush_reason=flush_reason,
+                        model_latency_ps=(
+                            reply.latency_ps[index] if reply.latency_ps else None
+                        ),
+                        model_energy_fj=(
+                            reply.energy_fj[index] if reply.energy_fj else None
+                        ),
+                    )
                 )
-            )
-            self.stats.completed += 1
+                self.stats.completed += 1
+                self._requests_total.inc(outcome="completed")

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from repro.analysis.latency import SloSummary, summarize_slo
+from repro.obs import trace as _trace
 
 from .gateway import GatewayOverloaded, MicroBatchGateway, ServeResult
 
@@ -186,8 +187,7 @@ async def run_load(
     operands = np.asarray(operands, dtype=np.uint8)
     if operands.ndim != 2 or operands.shape[0] == 0:
         raise ValueError("operands must be a non-empty (n, num_features) matrix")
-    batches_before = gateway.stats.batches
-    lanes_before = gateway.stats.lanes
+    before = gateway.stats.snapshot()
     results: Dict[int, ServeResult] = {}
     latencies: Dict[int, float] = {}
     rejected = 0
@@ -205,29 +205,34 @@ async def run_load(
         results[index] = result
 
     wall_start = time.perf_counter()
-    if config.mode == "open":
-        rng = np.random.default_rng(config.seed)
-        gaps = rng.exponential(1.0 / config.rate_rps, size=config.requests)
-        tasks = []
-        next_arrival = time.perf_counter()
-        for index in range(config.requests):
-            next_arrival += float(gaps[index])
-            delay = next_arrival - time.perf_counter()
-            if delay > 0:
-                await asyncio.sleep(delay)
-            tasks.append(asyncio.create_task(issue(index, scheduled=next_arrival)))
-        await asyncio.gather(*tasks)
-    else:
-        counter = iter(range(config.requests))
+    with _trace.span(
+        "loadgen.run", mode=config.mode, requests=config.requests
+    ):
+        if config.mode == "open":
+            rng = np.random.default_rng(config.seed)
+            gaps = rng.exponential(1.0 / config.rate_rps, size=config.requests)
+            tasks = []
+            next_arrival = time.perf_counter()
+            for index in range(config.requests):
+                next_arrival += float(gaps[index])
+                delay = next_arrival - time.perf_counter()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                tasks.append(
+                    asyncio.create_task(issue(index, scheduled=next_arrival))
+                )
+            await asyncio.gather(*tasks)
+        else:
+            counter = iter(range(config.requests))
 
-        async def client() -> None:
-            """One closed-loop virtual client: always one request in flight."""
-            for index in counter:
-                await issue(index)
+            async def client() -> None:
+                """One closed-loop virtual client: always one request in flight."""
+                for index in counter:
+                    await issue(index)
 
-        await asyncio.gather(
-            *(client() for _ in range(min(config.concurrency, config.requests)))
-        )
+            await asyncio.gather(
+                *(client() for _ in range(min(config.concurrency, config.requests)))
+            )
     wall_clock = time.perf_counter() - wall_start
 
     completed = sorted(results)
@@ -237,9 +242,7 @@ async def run_load(
         for k in completed
         if results[k].model_latency_ps is not None
     ]
-    stats = gateway.stats
-    run_batches = stats.batches - batches_before
-    run_lanes = stats.lanes - lanes_before
+    window = gateway.stats.delta(before)
     return LoadReport(
         mode=config.mode,
         requests=config.requests,
@@ -248,10 +251,8 @@ async def run_load(
         wall_clock_s=wall_clock,
         achieved_rps=len(completed) / wall_clock if wall_clock > 0 else 0.0,
         offered_rps=config.rate_rps if config.mode == "open" else None,
-        batches=run_batches,
-        batching_efficiency=(
-            run_lanes / (run_batches * stats.max_batch) if run_batches else 0.0
-        ),
+        batches=window.batches,
+        batching_efficiency=window.batching_efficiency,
         slo_ms=summarize_slo(latency_values).scaled(1e3),
         latencies_s=latency_values,
         verdicts=[results[k].verdict for k in completed],

@@ -21,6 +21,12 @@ for malformed lines — including feature vectors whose length does not
 match the served model, which are rejected per request *before* batching
 so one bad client can never poison a co-batched word.
 
+Besides request objects, a connection may send the bare line ``metrics``
+to read the process metrics registry in Prometheus text exposition format
+(``# HELP`` / ``# TYPE`` / samples), terminated by a ``# EOF`` line so a
+line-oriented client knows where the scrape ends; the connection stays
+usable for further requests afterwards.
+
 Lines are handled concurrently *per connection* — each line spawns a task
 and replies are serialized through a per-connection lock — so a single
 pipelined client can fill whole 64-lane words by itself.  Shutdown is
@@ -180,8 +186,17 @@ class InferenceServer:
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
     ) -> None:
-        """Parse one request line, submit it, write exactly one reply line."""
+        """Parse one request line, submit it, write exactly one reply line.
+
+        The bare command line ``metrics`` short-circuits before JSON
+        parsing and replies with the gateway registry's Prometheus text
+        (terminated by ``# EOF``) instead of a JSON object.
+        """
         request_id = None
+        if line.strip() == b"metrics":
+            payload = self.gateway.registry.render_prometheus() + "# EOF\n"
+            await self._write(writer, write_lock, payload.encode())
+            return
         try:
             request = json.loads(line)
             request_id = request.get("id") if isinstance(request, dict) else None

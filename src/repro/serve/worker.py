@@ -31,6 +31,7 @@ this).
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional
@@ -51,6 +52,8 @@ from repro.datapath.datapath import (
     DualRailDatapath,
     feature_input_name,
 )
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.sim.backends import BackendSession, get_backend
 
 
@@ -172,6 +175,10 @@ class InferenceWorker:
         self._verdict_signal = verdict_signal(self.circuit)
         self._spacer = spacer_assignments(self.circuit)
         self._output_rails = self.circuit.all_output_rails()
+        self._throughput_gauge = _metrics.default_registry().gauge(
+            "backend_samples_per_sec",
+            "Most recent micro-batch throughput of the serving backend.",
+        )
 
     def _feature_planes(self, features: np.ndarray) -> dict:
         """Per-rail input planes for a ``(batch, num_features)`` matrix."""
@@ -196,25 +203,37 @@ class InferenceWorker:
         request's simulated spacer→valid hardware latency and switching
         energy.
         """
-        planes = self._feature_planes(features)
-        if self.spec.attribution:
-            timed = self.session.run_timed(planes, self._spacer)
-            verdicts = decode_verdict_planes(timed, self._verdict_signal)
-            latency = timed.max_arrival(self._output_rails, "valid")
-            return BatchReply(
-                verdicts=verdicts,
-                decisions=[
-                    DualRailDatapath.decision_from_verdict(v) for v in verdicts
-                ],
-                latency_ps=[float(t) for t in latency],
-                energy_fj=[float(e) for e in timed.energy_per_sample_fj],
+        start = time.perf_counter()
+        with _trace.span("worker.classify", backend=self.spec.backend,
+                         lanes=int(np.shape(features)[0])):
+            planes = self._feature_planes(features)
+            if self.spec.attribution:
+                timed = self.session.run_timed(planes, self._spacer)
+                verdicts = decode_verdict_planes(timed, self._verdict_signal)
+                latency = timed.max_arrival(self._output_rails, "valid")
+                reply = BatchReply(
+                    verdicts=verdicts,
+                    decisions=[
+                        DualRailDatapath.decision_from_verdict(v) for v in verdicts
+                    ],
+                    latency_ps=[float(t) for t in latency],
+                    energy_fj=[float(e) for e in timed.energy_per_sample_fj],
+                )
+            else:
+                result = self.session.run_arrays(planes)
+                verdicts = decode_verdict_planes(result, self._verdict_signal)
+                reply = BatchReply(
+                    verdicts=verdicts,
+                    decisions=[
+                        DualRailDatapath.decision_from_verdict(v) for v in verdicts
+                    ],
+                )
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            self._throughput_gauge.set(
+                reply.samples / elapsed, backend=self.spec.backend
             )
-        result = self.session.run_arrays(planes)
-        verdicts = decode_verdict_planes(result, self._verdict_signal)
-        return BatchReply(
-            verdicts=verdicts,
-            decisions=[DualRailDatapath.decision_from_verdict(v) for v in verdicts],
-        )
+        return reply
 
 
 class InProcessClassifier:

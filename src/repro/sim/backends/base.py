@@ -49,6 +49,7 @@ from repro.circuits.gates import gate_spec, LogicValue
 from repro.circuits.levelize import levelize
 from repro.circuits.library import CellLibrary
 from repro.circuits.netlist import Netlist, NetlistError
+from repro.obs import trace as _trace
 
 
 class BackendError(Exception):
@@ -236,48 +237,50 @@ def compile_levelized_ops(
         For clocked or non-levelizable (cyclic) netlists, multi-output
         cells, or cell types *compile_cell_type* cannot handle.
     """
-    for cell in netlist.iter_cells():
-        if cell.cell_type == "DFF":
-            raise BackendError(
-                f"{backend_name} backend does not support clocked netlists "
-                "(DFF found); use the event backend for the synchronous baseline"
-            )
-    fn_cache: Dict[str, Callable] = {}
-    try:
-        levels = levelize(netlist)
-    except NetlistError as err:
-        raise BackendError(
-            f"{backend_name} backend requires a levelizable netlist: {err}; "
-            "use the event backend for cyclic designs"
-        ) from err
-    constants: List[Tuple[str, int]] = []
-    ops: List[CellOp] = []
-    for level in levels:
-        for cell in level:
-            if cell.cell_type in ("TIE0", "TIE1"):
-                value = 1 if cell.cell_type == "TIE1" else 0
-                for net in cell.outputs.values():
-                    constants.append((net, value))
-                continue
-            spec = gate_spec(cell.cell_type)
-            if len(spec.output_pins) != 1:
+    with _trace.span("backend.compile", backend=backend_name) as compile_span:
+        for cell in netlist.iter_cells():
+            if cell.cell_type == "DFF":
                 raise BackendError(
-                    f"{backend_name} backend expects single-output cells, "
-                    f"got {cell.cell_type!r}"
+                    f"{backend_name} backend does not support clocked netlists "
+                    "(DFF found); use the event backend for the synchronous baseline"
                 )
-            fn = fn_cache.get(cell.cell_type)
-            if fn is None:
-                fn = compile_cell_type(cell.cell_type)
-                fn_cache[cell.cell_type] = fn
-            ops.append(
-                CellOp(
-                    cell_name=cell.name,
-                    cell_type=cell.cell_type,
-                    in_nets=tuple(cell.inputs[pin] for pin in spec.input_pins),
-                    out_net=cell.outputs[spec.output_pins[0]],
-                    fn=fn,
+        fn_cache: Dict[str, Callable] = {}
+        try:
+            levels = levelize(netlist)
+        except NetlistError as err:
+            raise BackendError(
+                f"{backend_name} backend requires a levelizable netlist: {err}; "
+                "use the event backend for cyclic designs"
+            ) from err
+        constants: List[Tuple[str, int]] = []
+        ops: List[CellOp] = []
+        for level in levels:
+            for cell in level:
+                if cell.cell_type in ("TIE0", "TIE1"):
+                    value = 1 if cell.cell_type == "TIE1" else 0
+                    for net in cell.outputs.values():
+                        constants.append((net, value))
+                    continue
+                spec = gate_spec(cell.cell_type)
+                if len(spec.output_pins) != 1:
+                    raise BackendError(
+                        f"{backend_name} backend expects single-output cells, "
+                        f"got {cell.cell_type!r}"
+                    )
+                fn = fn_cache.get(cell.cell_type)
+                if fn is None:
+                    fn = compile_cell_type(cell.cell_type)
+                    fn_cache[cell.cell_type] = fn
+                ops.append(
+                    CellOp(
+                        cell_name=cell.name,
+                        cell_type=cell.cell_type,
+                        in_nets=tuple(cell.inputs[pin] for pin in spec.input_pins),
+                        out_net=cell.outputs[spec.output_pins[0]],
+                        fn=fn,
+                    )
                 )
-            )
+        compile_span.add(levels=len(levels), cells=len(ops))
     return constants, ops
 
 

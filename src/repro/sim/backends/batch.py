@@ -48,6 +48,7 @@ import numpy as np
 from repro.circuits.gates import LogicValue
 from repro.circuits.library import CellLibrary
 from repro.circuits.netlist import Netlist
+from repro.obs import trace as _trace
 
 from .base import (
     BackendError,
@@ -298,39 +299,43 @@ class BatchBackend:
             value contributes ``transitions_per_toggle`` transitions per
             differing sample (2 models one spacer→valid→spacer handshake).
         """
-        planes, samples = self._input_planes(inputs)
-        x_plane = np.full(samples, X, dtype=np.uint8)
-        values: Dict[str, np.ndarray] = {}
-        for name in self.netlist.primary_inputs:
-            values[name] = planes.pop(name, x_plane)
-        # Stimulus may also force internal nets that are actually inputs of
-        # sub-blocks under test; remaining planes are applied verbatim.
-        values.update(planes)
-        for net, constant in self._constants:
-            values[net] = np.full(samples, constant, dtype=np.uint8)
-        for op in self._ops:
-            arrays = [values.get(net, x_plane) for net in op.in_nets]
-            values[op.out_net] = op.fn(arrays)
-        for net in self.netlist.nets:
-            if net not in values:
-                values[net] = x_plane
+        with _trace.span("batch.pack") as pack_span:
+            planes, samples = self._input_planes(inputs)
+            pack_span.add(samples=samples)
+            x_plane = np.full(samples, X, dtype=np.uint8)
+            values: Dict[str, np.ndarray] = {}
+            for name in self.netlist.primary_inputs:
+                values[name] = planes.pop(name, x_plane)
+            # Stimulus may also force internal nets that are actually inputs
+            # of sub-blocks under test; remaining planes are applied verbatim.
+            values.update(planes)
+            for net, constant in self._constants:
+                values[net] = np.full(samples, constant, dtype=np.uint8)
+        with _trace.span("batch.levels", cells=len(self._ops)):
+            for op in self._ops:
+                arrays = [values.get(net, x_plane) for net in op.in_nets]
+                values[op.out_net] = op.fn(arrays)
+            for net in self.netlist.nets:
+                if net not in values:
+                    values[net] = x_plane
 
         activity_by_cell: Dict[str, int] = {}
         activity_by_type: Dict[str, int] = {}
         if baseline is not None:
-            rest = self.run_arrays(baseline, baseline=None)
-            for op in self._ops:
-                plane = values[op.out_net]
-                rest_value = rest.values[op.out_net][0]
-                toggles = int(np.count_nonzero(
-                    (plane != rest_value) & (plane != X) & (rest_value != X)
-                ))
-                if toggles:
-                    transitions = toggles * transitions_per_toggle
-                    activity_by_cell[op.cell_name] = transitions
-                    activity_by_type[op.cell_type] = (
-                        activity_by_type.get(op.cell_type, 0) + transitions
-                    )
+            with _trace.span("batch.activity"):
+                rest = self.run_arrays(baseline, baseline=None)
+                for op in self._ops:
+                    plane = values[op.out_net]
+                    rest_value = rest.values[op.out_net][0]
+                    toggles = int(np.count_nonzero(
+                        (plane != rest_value) & (plane != X) & (rest_value != X)
+                    ))
+                    if toggles:
+                        transitions = toggles * transitions_per_toggle
+                        activity_by_cell[op.cell_name] = transitions
+                        activity_by_type[op.cell_type] = (
+                            activity_by_type.get(op.cell_type, 0) + transitions
+                        )
         return ArrayBatchResult(
             samples=samples,
             values=values,

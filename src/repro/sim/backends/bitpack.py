@@ -60,6 +60,7 @@ import numpy as np
 from repro.circuits.gates import LogicValue
 from repro.circuits.library import CellLibrary
 from repro.circuits.netlist import Netlist
+from repro.obs import trace as _trace
 
 from .base import (
     BatchResult,
@@ -317,53 +318,59 @@ class BitpackBackend:
             transitions per differing sample (2 models one
             spacer→valid→spacer handshake).
         """
-        bit_planes, samples = normalize_input_planes(self.netlist, inputs)
-        words = words_for(samples)
-        zero_words = np.zeros(words, dtype=np.uint64)
-        valid_mask = pack_bits(np.ones(samples, dtype=np.uint8), samples)
-        x_pair: PlanePair = (zero_words, zero_words)
+        with _trace.span("bitpack.pack") as pack_span:
+            bit_planes, samples = normalize_input_planes(self.netlist, inputs)
+            pack_span.add(samples=samples)
+            words = words_for(samples)
+            zero_words = np.zeros(words, dtype=np.uint64)
+            valid_mask = pack_bits(np.ones(samples, dtype=np.uint8), samples)
+            x_pair: PlanePair = (zero_words, zero_words)
 
-        def encode(bits: np.ndarray) -> PlanePair:
-            """Pack a known 0/1 plane: zeros = complement within valid lanes."""
-            ones = pack_bits(bits, samples)
-            return ones, ones ^ valid_mask
+            def encode(bits: np.ndarray) -> PlanePair:
+                """Pack a known 0/1 plane: zeros = complement within valid lanes."""
+                ones = pack_bits(bits, samples)
+                return ones, ones ^ valid_mask
 
-        values: Dict[str, PlanePair] = {}
-        for name in self.netlist.primary_inputs:
-            bits = bit_planes.pop(name, None)
-            values[name] = x_pair if bits is None else encode(bits)
-        # Stimulus may also force internal nets that are actually inputs of
-        # sub-blocks under test; remaining planes are applied verbatim.
-        for name, bits in bit_planes.items():
-            values[name] = encode(bits)
-        for net, constant in self._constants:
-            values[net] = (valid_mask, zero_words) if constant else (zero_words, valid_mask)
-        for op in self._ops:
-            planes = [values.get(net, x_pair) for net in op.in_nets]
-            values[op.out_net] = op.fn(planes)
-        for net in self.netlist.nets:
-            if net not in values:
-                values[net] = x_pair
+            values: Dict[str, PlanePair] = {}
+            for name in self.netlist.primary_inputs:
+                bits = bit_planes.pop(name, None)
+                values[name] = x_pair if bits is None else encode(bits)
+            # Stimulus may also force internal nets that are actually inputs
+            # of sub-blocks under test; remaining planes are applied verbatim.
+            for name, bits in bit_planes.items():
+                values[name] = encode(bits)
+            for net, constant in self._constants:
+                values[net] = (
+                    (valid_mask, zero_words) if constant else (zero_words, valid_mask)
+                )
+        with _trace.span("bitpack.levels", cells=len(self._ops)):
+            for op in self._ops:
+                planes = [values.get(net, x_pair) for net in op.in_nets]
+                values[op.out_net] = op.fn(planes)
+            for net in self.netlist.nets:
+                if net not in values:
+                    values[net] = x_pair
 
         activity_by_cell: Dict[str, int] = {}
         activity_by_type: Dict[str, int] = {}
         if baseline is not None:
-            rest = self.run_arrays(baseline, baseline=None)
-            for op in self._ops:
-                rest_value = rest.value_of(op.out_net, 0)
-                if rest_value is None:
-                    continue
-                # Lanes that differ from a known rest value are exactly the
-                # opposite plane's set bits; unknown lanes (tail included)
-                # have neither bit set and drop out for free.
-                ones, zeros = values[op.out_net]
-                toggles = popcount(zeros if rest_value == 1 else ones)
-                if toggles:
-                    transitions = toggles * transitions_per_toggle
-                    activity_by_cell[op.cell_name] = transitions
-                    activity_by_type[op.cell_type] = (
-                        activity_by_type.get(op.cell_type, 0) + transitions
-                    )
+            with _trace.span("bitpack.activity"):
+                rest = self.run_arrays(baseline, baseline=None)
+                for op in self._ops:
+                    rest_value = rest.value_of(op.out_net, 0)
+                    if rest_value is None:
+                        continue
+                    # Lanes that differ from a known rest value are exactly
+                    # the opposite plane's set bits; unknown lanes (tail
+                    # included) have neither bit set and drop out for free.
+                    ones, zeros = values[op.out_net]
+                    toggles = popcount(zeros if rest_value == 1 else ones)
+                    if toggles:
+                        transitions = toggles * transitions_per_toggle
+                        activity_by_cell[op.cell_name] = transitions
+                        activity_by_type[op.cell_type] = (
+                            activity_by_type.get(op.cell_type, 0) + transitions
+                        )
         return PackedBatchResult(
             samples=samples,
             packed=values,

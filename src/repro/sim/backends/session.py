@@ -29,6 +29,7 @@ from typing import Dict, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from repro.circuits.netlist import Netlist
+from repro.obs import metrics as _metrics
 
 from .base import BackendError
 
@@ -71,6 +72,15 @@ class BackendSession:
                 )
         #: Broadcast plane cache: batch size -> {net: uint8 plane}.
         self._plane_cache: Dict[int, Dict[str, np.ndarray]] = {}
+        registry = _metrics.default_registry()
+        self._cache_hits = registry.counter(
+            "session_plane_cache_hits",
+            "BackendSession constant-plane cache hits (per batch size).",
+        )
+        self._cache_misses = registry.counter(
+            "session_plane_cache_misses",
+            "BackendSession constant-plane cache misses (plane broadcasts).",
+        )
 
     @property
     def netlist(self) -> Netlist:
@@ -95,11 +105,14 @@ class BackendSession:
                 break
         cached = self._plane_cache.get(samples)
         if cached is None:
+            self._cache_misses.inc()
             cached = {
                 net: np.full(samples, int(value), dtype=np.uint8)
                 for net, value in self.constants.items()
             }
             self._plane_cache[samples] = cached
+        else:
+            self._cache_hits.inc()
         merged: Dict[str, Union[int, np.ndarray]] = dict(cached)
         merged.update(varying)
         return merged

@@ -82,6 +82,7 @@ import numpy as np
 from repro.circuits.gates import LogicValue
 from repro.circuits.library import CellLibrary
 from repro.circuits.netlist import Netlist
+from repro.obs import trace as _trace
 
 from ..sta import cell_output_delay
 from .base import BackendError, compile_levelized_ops, make_cell_type_compiler
@@ -469,43 +470,47 @@ class TimedProgram:
             to (for dual-rail circuits,
             :func:`repro.analysis.measure.spacer_assignments`).
         """
-        valid_planes, samples = normalize_input_planes(self.netlist, inputs)
-        spacer_planes, _ = normalize_input_planes(
-            self.netlist, {net: np.asarray([int(v)], dtype=np.uint8)
-                           for net, v in spacer.items()}
-        )
-        forward = self._phase_sweep(spacer_planes, valid_planes, samples)
-        backward = self._phase_sweep(valid_planes, spacer_planes, samples)
-
-        values: Dict[str, np.ndarray] = {}
-        spacer_values: Dict[str, LogicValue] = {}
-        arrival_valid: Dict[str, np.ndarray] = {}
-        arrival_reset: Dict[str, np.ndarray] = {}
-        for net in self.netlist.nets:
-            start, final, arrival = forward[net]
-            values[net] = np.ascontiguousarray(
-                np.broadcast_to(final, (samples,))
+        with _trace.span("timed.run") as run_span:
+            valid_planes, samples = normalize_input_planes(self.netlist, inputs)
+            run_span.add(samples=samples)
+            spacer_planes, _ = normalize_input_planes(
+                self.netlist, {net: np.asarray([int(v)], dtype=np.uint8)
+                               for net, v in spacer.items()}
             )
-            rest = int(start[0])  # spacer-side planes are always shape (1,)
-            spacer_values[net] = None if rest == int(X) else rest
-            arrival_valid[net] = arrival
-            arrival_reset[net] = backward[net][2]
+            with _trace.span("timed.forward"):
+                forward = self._phase_sweep(spacer_planes, valid_planes, samples)
+            with _trace.span("timed.backward"):
+                backward = self._phase_sweep(valid_planes, spacer_planes, samples)
 
-        energy = np.zeros(samples, dtype=np.float64)
-        activity_by_cell: Dict[str, int] = {}
-        activity_by_type: Dict[str, int] = {}
-        for op, per_toggle in zip(self._ops, self._energies):
-            start, final, _arrival = forward[op.out_net]
-            toggled = _changed(start, final)
-            toggles = int(np.count_nonzero(np.broadcast_to(toggled, (samples,))))
-            if toggles:
-                transitions = 2 * toggles
-                activity_by_cell[op.cell_name] = transitions
-                activity_by_type[op.cell_type] = (
-                    activity_by_type.get(op.cell_type, 0) + transitions
+            values: Dict[str, np.ndarray] = {}
+            spacer_values: Dict[str, LogicValue] = {}
+            arrival_valid: Dict[str, np.ndarray] = {}
+            arrival_reset: Dict[str, np.ndarray] = {}
+            for net in self.netlist.nets:
+                start, final, arrival = forward[net]
+                values[net] = np.ascontiguousarray(
+                    np.broadcast_to(final, (samples,))
                 )
-                if per_toggle:
-                    energy += np.where(toggled, per_toggle, 0.0)
+                rest = int(start[0])  # spacer-side planes are always shape (1,)
+                spacer_values[net] = None if rest == int(X) else rest
+                arrival_valid[net] = arrival
+                arrival_reset[net] = backward[net][2]
+
+            energy = np.zeros(samples, dtype=np.float64)
+            activity_by_cell: Dict[str, int] = {}
+            activity_by_type: Dict[str, int] = {}
+            for op, per_toggle in zip(self._ops, self._energies):
+                start, final, _arrival = forward[op.out_net]
+                toggled = _changed(start, final)
+                toggles = int(np.count_nonzero(np.broadcast_to(toggled, (samples,))))
+                if toggles:
+                    transitions = 2 * toggles
+                    activity_by_cell[op.cell_name] = transitions
+                    activity_by_type[op.cell_type] = (
+                        activity_by_type.get(op.cell_type, 0) + transitions
+                    )
+                    if per_toggle:
+                        energy += np.where(toggled, per_toggle, 0.0)
         return TimedBatchResult(
             samples=samples,
             values=values,

@@ -108,5 +108,9 @@ def test_autodoc_covers_the_docstring_enforced_surface():
         "repro.serve.worker",
         "repro.serve.server",
         "repro.serve.loadgen",
+        "repro.obs.trace",
+        "repro.obs.metrics",
+        "repro.obs.profile",
+        "repro.obs.schema",
     ):
         assert expected in rendered, f"{expected} missing from the API reference"

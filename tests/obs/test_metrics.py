@@ -1,0 +1,134 @@
+"""Metrics-registry tests: typed metrics, labels, Prometheus rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter_total,
+    default_registry,
+    series_value,
+)
+
+
+def test_counter_accumulates_per_label_set():
+    registry = MetricsRegistry()
+    counter = registry.counter("requests_total", "Requests by outcome.")
+    counter.inc(outcome="completed")
+    counter.inc(2, outcome="completed")
+    counter.inc(outcome="rejected")
+    assert counter.value(outcome="completed") == 3
+    assert counter.value(outcome="rejected") == 1
+    assert counter.value(outcome="missing") == 0
+
+
+def test_counter_rejects_negative_increments():
+    counter = Counter("c", "help")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_set_and_inc():
+    gauge = Gauge("depth", "help")
+    gauge.set(5)
+    gauge.inc(-2)
+    assert gauge.value() == 3
+
+
+def test_histogram_snapshot_counts_per_bucket():
+    hist = Histogram("lat", "help", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 50.0):
+        hist.observe(value)
+    snapshot = hist.snapshot()
+    assert snapshot["buckets"] == [0.1, 1.0]
+    assert snapshot["counts"] == [1, 1, 1]  # per-bucket, final slot = +Inf
+    assert snapshot["count"] == 3
+    assert snapshot["sum"] == pytest.approx(50.55)
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ValueError):
+        Histogram("h", "help", buckets=(1.0, 0.5))
+
+
+def test_registry_is_get_or_create_and_type_checked():
+    registry = MetricsRegistry()
+    first = registry.counter("hits", "help")
+    assert registry.counter("hits", "help") is first
+    with pytest.raises(TypeError):
+        registry.gauge("hits", "help")
+
+
+def test_prometheus_rendering_shape():
+    registry = MetricsRegistry()
+    counter = registry.counter("flush_reason", "Batches by flush reason.")
+    counter.inc(reason="full")
+    counter.inc(3, reason="deadline")
+    gauge = registry.gauge("queue_depth", "Waiting requests.")
+    gauge.set(7)
+    text = registry.render_prometheus()
+    assert "# HELP flush_reason Batches by flush reason." in text
+    assert "# TYPE flush_reason counter" in text
+    assert 'flush_reason{reason="deadline"} 3' in text
+    assert 'flush_reason{reason="full"} 1' in text
+    assert "# TYPE queue_depth gauge" in text
+    assert "queue_depth 7" in text
+
+
+def test_prometheus_histogram_exposition():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat_seconds", "Latency.", buckets=(0.5,))
+    hist.observe(0.25)
+    hist.observe(2.0)
+    text = registry.render_prometheus()
+    assert 'lat_seconds_bucket{le="0.5"} 1' in text
+    assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+    assert "lat_seconds_sum 2.25" in text
+    assert "lat_seconds_count 2" in text
+
+
+def test_snapshot_helpers():
+    registry = MetricsRegistry()
+    counter = registry.counter("hits", "help")
+    counter.inc(5, kind="a")
+    counter.inc(2, kind="b")
+    snapshot = registry.snapshot()["hits"]
+    assert counter_total(snapshot) == 7
+    assert series_value(snapshot, kind="a") == 5
+    assert series_value(snapshot, kind="missing") == 0.0
+
+
+def test_reset_drops_every_metric():
+    registry = MetricsRegistry()
+    registry.counter("hits", "help").inc()
+    registry.reset()
+    assert registry.names() == []
+    assert registry.counter("hits", "help").value() == 0  # fresh metric
+
+
+def test_default_registry_is_a_singleton():
+    assert default_registry() is default_registry()
+
+
+def test_serve_metric_names_are_registered_by_a_gateway():
+    """The metric catalogue the observability guide documents exists."""
+    pytest.importorskip("numpy")
+    import numpy as np
+
+    from repro.serve.gateway import MicroBatchGateway
+    from repro.serve.worker import ModelSpec
+    from repro.datapath.datapath import DatapathConfig
+
+    registry = MetricsRegistry()
+    spec = ModelSpec(
+        config=DatapathConfig(num_features=2, clauses_per_polarity=2),
+        exclude=np.zeros((2, 2 * 2 * 2), dtype=np.uint8),
+    )
+    MicroBatchGateway(spec, registry=registry)
+    assert {"requests_total", "flush_reason", "gateway_queue_depth"} <= set(
+        registry.names()
+    )

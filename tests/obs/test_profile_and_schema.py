@@ -1,0 +1,136 @@
+"""Profile-export and schema-validator tests (deterministic content only)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.profile import (
+    format_table,
+    self_time_table,
+    to_trace_events,
+    tracing_session,
+    write_trace,
+)
+from repro.obs.schema import (
+    METRICS_SNAPSHOT_SCHEMA,
+    SchemaError,
+    TRACE_EVENTS_SCHEMA,
+    validate,
+    validate_metrics_snapshot,
+    validate_trace_events,
+)
+from repro.obs.trace import SpanRecord
+
+
+def _record(name, span_id, parent_id=None, start=0.0, dur=100.0):
+    return SpanRecord(
+        name=name,
+        span_id=span_id,
+        parent_id=parent_id,
+        start_us=start,
+        duration_us=dur,
+        pid=1,
+        tid=1,
+        attrs={},
+    )
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """Keep the default tracer inert across these tests."""
+    trace.reset()
+    trace.disable()
+    yield
+    trace.reset()
+    trace.disable()
+
+
+def test_to_trace_events_normalizes_timestamps_and_validates():
+    records = [
+        _record("root", "1:1", start=5_000.0, dur=300.0),
+        _record("leaf", "1:2", parent_id="1:1", start=5_100.0, dur=100.0),
+    ]
+    payload = to_trace_events(records)
+    names = validate_trace_events(payload)
+    assert names == ["leaf", "root"]
+    first, second = payload["traceEvents"]
+    assert first["ts"] == 0.0  # origin-shifted to the earliest span
+    assert second["ts"] == 100.0
+    assert second["args"]["parent_id"] == "1:1"
+    assert payload["displayTimeUnit"] == "ms"
+
+
+def test_self_time_subtracts_direct_children_only():
+    records = [
+        _record("root", "1:1", start=0.0, dur=1000.0),
+        _record("mid", "1:2", parent_id="1:1", start=100.0, dur=600.0),
+        _record("leaf", "1:3", parent_id="1:2", start=200.0, dur=200.0),
+    ]
+    rows = {row["name"]: row for row in self_time_table(records)}
+    assert rows["root"]["self_us"] == pytest.approx(400.0)  # 1000 - 600
+    assert rows["mid"]["self_us"] == pytest.approx(400.0)  # 600 - 200
+    assert rows["leaf"]["self_us"] == pytest.approx(200.0)
+    lines = format_table(self_time_table(records, top=2))
+    assert len(lines) == 3  # header + top-2 rows
+
+
+def test_write_trace_picks_format_from_extension(tmp_path):
+    records = [_record("only", "1:1")]
+    chrome = tmp_path / "prof.json"
+    raw = tmp_path / "prof.jsonl"
+    write_trace(chrome, records)
+    write_trace(raw, records)
+    payload = json.loads(chrome.read_text())
+    assert validate_trace_events(payload) == ["only"]
+    assert [r.name for r in trace.load_jsonl(raw)] == ["only"]
+
+
+def test_tracing_session_writes_even_on_failure(tmp_path):
+    path = tmp_path / "crash.json"
+    with pytest.raises(RuntimeError):
+        with tracing_session(path):
+            with trace.span("doomed"):
+                pass
+            raise RuntimeError("boom")
+    assert validate_trace_events(json.loads(path.read_text())) == ["doomed"]
+    assert not trace.enabled()  # session disabled tracing on exit
+
+
+def test_tracing_session_none_is_a_noop(tmp_path):
+    with tracing_session(None):
+        assert not trace.enabled()
+
+
+def test_schema_rejects_missing_required_and_bad_enum():
+    with pytest.raises(SchemaError, match="traceEvents"):
+        validate({"wrong": []}, TRACE_EVENTS_SCHEMA)
+    bad_phase = {
+        "traceEvents": [
+            {"name": "x", "ph": "B", "ts": 0, "dur": 1, "pid": 1, "tid": 1}
+        ]
+    }
+    with pytest.raises(SchemaError, match="ph"):
+        validate(bad_phase, TRACE_EVENTS_SCHEMA)
+
+
+def test_schema_type_checks_reject_bools_as_numbers():
+    with pytest.raises(SchemaError):
+        validate(True, {"type": "integer"})
+    validate(3, {"type": "number"})  # ints are numbers
+
+
+def test_metrics_snapshot_schema_round_trip():
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.counter("hits", "help").inc(kind="a")
+    registry.histogram("lat", "help", buckets=(1.0,)).observe(0.5)
+    registry.gauge("depth", "help").set(2)
+    names = validate_metrics_snapshot(registry.snapshot())
+    assert names == ["depth", "hits", "lat"]
+    with pytest.raises(SchemaError):
+        validate_metrics_snapshot({"bad": {"kind": "sneaky"}})
+    assert METRICS_SNAPSHOT_SCHEMA["type"] == "object"

@@ -1,0 +1,81 @@
+"""Cross-process span propagation through the parallel runner."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.runner import run_parallel
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """Start and end with a disabled, empty default tracer."""
+    trace.reset()
+    trace.disable()
+    yield
+    trace.reset()
+    trace.disable()
+
+
+def _square(item: int) -> int:
+    """Picklable work unit that also emits a span of its own."""
+    with trace.span("square", item=item):
+        return item * item
+
+
+def test_serial_run_emits_chunk_spans():
+    trace.enable()
+    with trace.span("driver"):
+        results = run_parallel(_square, list(range(6)), jobs=1)
+    assert results == [k * k for k in range(6)]
+    by_name = {}
+    for record in trace.records():
+        by_name.setdefault(record.name, []).append(record)
+    (run_span,) = by_name["run_parallel"]
+    assert run_span.parent_id == by_name["driver"][0].span_id
+    for chunk in by_name["run_parallel.chunk"]:
+        assert chunk.parent_id == run_span.span_id
+    # the work units' own spans nest under their chunk
+    chunk_ids = {c.span_id for c in by_name["run_parallel.chunk"]}
+    assert len(by_name["square"]) == 6
+    for record in by_name["square"]:
+        assert record.parent_id in chunk_ids
+
+
+def test_parallel_run_ships_worker_spans_back():
+    trace.enable()
+    with trace.span("driver"):
+        results = run_parallel(_square, list(range(8)), jobs=2)
+    assert results == [k * k for k in range(8)]
+    records = trace.records()
+    by_name = {}
+    for record in records:
+        by_name.setdefault(record.name, []).append(record)
+    assert len(by_name["square"]) == 8
+    (run_span,) = by_name["run_parallel"]
+    for chunk in by_name["run_parallel.chunk"]:
+        assert chunk.parent_id == run_span.span_id
+    # worker spans came from other processes, parent chain intact
+    worker_pids = {r.pid for r in by_name["square"]}
+    assert worker_pids and os.getpid() not in worker_pids
+    chunk_ids = {c.span_id for c in by_name["run_parallel.chunk"]}
+    for record in by_name["square"]:
+        assert record.parent_id in chunk_ids
+
+
+def test_parallel_results_identical_with_tracing_on_and_off():
+    items = list(range(10))
+    trace.disable()
+    plain = run_parallel(_square, items, jobs=2)
+    trace.enable()
+    traced = run_parallel(_square, items, jobs=2)
+    assert plain == traced
+
+
+def test_untraced_parallel_run_collects_nothing():
+    results = run_parallel(_square, [1, 2, 3], jobs=2)
+    assert results == [1, 4, 9]
+    assert trace.records() == []

@@ -1,0 +1,169 @@
+"""Tracing-core tests: nesting, zero-cost disabled path, cross-context spans."""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """Every test starts and ends with a disabled, empty default tracer."""
+    trace.reset()
+    trace.disable()
+    yield
+    trace.reset()
+    trace.disable()
+
+
+def test_disabled_tracer_returns_the_noop_singleton():
+    assert trace.span("anything") is trace.NOOP_SPAN
+    assert trace.span("other", attr=1) is trace.NOOP_SPAN
+    with trace.span("nested"):
+        pass  # context manager protocol works on the no-op
+    assert trace.records() == []
+
+
+def test_noop_span_accepts_attributes_silently():
+    trace.NOOP_SPAN.add(lanes=64, reason="full")
+    assert trace.records() == []
+
+
+def test_span_records_name_duration_and_attrs():
+    trace.enable()
+    with trace.span("work", kind="unit") as span:
+        span.add(items=3)
+    (record,) = trace.records()
+    assert record.name == "work"
+    assert record.attrs == {"kind": "unit", "items": 3}
+    assert record.duration_us >= 0.0
+    assert record.pid == os.getpid()
+    assert record.parent_id is None
+
+
+def test_nested_spans_are_parented():
+    trace.enable()
+    with trace.span("outer"):
+        with trace.span("inner"):
+            pass
+        with trace.span("sibling"):
+            pass
+    by_name = {r.name: r for r in trace.records()}
+    assert by_name["outer"].parent_id is None
+    assert by_name["inner"].parent_id == by_name["outer"].span_id
+    assert by_name["sibling"].parent_id == by_name["outer"].span_id
+
+
+def test_parent_restored_after_exception():
+    trace.enable()
+    with trace.span("outer"):
+        with pytest.raises(RuntimeError):
+            with trace.span("failing"):
+                raise RuntimeError("boom")
+        with trace.span("after"):
+            pass
+    by_name = {r.name: r for r in trace.records()}
+    assert by_name["failing"].parent_id == by_name["outer"].span_id
+    assert by_name["after"].parent_id == by_name["outer"].span_id
+
+
+def test_span_ids_carry_the_pid_prefix():
+    trace.enable()
+    with trace.span("tagged"):
+        pass
+    (record,) = trace.records()
+    assert record.span_id.startswith(f"{os.getpid():x}:")
+
+
+def test_threads_get_independent_span_stacks():
+    trace.enable()
+    ready = threading.Barrier(2)
+
+    def worker(tag: str) -> None:
+        ready.wait()
+        with trace.span(f"thread-{tag}"):
+            with trace.span(f"child-{tag}"):
+                pass
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in "ab"]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    by_name = {r.name: r for r in trace.records()}
+    for tag in "ab":
+        assert by_name[f"thread-{tag}"].parent_id is None
+        assert by_name[f"child-{tag}"].parent_id == by_name[f"thread-{tag}"].span_id
+
+
+def test_asyncio_tasks_inherit_the_creating_span():
+    trace.enable()
+
+    async def child() -> None:
+        with trace.span("task"):
+            await asyncio.sleep(0)
+
+    async def main() -> None:
+        with trace.span("parent"):
+            task = asyncio.create_task(child())
+        # parent span is closed; the task still nests under it because
+        # create_task copied the context at creation time.
+        await task
+
+    asyncio.run(main())
+    by_name = {r.name: r for r in trace.records()}
+    assert by_name["task"].parent_id == by_name["parent"].span_id
+
+
+def test_drain_empties_and_adopt_refills():
+    trace.enable()
+    with trace.span("one"):
+        pass
+    drained = trace.drain()
+    assert [r.name for r in drained] == ["one"]
+    assert trace.records() == []
+    trace.adopt(drained)
+    assert [r.name for r in trace.records()] == ["one"]
+
+
+def test_capture_isolates_and_reparent_attaches():
+    trace.enable()
+    with trace.span("outer") as outer_span:
+        parent_id = trace.current_span_id()
+        with trace.capture() as captured:
+            with trace.span("shipped"):
+                with trace.span("shipped-child"):
+                    pass
+        # captured records never reached the default tracer...
+        assert {r.name for r in trace.records()} == set()
+        trace.adopt(trace.reparent(captured.records, parent_id))
+    del outer_span
+    by_name = {r.name: r for r in trace.records()}
+    assert by_name["shipped"].parent_id == by_name["outer"].span_id
+    # only roots are reparented; inner structure is preserved
+    assert by_name["shipped-child"].parent_id == by_name["shipped"].span_id
+
+
+def test_jsonl_round_trip(tmp_path):
+    trace.enable()
+    with trace.span("root", size=2):
+        with trace.span("leaf"):
+            pass
+    path = tmp_path / "spans.jsonl"
+    trace.export_jsonl(path, trace.records())
+    loaded = trace.load_jsonl(path)
+    assert [r.to_dict() for r in loaded] == [r.to_dict() for r in trace.records()]
+
+
+def test_local_tracer_does_not_touch_the_default_one():
+    local = trace.Tracer()
+    local.enable()
+    with local.span("private"):
+        pass
+    assert len(local.records()) == 1
+    assert trace.records() == []

@@ -314,3 +314,74 @@ def test_stats_track_flush_reasons_and_efficiency():
     assert gw.stats.deadline_flushes == 1
     assert gw.stats.lanes == 6
     assert gw.stats.batching_efficiency == pytest.approx(6 / 8)
+
+
+def test_stats_snapshot_is_an_independent_copy():
+    """snapshot() freezes the counters; the live stats keep moving."""
+
+    async def body():
+        gw = MicroBatchGateway(
+            classifier=EchoClassifier(),
+            config=GatewayConfig(max_batch=4, max_delay_ms=25.0),
+        )
+        await gw.start()
+        await asyncio.gather(*(gw.submit([1]) for _ in range(4)))
+        before = gw.stats.snapshot()
+        await asyncio.gather(*(gw.submit([0]) for _ in range(2)))
+        await gw.stop()
+        return gw, before
+
+    gw, before = run(body())
+    assert before.completed == 4
+    assert gw.stats.completed == 6  # live counters moved on
+    assert before is not gw.stats
+
+
+def test_stats_delta_reports_the_window_only():
+    """delta(since) subtracts counters but carries max_batch through."""
+
+    async def body():
+        gw = MicroBatchGateway(
+            classifier=EchoClassifier(),
+            config=GatewayConfig(max_batch=4, max_delay_ms=25.0),
+        )
+        await gw.start()
+        await asyncio.gather(*(gw.submit([1]) for _ in range(4)))  # full word
+        before = gw.stats.snapshot()
+        await asyncio.gather(*(gw.submit([0]) for _ in range(2)))  # deadline
+        await gw.stop()
+        return gw.stats.delta(before)
+
+    window = run(body())
+    assert window.submitted == 2
+    assert window.completed == 2
+    assert window.batches == 1
+    assert window.deadline_flushes == 1
+    assert window.full_flushes == 0
+    assert window.lanes == 2
+    assert window.max_batch == 4  # configuration, not a counter
+    assert window.batching_efficiency == pytest.approx(2 / 4)
+
+
+def test_gateway_reports_into_an_injected_registry():
+    """requests_total / flush_reason / queue depth land in the registry."""
+    from repro.obs.metrics import MetricsRegistry, series_value
+
+    async def body():
+        registry = MetricsRegistry()
+        gw = MicroBatchGateway(
+            classifier=EchoClassifier(),
+            config=GatewayConfig(max_batch=4, max_delay_ms=25.0),
+            registry=registry,
+        )
+        await gw.start()
+        await asyncio.gather(*(gw.submit([1]) for _ in range(4)))
+        await gw.stop()
+        return registry
+
+    registry = run(body())
+    snapshot = registry.snapshot()
+    assert series_value(snapshot["requests_total"], outcome="submitted") == 4
+    assert series_value(snapshot["requests_total"], outcome="completed") == 4
+    assert series_value(snapshot["flush_reason"], reason=FLUSH_FULL) == 1
+    assert "gateway_queue_depth" in snapshot

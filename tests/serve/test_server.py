@@ -239,3 +239,53 @@ def test_server_start_stop_contract():
         await gateway.stop()
 
     asyncio.run(body())
+
+
+def test_metrics_command_returns_prometheus_text():
+    """A bare 'metrics' line scrapes the registry; the connection lives on."""
+    from repro.obs.metrics import MetricsRegistry
+
+    async def body():
+        registry = MetricsRegistry()
+        gateway = MicroBatchGateway(
+            classifier=EchoClassifier(),
+            config=GatewayConfig(max_batch=2, max_delay_ms=25.0),
+            registry=registry,
+        )
+        await gateway.start()
+        server = InferenceServer(gateway, port=0)
+        await server.start()
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        for k in range(2):
+            writer.write(
+                (json.dumps({"id": k, "features": [k, 1]}) + "\n").encode()
+            )
+        await writer.drain()
+        for _ in range(2):
+            await reader.readline()
+        writer.write(b"metrics\n")
+        await writer.drain()
+        lines = []
+        while True:
+            line = (await reader.readline()).decode()
+            assert line, "connection closed before # EOF"
+            lines.append(line)
+            if line.startswith("# EOF"):
+                break
+        # the scrape is not a reply line: the connection keeps serving
+        writer.write((json.dumps({"id": 9, "features": [1, 0]}) + "\n").encode())
+        await writer.drain()
+        after = json.loads(await reader.readline())
+        writer.close()
+        await writer.wait_closed()
+        await server.stop()
+        await gateway.stop()
+        return "".join(lines), after
+
+    text, after = asyncio.run(body())
+    assert "# HELP requests_total" in text
+    assert "# TYPE flush_reason counter" in text
+    assert 'flush_reason{reason="full"} 1' in text
+    assert 'requests_total{outcome="completed"} 2' in text
+    assert text.endswith("# EOF\n")
+    assert after["id"] == 9 and "verdict" in after

@@ -1,0 +1,162 @@
+"""Violation-path tests for the runtime protocol monitors.
+
+The monitors' happy paths are exercised implicitly by every event-driven
+simulation; these tests pin the *detection* behaviour — what counts as a
+hazard, a forbidden state, or a completion edge — by driving the monitor
+callbacks directly.
+"""
+
+from __future__ import annotations
+
+from repro.core.dual_rail import DualRailSignal, SpacerPolarity
+from repro.sim.monitors import (
+    ActivityCounter,
+    CompletionObserver,
+    ForbiddenStateMonitor,
+    MonotonicityMonitor,
+)
+
+
+class FakeSimulator:
+    """Just enough of GateLevelSimulator for ForbiddenStateMonitor."""
+
+    def __init__(self, values):
+        self.values = dict(values)
+
+    def value(self, net):
+        return self.values.get(net)
+
+
+# ------------------------------------------------------- MonotonicityMonitor
+
+def test_monotonicity_single_transition_per_phase_is_ok():
+    monitor = MonotonicityMonitor()
+    monitor.begin_phase("spacer->valid")
+    monitor.on_net_change(1.0, "a", 0, 1, "input")
+    assert monitor.ok
+    assert monitor.violations == []
+
+
+def test_monotonicity_flags_second_transition_in_same_phase():
+    monitor = MonotonicityMonitor()
+    monitor.begin_phase("spacer->valid")
+    monitor.on_net_change(1.0, "a", 0, 1, "input")
+    monitor.on_net_change(2.0, "a", 1, 0, "glitch")
+    assert not monitor.ok
+    (violation,) = monitor.violations
+    assert violation.net == "a"
+    assert violation.time == 2.0
+    assert "non-monotonic" in violation.message
+
+
+def test_monotonicity_counts_every_extra_transition():
+    monitor = MonotonicityMonitor()
+    monitor.begin_phase("valid->spacer")
+    for time, (old, new) in enumerate([(0, 1), (1, 0), (0, 1)]):
+        monitor.on_net_change(float(time), "b", old, new, "osc")
+    assert len(monitor.violations) == 2  # transitions 2 and 3 both hazards
+
+
+def test_monotonicity_begin_phase_resets_the_counts():
+    monitor = MonotonicityMonitor()
+    monitor.begin_phase("spacer->valid")
+    monitor.on_net_change(1.0, "a", 0, 1, "input")
+    monitor.begin_phase("valid->spacer")
+    monitor.on_net_change(2.0, "a", 1, 0, "reset")
+    assert monitor.ok  # one transition per phase
+
+
+def test_monotonicity_power_up_assignment_is_not_a_hazard():
+    monitor = MonotonicityMonitor()
+    monitor.begin_phase("initial")
+    monitor.on_net_change(0.0, "a", None, 0, "power-up")
+    monitor.on_net_change(1.0, "a", 0, 1, "input")
+    assert monitor.ok  # power-up + first real transition
+
+
+def test_monotonicity_ignores_listed_nets():
+    monitor = MonotonicityMonitor(ignore_nets=["clk"])
+    monitor.begin_phase("spacer->valid")
+    monitor.on_net_change(1.0, "clk", 0, 1, "env")
+    monitor.on_net_change(2.0, "clk", 1, 0, "env")
+    assert monitor.ok
+
+
+# ----------------------------------------------------- ForbiddenStateMonitor
+
+def _signal(polarity):
+    return DualRailSignal(name="s", pos="s_p", neg="s_n", polarity=polarity)
+
+
+def test_forbidden_state_all_zero_spacer_flags_one_one():
+    signal = _signal(SpacerPolarity.ALL_ZERO)
+    sim = FakeSimulator({"s_p": 1, "s_n": 1})
+    monitor = ForbiddenStateMonitor(sim, [signal])
+    monitor.on_net_change(3.0, "s_p", 0, 1, "gate")
+    assert not monitor.ok
+    (violation,) = monitor.violations
+    assert "forbidden state" in violation.message
+    assert "(1, 1)" in violation.message
+
+
+def test_forbidden_state_all_one_spacer_flags_zero_zero():
+    signal = _signal(SpacerPolarity.ALL_ONE)
+    sim = FakeSimulator({"s_p": 0, "s_n": 0})
+    monitor = ForbiddenStateMonitor(sim, [signal])
+    monitor.on_net_change(3.0, "s_n", 1, 0, "gate")
+    assert not monitor.ok
+    assert "(0, 0)" in monitor.violations[0].message
+
+
+def test_forbidden_state_valid_codeword_and_spacer_are_clean():
+    signal = _signal(SpacerPolarity.ALL_ZERO)
+    sim = FakeSimulator({"s_p": 1, "s_n": 0})
+    monitor = ForbiddenStateMonitor(sim, [signal])
+    monitor.on_net_change(1.0, "s_p", 0, 1, "gate")  # valid codeword
+    sim.values.update({"s_p": 0, "s_n": 0})
+    monitor.on_net_change(2.0, "s_p", 1, 0, "gate")  # spacer for all-zero
+    assert monitor.ok
+
+
+def test_forbidden_state_skips_unknown_rails_and_foreign_nets():
+    signal = _signal(SpacerPolarity.ALL_ZERO)
+    sim = FakeSimulator({"s_p": 1})  # s_n still unknown (powering up)
+    monitor = ForbiddenStateMonitor(sim, [signal])
+    monitor.on_net_change(0.5, "s_p", None, 1, "power-up")
+    monitor.on_net_change(0.6, "other", 0, 1, "unrelated")
+    assert monitor.ok
+
+
+# -------------------------------------------------------- CompletionObserver
+
+def test_completion_observer_records_rise_and_fall_ordering():
+    observer = CompletionObserver("done")
+    observer.on_net_change(10.0, "done", 0, 1, "cd")
+    observer.on_net_change(20.0, "done", 1, 0, "cd")
+    observer.on_net_change(30.0, "done", 0, 1, "cd")
+    assert observer.rise_times == [10.0, 30.0]
+    assert observer.fall_times == [20.0]
+    assert observer.last_rise_after(0.0) == 10.0
+    assert observer.last_rise_after(15.0) == 30.0
+    assert observer.last_fall_after(10.0) == 20.0
+    assert observer.last_fall_after(25.0) is None
+
+
+def test_completion_observer_power_up_rise_counts_other_nets_do_not():
+    observer = CompletionObserver("done")
+    observer.on_net_change(1.0, "done", None, 1, "power-up")
+    observer.on_net_change(2.0, "not_done", 1, 0, "other")
+    assert observer.rise_times == [1.0]
+    assert observer.fall_times == []
+
+
+# ------------------------------------------------------------ ActivityCounter
+
+def test_activity_counter_skips_power_up_and_totals():
+    counter = ActivityCounter()
+    counter.on_net_change(0.0, "a", None, 0, "power-up")
+    counter.on_net_change(1.0, "a", 0, 1, "gate")
+    counter.on_net_change(2.0, "b", 0, 1, "gate")
+    counter.on_net_change(3.0, "a", 1, 0, "gate")
+    assert counter.counts == {"a": 2, "b": 1}
+    assert counter.total() == 3

@@ -67,6 +67,10 @@ def main(argv=None) -> int:
                              "the full operand stream)")
     parser.add_argument("--store", default=".dse_store",
                         help="result-store directory; 'none' disables caching")
+    parser.add_argument("--program-cache", default=None,
+                        help="compiled-program cache directory shared by all "
+                             "evaluation workers (each unique netlist is "
+                             "compiled once and served from disk afterwards)")
     parser.add_argument("--out", default="dse_out",
                         help="artifact directory for dse_points.json + Pareto CSVs")
     parser.add_argument("--bench-json", default=None,
@@ -105,7 +109,8 @@ def main(argv=None) -> int:
     start = time.perf_counter()
     with tracing_session(args.trace_out):
         result = run_sweep(grid, backend=args.backend, jobs=args.jobs, store=store,
-                           timing_backend=args.timing_backend)
+                           timing_backend=args.timing_backend,
+                           program_cache=args.program_cache)
     elapsed = time.perf_counter() - start
     if args.trace_out:
         print(f"Trace -> {args.trace_out}")

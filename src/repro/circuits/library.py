@@ -31,8 +31,11 @@ subthreshold model), which is what produces the Figure-3 latency curve.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
-from dataclasses import dataclass
+import weakref
+from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, Optional
 
 from .gates import GATE_REGISTRY, gate_spec
@@ -124,13 +127,23 @@ class VoltageModel:
         """Multiplicative gate-delay factor at *vdd* (1.0 at nominal).
 
         ``delay ∝ C·V / I_on(V)``; the capacitance term is voltage
-        independent at this abstraction level.
+        independent at this abstraction level.  The factor is memoized per
+        supply point — program compilation and the timing engines price
+        thousands of cells at the same handful of voltages.
         """
         if vdd <= 0:
             raise ValueError("supply voltage must be positive")
-        current = self._drive_current(vdd)
-        nominal_current = 1.0
-        return (vdd / self.nominal_vdd) * (nominal_current / current)
+        cache = self.__dict__.get("_delay_factor_memo")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_delay_factor_memo", cache)
+        factor = cache.get(vdd)
+        if factor is None:
+            current = self._drive_current(vdd)
+            nominal_current = 1.0
+            factor = (vdd / self.nominal_vdd) * (nominal_current / current)
+            cache[vdd] = factor
+        return factor
 
     def energy_factor(self, vdd: float) -> float:
         """Dynamic-energy factor: ``E ∝ C·V²``."""
@@ -240,6 +253,40 @@ class CellLibrary:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"CellLibrary({self.name!r}, {len(self.cells)} cells)"
+
+
+#: Identity-keyed fingerprint memo.  Libraries are built once by their
+#: factory functions and then treated as read-only, so the digest of a
+#: given instance never changes; the cell-count guard still invalidates
+#: the common grow-after-fingerprint mistake.
+_library_fingerprint_memo = weakref.WeakKeyDictionary()
+
+
+def library_fingerprint(library: CellLibrary) -> str:
+    """Deterministic digest of a library's full characterisation.
+
+    Covers every cell model field and the voltage model, so any edit to the
+    library — areas, delays, energies, leakage, supply behaviour — moves the
+    fingerprint.  Shared by the DSE result store
+    (:mod:`repro.explore.store`) and the compiled-program cache
+    (:mod:`repro.sim.program_cache`) as the library ingredient of their
+    content-hash keys.  Memoized per library instance (libraries are
+    build-once objects); adding or removing cells invalidates the memo.
+    """
+    cached = _library_fingerprint_memo.get(library)
+    if cached is not None and cached[0] == len(library.cells):
+        return cached[1]
+    payload = {
+        "name": library.name,
+        "cells": {
+            name: asdict(model) for name, model in sorted(library.cells.items())
+        },
+        "voltage_model": asdict(library.voltage_model),
+    }
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(canon.encode("utf-8")).hexdigest()
+    _library_fingerprint_memo[library] = (len(library.cells), digest)
+    return digest
 
 
 def _scaled_cells(base: Dict[str, tuple], area_scale: float, delay_scale: float,

@@ -27,32 +27,21 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.circuits.library import CellLibrary
+from repro.circuits.library import CellLibrary, library_fingerprint
 from repro.obs import metrics as _metrics
+
+__all__ = [
+    "EVALUATOR_VERSION",
+    "ResultStore",
+    "library_fingerprint",  # canonical home: repro.circuits.library
+    "point_key",
+]
 
 #: Bump when datapath construction, mapping or measurement semantics change
 #: in a way that alters what a stored DesignPoint would contain.
 EVALUATOR_VERSION = 1
 
 _STORE_SUFFIX = ".json"
-
-
-def library_fingerprint(library: CellLibrary) -> str:
-    """Deterministic digest of a library's full characterisation.
-
-    Covers every cell model field and the voltage model, so any edit to the
-    library — areas, delays, energies, leakage, supply behaviour — moves the
-    fingerprint and invalidates the affected stored points.
-    """
-    payload = {
-        "name": library.name,
-        "cells": {
-            name: asdict(model) for name, model in sorted(library.cells.items())
-        },
-        "voltage_model": asdict(library.voltage_model),
-    }
-    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
 
 
 def point_key(

@@ -38,6 +38,7 @@ from .worker import (
     InProcessClassifier,
     ModelSpec,
     ProcessPoolClassifier,
+    precompile_program,
 )
 
 __all__ = [
@@ -59,5 +60,6 @@ __all__ = [
     "ModelSpec",
     "ProcessPoolClassifier",
     "ServeResult",
+    "precompile_program",
     "run_load",
 ]

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
 import numpy as np
@@ -55,6 +55,8 @@ from repro.datapath.datapath import (
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.sim.backends import BackendSession, get_backend
+from repro.sim.program import CompiledProgram, compile_program, netlist_fingerprint
+from repro.sim.program_cache import ProgramCache
 
 
 @dataclass(frozen=True)
@@ -83,6 +85,17 @@ class ModelSpec:
         When ``True`` the worker maps the design once and runs every
         micro-batch through the timed engine, attaching per-request
         simulated-hardware latency (ps) and switching energy (fJ).
+    program:
+        An already-compiled :class:`~repro.sim.program.CompiledProgram` to
+        execute instead of recompiling the spec's netlist.  It must be the
+        program of the exact netlist the spec builds (the worker checks the
+        content hash).  :class:`ProcessPoolClassifier` fills this in
+        automatically so a pool compiles each unique netlist exactly once.
+    program_cache:
+        Directory of the on-disk
+        :class:`~repro.sim.program_cache.ProgramCache`; when *program* is
+        unset, workers load the compiled program from here (compiling and
+        storing it only on a cold cache).
     """
 
     config: DatapathConfig
@@ -91,6 +104,8 @@ class ModelSpec:
     backend: str = "bitpack"
     vdd: Optional[float] = None
     attribution: bool = False
+    program: Optional[CompiledProgram] = None
+    program_cache: Optional[str] = None
 
     @classmethod
     def from_workload(
@@ -100,6 +115,8 @@ class ModelSpec:
         backend: str = "bitpack",
         vdd: Optional[float] = None,
         attribution: bool = False,
+        program: Optional[CompiledProgram] = None,
+        program_cache: Optional[str] = None,
     ) -> "ModelSpec":
         """Spec for serving *workload*'s trained clause configuration."""
         return cls(
@@ -109,7 +126,34 @@ class ModelSpec:
             backend=backend,
             vdd=vdd,
             attribution=attribution,
+            program=program,
+            program_cache=program_cache,
         )
+
+
+def _spec_netlist(spec: ModelSpec, library: CellLibrary):
+    """The exact netlist a worker for *spec* evaluates (mapped iff attribution)."""
+    if spec.attribution:
+        return build_mapped_dual_rail(spec.config, library, vdd=spec.vdd).circuit.netlist
+    return DualRailDatapath(spec.config).circuit.netlist
+
+
+def precompile_program(spec: ModelSpec) -> CompiledProgram:
+    """Compile (or cache-load) the program a worker for *spec* will execute.
+
+    The single-compile entry point behind :class:`ProcessPoolClassifier`'s
+    pre-warm: with ``spec.program_cache`` set the program is served from (and
+    stored into) the on-disk cache, otherwise it is compiled directly.  The
+    returned artifact can be placed on ``spec.program`` — workers then skip
+    compilation entirely.
+    """
+    library = resolve_library(spec.library)
+    netlist = _spec_netlist(spec, library)
+    if spec.program_cache is not None:
+        return ProgramCache(spec.program_cache).load_or_compile(
+            netlist, library, vdd=spec.vdd
+        )
+    return compile_program(netlist, library, vdd=spec.vdd)
 
 
 @dataclass
@@ -151,7 +195,23 @@ class InferenceWorker:
         else:
             self.datapath = DualRailDatapath(spec.config)
             self.circuit = self.datapath.circuit
-        engine = get_backend(spec.backend, self.circuit.netlist, library, vdd=spec.vdd)
+        if spec.program is not None:
+            expected = netlist_fingerprint(self.circuit.netlist)
+            if spec.program.netlist_hash != expected:
+                raise ValueError(
+                    "spec.program was compiled from a different netlist "
+                    f"(program netlist hash {spec.program.netlist_hash[:12]}…, "
+                    f"spec builds {expected[:12]}…)"
+                )
+            engine = get_backend(spec.backend, program=spec.program)
+        else:
+            engine = get_backend(
+                spec.backend,
+                self.circuit.netlist,
+                library,
+                vdd=spec.vdd,
+                cache=spec.program_cache,
+            )
         # Bind every non-feature input rail as a session constant: the
         # exclude configuration never changes between requests, so its
         # planes are broadcast once per batch size instead of per call.
@@ -289,9 +349,17 @@ class ProcessPoolClassifier:
     _pool: Optional[ProcessPoolExecutor] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
-        """Start the pool; workers compile lazily on their first task."""
+        """Start the pool; workers compile lazily on their first task.
+
+        When the spec names a program cache (and carries no precompiled
+        program yet), the pool compiles — or cache-loads — the program once
+        *here*, in the parent, and ships the artifact to every worker via
+        the spec: N workers, exactly one ``backend.compile``.
+        """
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.spec.program is None and self.spec.program_cache is not None:
+            self.spec = replace(self.spec, program=precompile_program(self.spec))
         self._pool = ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_init_process_worker,

@@ -14,11 +14,17 @@ Contents:
 * :mod:`repro.sim.backends` — pluggable simulation backends: the
   event-driven reference (``"event"``), the levelized vectorized batch
   engine (``"batch"``) and the bit-packed 64-lane engine (``"bitpack"``)
-  behind the fast experiment sweeps.
+  behind the fast experiment sweeps;
+* :mod:`repro.sim.program` / :mod:`repro.sim.program_cache` — the
+  serializable :class:`CompiledProgram` IR every levelized consumer
+  executes (``compile_program(netlist, library)`` →
+  ``get_backend(name, program=...)``), and its content-hash-addressed
+  on-disk cache shared across worker processes.
 """
 
 from .backends import (
     BackendError,
+    BackendSession,
     BatchBackend,
     BatchResult,
     BitpackBackend,
@@ -29,6 +35,14 @@ from .backends import (
     available_backends,
     get_backend,
 )
+from .program import (
+    PROGRAM_COMPILER_VERSION,
+    CompiledProgram,
+    ProgramOp,
+    compile_program,
+    netlist_fingerprint,
+)
+from .program_cache import ProgramCache, program_cache_key
 from .events import Event, EventQueue
 from .handshake import (
     DualRailEnvironment,

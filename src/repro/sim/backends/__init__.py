@@ -25,6 +25,8 @@ from .base import (
     CellOp,
     SimulationBackend,
     available_backends,
+    bind_cell_ops,
+    classify_cell_type,
     compile_levelized_ops,
     get_backend,
     register_backend,
@@ -37,6 +39,8 @@ from .timed import TimedBatchResult, TimedProgram
 
 __all__ = [
     "ArrayBatchResult",
+    "bind_cell_ops",
+    "classify_cell_type",
     "BackendError",
     "BackendSession",
     "BatchBackend",

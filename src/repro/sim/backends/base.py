@@ -32,8 +32,9 @@ importing concrete classes.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 try:  # Protocol is 3.8+; keep an import guard for exotic interpreters.
     from typing import Protocol, runtime_checkable
@@ -45,11 +46,9 @@ except ImportError:  # pragma: no cover - typing_extensions fallback
         return cls
 
 
-from repro.circuits.gates import gate_spec, LogicValue
-from repro.circuits.levelize import levelize
+from repro.circuits.gates import LogicValue
 from repro.circuits.library import CellLibrary
-from repro.circuits.netlist import Netlist, NetlistError
-from repro.obs import trace as _trace
+from repro.circuits.netlist import Netlist
 
 
 class BackendError(Exception):
@@ -120,6 +119,35 @@ class SimulationBackend(Protocol):
         ...
 
 
+def classify_cell_type(cell_type: str) -> Optional[Tuple[str, Optional[Tuple[int, ...]]]]:
+    """Classify *cell_type* into the levelized backends' dispatch vocabulary.
+
+    The single definition of which cell types the vectorized engines can
+    execute: ``compile_program`` validates against it at compile time and
+    :func:`make_cell_type_compiler` binds evaluators from it, so a cell
+    type accepted by the compiler is guaranteed bindable by every
+    vectorized backend.  Returns ``(tag, groups)`` where *tag* is one of
+    ``"inv" | "buf" | "maj3" | "xor" | "xnor" | "and" | "nand" | "or" |
+    "nor" | "c" | "aoi" | "oai" | "ao" | "oa"`` and *groups* is the
+    per-digit pin grouping for the four complex-gate tags (``None``
+    otherwise), or ``None`` for cell types outside the vocabulary.
+    """
+    simple = {
+        "INV": "inv", "BUF": "buf", "MAJ3": "maj3", "XOR2": "xor", "XNOR2": "xnor",
+    }
+    if cell_type in simple:
+        return simple[cell_type], None
+    for prefix, tag in (("NAND", "nand"), ("AND", "and"), ("NOR", "nor"), ("OR", "or")):
+        if cell_type.startswith(prefix):
+            return tag, None
+    if cell_type.startswith("C") and cell_type[1:].isdigit():
+        return "c", None
+    for prefix in ("AOI", "OAI", "AO", "OA"):
+        if cell_type.startswith(prefix) and cell_type[len(prefix):].isdigit():
+            return prefix.lower(), tuple(int(d) for d in cell_type[len(prefix):])
+    return None
+
+
 def make_cell_type_compiler(
     backend_name: str,
     and_fn: Callable,
@@ -131,13 +159,15 @@ def make_cell_type_compiler(
 ) -> Callable[[str], Callable]:
     """Build a ``cell type -> evaluator`` compiler from primitive evaluators.
 
-    The levelized backends share one cell-type dispatch (INV/BUF, AND/NAND,
-    OR/NOR, XOR2/XNOR2, MAJ3, C-elements, and the AOI/OAI/AO/OA complex
-    gates with per-digit pin groups); only the primitives differ — the
-    batch backend's operate on ``uint8`` sample arrays, the bitpack
-    backend's on ``(ones, zeros)`` bit-plane pairs.  Each ``*_fn`` takes
-    the cell's input values in pin order and returns the output value;
-    *invert* maps an output value to its logical complement.
+    The levelized backends share one cell-type dispatch
+    (:func:`classify_cell_type`: INV/BUF, AND/NAND, OR/NOR, XOR2/XNOR2,
+    MAJ3, C-elements, and the AOI/OAI/AO/OA complex gates with per-digit
+    pin groups); only the primitives differ — the batch backend's operate
+    on ``uint8`` sample arrays, the bitpack backend's on ``(ones, zeros)``
+    bit-plane pairs, the timed engine's on ``(start, final, arrival)``
+    triples.  Each ``*_fn`` takes the cell's input values in pin order and
+    returns the output value; *invert* maps an output value to its logical
+    complement.
 
     The returned compiler raises :class:`BackendError` for cell types it
     cannot vectorize (the caller's registration name is quoted in the
@@ -162,38 +192,39 @@ def make_cell_type_compiler(
 
     def compile_cell_type(cell_type: str) -> Callable:
         """Return the evaluator for *cell_type* (input order = pin order)."""
-        if cell_type == "INV":
+        kind = classify_cell_type(cell_type)
+        if kind is None:
+            raise BackendError(
+                f"{backend_name} backend cannot vectorize cell type {cell_type!r}"
+            )
+        tag, groups = kind
+        if tag == "inv":
             return lambda values: invert(values[0])
-        if cell_type == "BUF":
+        if tag == "buf":
             return lambda values: values[0]
-        if cell_type == "MAJ3":
+        if tag == "maj3":
             return maj3_fn
-        if cell_type == "XOR2":
+        if tag == "xor":
             return xor_fn
-        if cell_type == "XNOR2":
+        if tag == "xnor":
             return lambda values: invert(xor_fn(values))
-        if cell_type.startswith("AND"):
+        if tag == "and":
             return and_fn
-        if cell_type.startswith("NAND"):
+        if tag == "nand":
             return lambda values: invert(and_fn(values))
-        if cell_type.startswith("OR"):
+        if tag == "or":
             return or_fn
-        if cell_type.startswith("NOR"):
+        if tag == "nor":
             return lambda values: invert(or_fn(values))
-        if cell_type.startswith("C") and cell_type[1:].isdigit():
+        if tag == "c":
             return c_fn
-        for prefix, inner, outer, inverting in (
-            ("AOI", and_fn, or_fn, True),
-            ("OAI", or_fn, and_fn, True),
-            ("AO", and_fn, or_fn, False),
-            ("OA", or_fn, and_fn, False),
-        ):
-            if cell_type.startswith(prefix) and cell_type[len(prefix):].isdigit():
-                groups = tuple(int(d) for d in cell_type[len(prefix):])
-                return grouped(groups, inner, outer, inverting)
-        raise BackendError(
-            f"{backend_name} backend cannot vectorize cell type {cell_type!r}"
-        )
+        inner, outer, inverting = {
+            "aoi": (and_fn, or_fn, True),
+            "oai": (or_fn, and_fn, True),
+            "ao": (and_fn, or_fn, False),
+            "oa": (or_fn, and_fn, False),
+        }[tag]
+        return grouped(groups, inner, outer, inverting)
 
     return compile_cell_type
 
@@ -215,73 +246,63 @@ class CellOp:
     fn: Callable
 
 
+def bind_cell_ops(program, compile_cell_type: Callable[[str], Callable]) -> List[CellOp]:
+    """Bind a backend-neutral :class:`~repro.sim.program.CompiledProgram` to
+    executable :class:`CellOp`\\ s.
+
+    Evaluator functions are memoised per cell type through
+    *compile_cell_type* (one of the :func:`make_cell_type_compiler`
+    instantiations), so the same serialized program serves every vectorized
+    backend — only this binding step is backend-specific.
+    """
+    fn_cache: Dict[str, Callable] = {}
+    ops: List[CellOp] = []
+    for op in program.ops:
+        fn = fn_cache.get(op.cell_type)
+        if fn is None:
+            fn = compile_cell_type(op.cell_type)
+            fn_cache[op.cell_type] = fn
+        ops.append(
+            CellOp(
+                cell_name=op.cell_name,
+                cell_type=op.cell_type,
+                in_nets=op.in_nets,
+                out_net=op.out_net,
+                fn=fn,
+            )
+        )
+    return ops
+
+
 def compile_levelized_ops(
     netlist: Netlist,
     compile_cell_type: Callable[[str], Callable],
     backend_name: str,
 ) -> Tuple[List[Tuple[str, int]], List[CellOp]]:
-    """Compile *netlist* into the straight-line program levelized backends run.
+    """Deprecated shim over :func:`repro.sim.program.compile_program`.
 
-    The shared front half of the ``"batch"`` and ``"bitpack"`` backends:
-    reject clocked netlists (flip-flops have no single-pass functional
-    meaning), topologically levelize, peel ``TIE0``/``TIE1`` cells off into
-    ``(net, constant)`` pairs, and compile every remaining cell — which must
-    be single-output — through *compile_cell_type* (memoised per cell type).
+    Historically the shared front half of the levelized backends; the
+    compile step now lives in :mod:`repro.sim.program`, which produces a
+    serializable backend-neutral :class:`~repro.sim.program.CompiledProgram`
+    instead of pre-bound ops.  This wrapper compiles a program and binds it
+    through *compile_cell_type*, returning exactly the ``(constants, ops)``
+    pair the old API produced.
 
-    Returns ``(constants, ops)`` where *ops* is in level order, so executing
-    them sequentially evaluates every cell after all of its fanins.
-
-    Raises
-    ------
-    BackendError
-        For clocked or non-levelizable (cyclic) netlists, multi-output
-        cells, or cell types *compile_cell_type* cannot handle.
+    .. deprecated:: 0.6
+        Use ``compile_program(netlist)`` + :func:`bind_cell_ops` (or simply
+        construct a backend, which does both) instead.
     """
-    with _trace.span("backend.compile", backend=backend_name) as compile_span:
-        for cell in netlist.iter_cells():
-            if cell.cell_type == "DFF":
-                raise BackendError(
-                    f"{backend_name} backend does not support clocked netlists "
-                    "(DFF found); use the event backend for the synchronous baseline"
-                )
-        fn_cache: Dict[str, Callable] = {}
-        try:
-            levels = levelize(netlist)
-        except NetlistError as err:
-            raise BackendError(
-                f"{backend_name} backend requires a levelizable netlist: {err}; "
-                "use the event backend for cyclic designs"
-            ) from err
-        constants: List[Tuple[str, int]] = []
-        ops: List[CellOp] = []
-        for level in levels:
-            for cell in level:
-                if cell.cell_type in ("TIE0", "TIE1"):
-                    value = 1 if cell.cell_type == "TIE1" else 0
-                    for net in cell.outputs.values():
-                        constants.append((net, value))
-                    continue
-                spec = gate_spec(cell.cell_type)
-                if len(spec.output_pins) != 1:
-                    raise BackendError(
-                        f"{backend_name} backend expects single-output cells, "
-                        f"got {cell.cell_type!r}"
-                    )
-                fn = fn_cache.get(cell.cell_type)
-                if fn is None:
-                    fn = compile_cell_type(cell.cell_type)
-                    fn_cache[cell.cell_type] = fn
-                ops.append(
-                    CellOp(
-                        cell_name=cell.name,
-                        cell_type=cell.cell_type,
-                        in_nets=tuple(cell.inputs[pin] for pin in spec.input_pins),
-                        out_net=cell.outputs[spec.output_pins[0]],
-                        fn=fn,
-                    )
-                )
-        compile_span.add(levels=len(levels), cells=len(ops))
-    return constants, ops
+    warnings.warn(
+        "compile_levelized_ops is deprecated; use repro.sim.compile_program "
+        "and bind the resulting CompiledProgram per backend (or construct "
+        "the backend directly, which does both)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.sim.program import compile_program
+
+    program = compile_program(netlist)
+    return list(program.constants), bind_cell_ops(program, compile_cell_type)
 
 
 #: name -> factory(netlist, library, vdd) for the built-in backends.
@@ -300,15 +321,55 @@ def available_backends() -> List[str]:
 
 def get_backend(
     name: str,
-    netlist: Netlist,
-    library: CellLibrary,
+    netlist: Optional[Netlist] = None,
+    library: Optional[CellLibrary] = None,
     vdd: Optional[float] = None,
+    program=None,
+    cache=None,
 ) -> SimulationBackend:
-    """Instantiate the backend registered as *name* for *netlist*."""
+    """Instantiate the backend registered as *name*.
+
+    The documented construction API takes **exactly one** of:
+
+    ``netlist=``
+        Compile the netlist for this backend (the seed behaviour).  With
+        ``cache=`` (a directory path or a
+        :class:`~repro.sim.program_cache.ProgramCache`) the compile goes
+        through the on-disk program cache: a warm entry skips the netlist
+        walk entirely, a cold one compiles and stores.  The event backend
+        executes the netlist directly and ignores *cache*.
+
+    ``program=``
+        Execute a precompiled
+        :class:`~repro.sim.program.CompiledProgram` (e.g. loaded from a
+        :class:`~repro.sim.program_cache.ProgramCache` in a worker
+        process).  Only the vectorized backends accept programs; the event
+        backend raises :class:`BackendError`.
+    """
     try:
         factory = _REGISTRY[name]
     except KeyError:
         raise BackendError(
             f"unknown simulation backend {name!r}; available: {available_backends()}"
         ) from None
+    if (netlist is None) == (program is None):
+        raise BackendError(
+            "get_backend takes exactly one of netlist= and program= "
+            f"(got netlist={'set' if netlist is not None else 'None'}, "
+            f"program={'set' if program is not None else 'None'})"
+        )
+    if name == "event":
+        if program is not None:
+            raise BackendError(
+                "the event backend executes the netlist directly and cannot "
+                "run a CompiledProgram; construct it with netlist="
+            )
+        return factory(netlist, library, vdd=vdd)
+    if program is None and cache is not None:
+        from repro.sim.program_cache import ProgramCache
+
+        store = cache if isinstance(cache, ProgramCache) else ProgramCache(cache)
+        program = store.load_or_compile(netlist, library, vdd=vdd)
+    if program is not None:
+        return factory(netlist, library, vdd=vdd, program=program)
     return factory(netlist, library, vdd=vdd)

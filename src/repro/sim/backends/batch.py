@@ -50,10 +50,11 @@ from repro.circuits.library import CellLibrary
 from repro.circuits.netlist import Netlist
 from repro.obs import trace as _trace
 
+from ..program import CompiledProgram, compile_program
 from .base import (
     BackendError,
     BatchResult,
-    compile_levelized_ops,
+    bind_cell_ops,
     make_cell_type_compiler,
     register_backend,
 )
@@ -132,14 +133,16 @@ _compile_cell_type = make_cell_type_compiler(
 
 
 def normalize_input_planes(
-    netlist: Netlist,
+    netlist: Union[Netlist, CompiledProgram],
     inputs: Mapping[str, Union[int, np.ndarray, Sequence[int]]],
 ) -> Tuple[Dict[str, np.ndarray], int]:
     """Normalize a stimulus mapping into ``uint8`` planes, inferring batch size.
 
     Shared by every vectorized backend: scalars broadcast over the batch,
     array lengths must agree, values must be Boolean, and every net must
-    exist in *netlist*.  Returns ``(planes, samples)``.
+    exist in *netlist* — either a real :class:`~repro.circuits.netlist.Netlist`
+    or a :class:`~repro.sim.program.CompiledProgram` net table (anything
+    whose ``.nets`` supports membership).  Returns ``(planes, samples)``.
     """
     samples: Optional[int] = None
     for value in inputs.values():
@@ -188,15 +191,17 @@ def stacked_batch_inputs(
     return inputs
 
 
-def boxed_batch_result(result, netlist: Netlist) -> BatchResult:
+def boxed_batch_result(result, netlist: Union[Netlist, CompiledProgram]) -> BatchResult:
     """Box a vectorized array result into the protocol-level :class:`BatchResult`.
 
     *result* is duck-typed over the plane-result interface the vectorized
     backends share (``samples``, ``values`` and the activity dicts) —
     :class:`ArrayBatchResult` or the bitpack backend's
-    ``PackedBatchResult``.  Decoding goes through whole ``uint8`` planes
-    (one vectorized unpack per net for packed results), never per-sample
-    scalar extraction.
+    ``PackedBatchResult``; *netlist* is a
+    :class:`~repro.circuits.netlist.Netlist` or a compiled program's net
+    table (``.nets`` + ``.primary_outputs``).  Decoding goes through whole
+    ``uint8`` planes (one vectorized unpack per net for packed results),
+    never per-sample scalar extraction.
     """
     planes = result.values
     net_values = {}
@@ -260,16 +265,24 @@ class BatchBackend:
 
     def __init__(
         self,
-        netlist: Netlist,
+        netlist: Optional[Netlist] = None,
         library: Optional[CellLibrary] = None,
         vdd: Optional[float] = None,
+        program: Optional[CompiledProgram] = None,
     ) -> None:
+        if netlist is None and program is None:
+            raise BackendError(
+                f"{self.name} backend needs a netlist= or a precompiled program="
+            )
+        if program is None:
+            program = compile_program(netlist, library, vdd=vdd)
         self.netlist = netlist
         self.library = library
-        self.vdd = vdd
-        self._constants, self._ops = compile_levelized_ops(
-            netlist, _compile_cell_type, self.name
-        )
+        self.vdd = vdd if vdd is not None else program.vdd
+        #: The backend-neutral compile artifact this instance executes.
+        self.program = program
+        self._constants = list(program.constants)
+        self._ops = bind_cell_ops(program, _compile_cell_type)
 
     # ------------------------------------------------------------ planes
     def _input_planes(
@@ -277,7 +290,7 @@ class BatchBackend:
         inputs: Mapping[str, Union[int, np.ndarray, Sequence[int]]],
     ) -> Tuple[Dict[str, np.ndarray], int]:
         """Normalize the stimulus into uint8 planes and infer the batch size."""
-        return normalize_input_planes(self.netlist, inputs)
+        return normalize_input_planes(self.program, inputs)
 
     def run_arrays(
         self,
@@ -304,7 +317,7 @@ class BatchBackend:
             pack_span.add(samples=samples)
             x_plane = np.full(samples, X, dtype=np.uint8)
             values: Dict[str, np.ndarray] = {}
-            for name in self.netlist.primary_inputs:
+            for name in self.program.primary_inputs:
                 values[name] = planes.pop(name, x_plane)
             # Stimulus may also force internal nets that are actually inputs
             # of sub-blocks under test; remaining planes are applied verbatim.
@@ -315,7 +328,7 @@ class BatchBackend:
             for op in self._ops:
                 arrays = [values.get(net, x_plane) for net in op.in_nets]
                 values[op.out_net] = op.fn(arrays)
-            for net in self.netlist.nets:
+            for net in self.program.nets:
                 if net not in values:
                     values[net] = x_plane
 
@@ -374,7 +387,7 @@ class BatchBackend:
     def evaluate(self, assignments: Mapping[str, int]) -> Dict[str, LogicValue]:
         """Settled value of every net for one primary-input assignment."""
         result = self.run_arrays(assignments)
-        return {net: result.value_of(net, 0) for net in self.netlist.nets}
+        return {net: result.value_of(net, 0) for net in self.program.nets}
 
     def run_batch(
         self,
@@ -385,7 +398,7 @@ class BatchBackend:
         if not batch:
             return BatchResult(samples=0, outputs=[])
         result = self.run_arrays(stacked_batch_inputs(batch), baseline=baseline)
-        return boxed_batch_result(result, self.netlist)
+        return boxed_batch_result(result, self.program)
 
 
 register_backend("batch", BatchBackend)

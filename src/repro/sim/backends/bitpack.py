@@ -62,9 +62,11 @@ from repro.circuits.library import CellLibrary
 from repro.circuits.netlist import Netlist
 from repro.obs import trace as _trace
 
+from ..program import CompiledProgram, compile_program
 from .base import (
+    BackendError,
     BatchResult,
-    compile_levelized_ops,
+    bind_cell_ops,
     make_cell_type_compiler,
     register_backend,
 )
@@ -286,16 +288,24 @@ class BitpackBackend:
 
     def __init__(
         self,
-        netlist: Netlist,
+        netlist: Optional[Netlist] = None,
         library: Optional[CellLibrary] = None,
         vdd: Optional[float] = None,
+        program: Optional[CompiledProgram] = None,
     ) -> None:
+        if netlist is None and program is None:
+            raise BackendError(
+                f"{self.name} backend needs a netlist= or a precompiled program="
+            )
+        if program is None:
+            program = compile_program(netlist, library, vdd=vdd)
         self.netlist = netlist
         self.library = library
-        self.vdd = vdd
-        self._constants, self._ops = compile_levelized_ops(
-            netlist, _compile_cell_type, self.name
-        )
+        self.vdd = vdd if vdd is not None else program.vdd
+        #: The backend-neutral compile artifact this instance executes.
+        self.program = program
+        self._constants = list(program.constants)
+        self._ops = bind_cell_ops(program, _compile_cell_type)
 
     def run_arrays(
         self,
@@ -319,7 +329,7 @@ class BitpackBackend:
             spacer→valid→spacer handshake).
         """
         with _trace.span("bitpack.pack") as pack_span:
-            bit_planes, samples = normalize_input_planes(self.netlist, inputs)
+            bit_planes, samples = normalize_input_planes(self.program, inputs)
             pack_span.add(samples=samples)
             words = words_for(samples)
             zero_words = np.zeros(words, dtype=np.uint64)
@@ -332,7 +342,7 @@ class BitpackBackend:
                 return ones, ones ^ valid_mask
 
             values: Dict[str, PlanePair] = {}
-            for name in self.netlist.primary_inputs:
+            for name in self.program.primary_inputs:
                 bits = bit_planes.pop(name, None)
                 values[name] = x_pair if bits is None else encode(bits)
             # Stimulus may also force internal nets that are actually inputs
@@ -347,7 +357,7 @@ class BitpackBackend:
             for op in self._ops:
                 planes = [values.get(net, x_pair) for net in op.in_nets]
                 values[op.out_net] = op.fn(planes)
-            for net in self.netlist.nets:
+            for net in self.program.nets:
                 if net not in values:
                     values[net] = x_pair
 
@@ -409,7 +419,7 @@ class BitpackBackend:
     def evaluate(self, assignments: Mapping[str, int]) -> Dict[str, LogicValue]:
         """Settled value of every net for one primary-input assignment."""
         result = self.run_arrays(assignments)
-        return {net: result.value_of(net, 0) for net in self.netlist.nets}
+        return {net: result.value_of(net, 0) for net in self.program.nets}
 
     def run_batch(
         self,
@@ -420,7 +430,7 @@ class BitpackBackend:
         if not batch:
             return BatchResult(samples=0, outputs=[])
         result = self.run_arrays(stacked_batch_inputs(batch), baseline=baseline)
-        return boxed_batch_result(result, self.netlist)
+        return boxed_batch_result(result, self.program)
 
 
 register_backend("bitpack", BitpackBackend)

@@ -41,30 +41,52 @@ class BackendSession:
     ----------
     backend:
         A constructed vectorized backend (``"batch"`` or ``"bitpack"`` —
-        any object exposing ``run_arrays``; the event backend does not).
+        any object exposing ``run_arrays``; the event backend does not) —
+        or a backend *name*, in which case *program* must carry the
+        precompiled :class:`~repro.sim.program.CompiledProgram` to execute
+        (the serving worker's cache-served construction path).
     constants:
         ``net → scalar value`` assignment applied on every call.  Every net
-        must exist in the backend's netlist.  Varying planes passed to
+        must exist in the backend's net table.  Varying planes passed to
         :meth:`run_arrays` / :meth:`run_timed` may not overlap these nets —
         an overlap almost always means the caller bound the wrong set, so
         it raises instead of silently picking a winner.
+    program:
+        Only with a backend name: the compiled program to instantiate it
+        from (``get_backend(name, program=...)``).
     """
 
     def __init__(
         self,
         backend,
         constants: Optional[Mapping[str, int]] = None,
+        program=None,
     ) -> None:
+        if isinstance(backend, str):
+            from .base import get_backend
+
+            if program is None:
+                raise BackendError(
+                    "constructing a session from a backend name requires "
+                    "program= (a precompiled CompiledProgram)"
+                )
+            backend = get_backend(backend, program=program)
+        elif program is not None:
+            raise BackendError(
+                "program= is only meaningful with a backend name; the "
+                "constructed backend already carries its program"
+            )
         if not hasattr(backend, "run_arrays"):
             raise BackendError(
                 f"backend {getattr(backend, 'name', backend)!r} has no vectorized "
                 "run_arrays entry point; sessions require a batch or bitpack backend"
             )
         self.backend = backend
-        netlist: Netlist = backend.netlist
+        table = getattr(backend, "program", None)
+        nets = table.nets if table is not None else backend.netlist.nets
         self.constants: Dict[str, int] = dict(constants or {})
         for net, value in self.constants.items():
-            if net not in netlist.nets:
+            if net not in nets:
                 raise KeyError(f"constant net {net!r} does not exist in the netlist")
             if int(value) not in (0, 1):
                 raise BackendError(
@@ -83,8 +105,8 @@ class BackendSession:
         )
 
     @property
-    def netlist(self) -> Netlist:
-        """The bound backend's netlist."""
+    def netlist(self) -> Optional[Netlist]:
+        """The bound backend's netlist (``None`` for program-built backends)."""
         return self.backend.netlist
 
     def _merged(

@@ -84,8 +84,8 @@ from repro.circuits.library import CellLibrary
 from repro.circuits.netlist import Netlist
 from repro.obs import trace as _trace
 
-from ..sta import cell_output_delay
-from .base import BackendError, compile_levelized_ops, make_cell_type_compiler
+from ..program import CompiledProgram, compile_program
+from .base import BackendError, bind_cell_ops, make_cell_type_compiler
 from .batch import (
     X,
     _NOT_LUT,
@@ -353,10 +353,21 @@ def backend_run_timed(
         cache = backend._timed_programs = {}
     program = cache.get(key)
     if program is None:
-        program = TimedProgram(
-            backend.netlist, backend.library, vdd=backend.vdd,
-            delay_variation=delay_variation,
-        )
+        compiled = getattr(backend, "program", None)
+        if compiled is not None and compiled.characterized:
+            # The backend's CompiledProgram already carries the resolved
+            # delay/energy model — no netlist re-walk, works even for
+            # backends constructed from a cached program with no netlist.
+            program = TimedProgram.from_program(
+                compiled, delay_variation=delay_variation
+            )
+        elif backend.netlist is not None:
+            program = TimedProgram(
+                backend.netlist, backend.library, vdd=backend.vdd,
+                delay_variation=delay_variation,
+            )
+        else:
+            raise BackendError("the timed engine requires a characterised library")
         cache[key] = program
     return program.run(inputs, spacer)
 
@@ -384,41 +395,69 @@ class TimedProgram:
     delay_variation:
         Optional per-instance delay multipliers, matching the event
         simulator's and STA's parameter of the same name.
+    program:
+        Alternative construction from a characterised
+        :class:`~repro.sim.program.CompiledProgram` (see
+        :meth:`from_program`): the artifact already carries the base
+        delay/energy model, so no netlist or library is needed.
     """
 
     def __init__(
         self,
-        netlist: Netlist,
-        library: CellLibrary,
+        netlist: Optional[Netlist] = None,
+        library: Optional[CellLibrary] = None,
         vdd: Optional[float] = None,
         delay_variation: Optional[Dict[str, float]] = None,
+        program: Optional[CompiledProgram] = None,
     ) -> None:
-        if library is None:
-            raise BackendError("the timed engine requires a characterised library")
+        if program is None:
+            if library is None:
+                raise BackendError("the timed engine requires a characterised library")
+            if netlist is None:
+                raise BackendError("the timed engine needs a netlist= or program=")
+            supply = (
+                float(vdd) if vdd is not None else library.voltage_model.nominal_vdd
+            )
+            if not library.voltage_model.is_functional(supply):
+                raise BackendError(
+                    f"library {library.name!r} is not functional at {supply:.2f} V; "
+                    "timed results would be meaningless"
+                )
+            program = compile_program(netlist, library, vdd=supply)
+        elif not program.characterized:
+            raise BackendError(
+                "the timed engine requires a characterised CompiledProgram "
+                "(compiled with a library functional at the program's supply)"
+            )
         self.netlist = netlist
         self.library = library
-        self.vdd = float(vdd) if vdd is not None else library.voltage_model.nominal_vdd
-        if not library.voltage_model.is_functional(self.vdd):
-            raise BackendError(
-                f"library {library.name!r} is not functional at {self.vdd:.2f} V; "
-                "timed results would be meaningless"
-            )
-        self._constants, self._ops = compile_levelized_ops(
-            netlist, _compile_cell_type, "timed"
-        )
+        self.vdd = program.vdd
+        #: The backend-neutral compile artifact this engine executes.
+        self.program = program
+        self._constants = list(program.constants)
+        self._ops = bind_cell_ops(program, _compile_cell_type)
         variation = dict(delay_variation or {})
         self._delays: List[float] = [
-            cell_output_delay(
-                netlist, library, op.cell_type, op.cell_name, op.out_net,
-                self.vdd, delay_variation=variation,
-            )
-            for op in self._ops
+            op.delay_ps * variation.get(op.cell_name, 1.0) if variation
+            else op.delay_ps
+            for op in program.ops
         ]
-        self._energies: List[float] = [
-            2.0 * library.cell_energy(op.cell_type, vdd=self.vdd)
-            if library.has_cell(op.cell_type) else 0.0
-            for op in self._ops
-        ]
+        self._energies: List[float] = [2.0 * op.energy_fj for op in program.ops]
+
+    @classmethod
+    def from_program(
+        cls,
+        program: CompiledProgram,
+        delay_variation: Optional[Dict[str, float]] = None,
+    ) -> "TimedProgram":
+        """Timed engine over a precompiled characterised program.
+
+        Per-instance *delay_variation* multipliers are applied on top of the
+        artifact's base delays — exactly the factorisation the netlist
+        construction path performs, so both paths produce bit-identical
+        engines for the same inputs.
+        """
+        return cls(program=program, delay_variation=delay_variation)
 
     def _phase_sweep(
         self,
@@ -432,7 +471,7 @@ class TimedProgram:
         x_triple: TimedPlanes = (x1, x1, zero1)
         planes: Dict[str, TimedPlanes] = {}
         driven = set(start_inputs) | set(final_inputs)
-        for name in self.netlist.primary_inputs:
+        for name in self.program.primary_inputs:
             driven.add(name)
         for name in driven:
             planes[name] = (
@@ -447,7 +486,7 @@ class TimedProgram:
             start, final, t = op.fn([planes.get(net, x_triple) for net in op.in_nets])
             arrival = np.where(_changed(start, final), t + delay, 0.0)
             planes[op.out_net] = (start, final, arrival)
-        for net in self.netlist.nets:
+        for net in self.program.nets:
             if net not in planes:
                 planes[net] = x_triple
         return planes
@@ -471,10 +510,10 @@ class TimedProgram:
             :func:`repro.analysis.measure.spacer_assignments`).
         """
         with _trace.span("timed.run") as run_span:
-            valid_planes, samples = normalize_input_planes(self.netlist, inputs)
+            valid_planes, samples = normalize_input_planes(self.program, inputs)
             run_span.add(samples=samples)
             spacer_planes, _ = normalize_input_planes(
-                self.netlist, {net: np.asarray([int(v)], dtype=np.uint8)
+                self.program, {net: np.asarray([int(v)], dtype=np.uint8)
                                for net, v in spacer.items()}
             )
             with _trace.span("timed.forward"):
@@ -486,7 +525,7 @@ class TimedProgram:
             spacer_values: Dict[str, LogicValue] = {}
             arrival_valid: Dict[str, np.ndarray] = {}
             arrival_reset: Dict[str, np.ndarray] = {}
-            for net in self.netlist.nets:
+            for net in self.program.nets:
                 start, final, arrival = forward[net]
                 values[net] = np.ascontiguousarray(
                     np.broadcast_to(final, (samples,))

@@ -91,6 +91,8 @@ def test_autodoc_covers_the_docstring_enforced_surface():
         for module in _AUTODOC.findall(page.read_text())
     }
     for expected in (
+        "repro.sim.program",
+        "repro.sim.program_cache",
         "repro.sim.backends.base",
         "repro.sim.backends.batch",
         "repro.sim.backends.bitpack",

@@ -1,0 +1,177 @@
+"""On-disk program cache tests: keys, invalidation, self-healing, metrics.
+
+The cache contract: an entry is served again only while *all four* key
+ingredients (netlist hash, library fingerprint, resolved supply, compiler
+version) are unchanged; anything malformed on disk heals itself into a
+miss; and a cache-served program is bit-identical to a fresh compile.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import random_workload
+from repro.datapath.datapath import DualRailDatapath
+from repro.obs import metrics as _metrics
+from repro.obs import trace
+from repro.sim.backends import get_backend
+from repro.sim.program import PROGRAM_COMPILER_VERSION, compile_program
+from repro.sim.program_cache import ProgramCache, program_cache_key
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return random_workload(
+        num_features=3, clauses_per_polarity=4, num_operands=5, seed=31
+    )
+
+
+@pytest.fixture(scope="module")
+def datapath(workload):
+    return DualRailDatapath(workload.config)
+
+
+def test_miss_compiles_then_hit_loads(tmp_path, datapath, umc):
+    cache = ProgramCache(tmp_path)
+    netlist = datapath.circuit.netlist
+    first = cache.load_or_compile(netlist, umc)
+    assert (cache.misses, cache.hits) == (1, 0)
+    assert len(cache) == 1
+    second = cache.load_or_compile(netlist, umc)
+    assert (cache.misses, cache.hits) == (1, 1)
+    assert second == first
+    assert second.program_hash == first.program_hash
+    assert cache.stats()["entries"] == 1
+
+
+def test_key_moves_with_every_ingredient(datapath, umc, full_diffusion):
+    cache = ProgramCache("unused")
+    netlist = datapath.circuit.netlist
+    base = cache.key_for(netlist=netlist, library=umc)
+    assert cache.key_for(netlist=netlist, library=umc) == base
+    # library fingerprint ingredient
+    assert cache.key_for(netlist=netlist, library=full_diffusion) != base
+    # supply ingredient (explicit nominal == defaulted nominal, others move)
+    nominal = umc.voltage_model.nominal_vdd
+    assert cache.key_for(netlist=netlist, library=umc, vdd=nominal) == base
+    assert cache.key_for(netlist=netlist, library=umc, vdd=nominal * 0.5) != base
+    # compiler version ingredient
+    program = compile_program(netlist, umc)
+    current = program_cache_key(
+        program.netlist_hash, program.library_digest, program.vdd
+    )
+    bumped = program_cache_key(
+        program.netlist_hash, program.library_digest, program.vdd,
+        compiler_version=PROGRAM_COMPILER_VERSION + 1,
+    )
+    assert current == base
+    assert bumped != base
+
+
+def test_stale_entries_are_not_served_across_vdd(tmp_path, datapath, umc):
+    cache = ProgramCache(tmp_path)
+    netlist = datapath.circuit.netlist
+    nominal = umc.voltage_model.nominal_vdd
+    at_nominal = cache.load_or_compile(netlist, umc)
+    low = cache.load_or_compile(netlist, umc, vdd=nominal * 0.9)
+    assert cache.misses == 2  # different supply -> different entry
+    assert len(cache) == 2
+    assert at_nominal.vdd != low.vdd
+    assert [op.delay_ps for op in at_nominal.ops] != [op.delay_ps for op in low.ops]
+
+
+def test_corrupt_entry_self_heals(tmp_path, datapath, umc):
+    cache = ProgramCache(tmp_path)
+    netlist = datapath.circuit.netlist
+    cache.load_or_compile(netlist, umc)
+    key = cache.key_for(netlist=netlist, library=umc)
+    path = tmp_path / f"{key}.json"
+    path.write_text("{ this is not json")
+    assert cache.get(key) is None
+    assert cache.corrupt == 1
+    assert not path.exists()  # deleted, not left to fail every later load
+    recovered = cache.load_or_compile(netlist, umc)
+    assert recovered == compile_program(netlist, umc)
+    assert path.exists()
+
+
+def test_key_mismatch_counts_as_corrupt(tmp_path, datapath, umc):
+    cache = ProgramCache(tmp_path)
+    netlist = datapath.circuit.netlist
+    program = cache.load_or_compile(netlist, umc)
+    key = cache.key_for(netlist=netlist, library=umc)
+    path = tmp_path / f"{key}.json"
+    record = json.loads(path.read_text())
+    record["key"] = "0" * 64  # a tampered / misfiled entry
+    path.write_text(json.dumps(record))
+    assert cache.get(key) is None
+    assert cache.corrupt == 1
+    assert program == cache.load_or_compile(netlist, umc)
+
+
+def test_counters_and_prometheus_rendering(tmp_path, datapath, umc):
+    registry = _metrics.default_registry()
+    hits0 = registry.counter("program_cache_hits").value()
+    misses0 = registry.counter("program_cache_misses").value()
+    cache = ProgramCache(tmp_path)
+    netlist = datapath.circuit.netlist
+    cache.load_or_compile(netlist, umc)
+    cache.load_or_compile(netlist, umc)
+    assert registry.counter("program_cache_hits").value() == hits0 + 1
+    assert registry.counter("program_cache_misses").value() == misses0 + 1
+    rendered = registry.render_prometheus()
+    assert "# TYPE program_cache_hits counter" in rendered
+    assert "# TYPE program_cache_misses counter" in rendered
+
+
+def test_cache_load_and_store_spans(tmp_path, datapath, umc):
+    cache = ProgramCache(tmp_path)
+    netlist = datapath.circuit.netlist
+    with trace.capture() as cold:
+        cache.load_or_compile(netlist, umc)
+    cold_names = [r.name for r in cold.records]
+    assert "program.cache.load" in cold_names
+    assert "program.cache.store" in cold_names
+    assert "backend.compile" in cold_names
+    with trace.capture() as warm:
+        cache.load_or_compile(netlist, umc)
+    warm_names = [r.name for r in warm.records]
+    assert "program.cache.load" in warm_names
+    assert "backend.compile" not in warm_names  # the whole point of the cache
+    load = next(r for r in warm.records if r.name == "program.cache.load")
+    assert load.attrs["hit"] is True
+
+
+@pytest.mark.parametrize("name", ["batch", "bitpack"])
+def test_cache_served_backend_bit_identical(tmp_path, workload, datapath, umc, name):
+    netlist = datapath.circuit.netlist
+    seeded = get_backend(name, netlist, umc)
+    cached = get_backend(name, netlist, umc, cache=str(tmp_path))  # cold: store
+    warmed = get_backend(name, netlist, umc, cache=str(tmp_path))  # warm: load
+    per_operand = [
+        datapath.operand_assignments(features, workload.exclude)
+        for features in workload.feature_vectors
+    ]
+    planes = {}
+    for sig in datapath.circuit.inputs:
+        bits = np.asarray([int(op[sig.name]) for op in per_operand], dtype=np.uint8)
+        planes[sig.pos] = bits
+        planes[sig.neg] = (1 - bits).astype(np.uint8)
+    spacer = {}
+    for sig in datapath.circuit.inputs:
+        spacer[sig.pos] = sig.polarity.spacer_rail_value
+        spacer[sig.neg] = sig.polarity.spacer_rail_value
+    reference = seeded.run_timed(planes, spacer)
+    for engine in (cached, warmed):
+        assert engine.program == seeded.program
+        timed = engine.run_timed(planes, spacer)
+        rails = datapath.circuit.all_output_rails()
+        assert list(timed.max_arrival(rails, "valid")) == list(
+            reference.max_arrival(rails, "valid")
+        )
+        assert list(timed.energy_per_sample_fj) == list(
+            reference.energy_per_sample_fj
+        )

@@ -19,7 +19,12 @@ Contents:
   serializable :class:`CompiledProgram` IR every levelized consumer
   executes (``compile_program(netlist, library)`` →
   ``get_backend(name, program=...)``), and its content-hash-addressed
-  on-disk cache shared across worker processes.
+  on-disk cache shared across worker processes;
+* :mod:`repro.sim.kernels` — the fused grouped-kernel execution engine
+  the vectorized backends run on by default: per-level gather/scatter
+  groups (one vectorized call per cell shape per level) plus an optional
+  generated-and-``exec``'d NumPy kernel tier cached alongside the
+  program artifact.
 """
 
 from .backends import (
@@ -34,6 +39,15 @@ from .backends import (
     TimedProgram,
     available_backends,
     get_backend,
+)
+from .kernels import (
+    FUSED_ENV_VAR,
+    FUSED_MODES,
+    FusedKernel,
+    GroupedPlan,
+    build_grouped_plan,
+    generate_kernel_source,
+    resolve_fused_mode,
 )
 from .program import (
     PROGRAM_COMPILER_VERSION,
@@ -98,8 +112,12 @@ __all__ = [
     "EventBackend",
     "EventQueue",
     "FIGURE3_VOLTAGES",
+    "FUSED_ENV_VAR",
+    "FUSED_MODES",
     "ForbiddenStateMonitor",
+    "FusedKernel",
     "GateLevelSimulator",
+    "GroupedPlan",
     "Monitor",
     "MonotonicityMonitor",
     "NetTrace",
@@ -120,10 +138,13 @@ __all__ = [
     "Waveform",
     "arrival_of_nets",
     "available_backends",
+    "build_grouped_plan",
     "cell_output_delay",
     "delay_scaling_curve",
     "exponential_region_slope",
+    "generate_kernel_source",
     "get_backend",
+    "resolve_fused_mode",
     "latency_ratio",
     "output_load",
     "register_to_register_period",

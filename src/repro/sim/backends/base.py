@@ -294,8 +294,9 @@ def compile_levelized_ops(
     """
     warnings.warn(
         "compile_levelized_ops is deprecated; use repro.sim.compile_program "
-        "and bind the resulting CompiledProgram per backend (or construct "
-        "the backend directly, which does both)",
+        "and repro.sim.backends.base.bind_cell_ops to bind the resulting "
+        "CompiledProgram per backend (or construct the backend directly, "
+        "which does both)",
         DeprecationWarning,
         stacklevel=2,
     )
@@ -326,6 +327,7 @@ def get_backend(
     vdd: Optional[float] = None,
     program=None,
     cache=None,
+    fused=None,
 ) -> SimulationBackend:
     """Instantiate the backend registered as *name*.
 
@@ -345,6 +347,13 @@ def get_backend(
         :class:`~repro.sim.program_cache.ProgramCache` in a worker
         process).  Only the vectorized backends accept programs; the event
         backend raises :class:`BackendError`.
+
+    ``fused=`` selects the fused-kernel tier of the vectorized backends
+    (``"off"``/``"grouped"``/``"codegen"`` or a boolean; ``None`` defers to
+    the ``REPRO_FUSED_KERNELS`` environment variable — see
+    :mod:`repro.sim.kernels`).  The event backend has no kernel engine and
+    ignores it.  When both *cache* and the codegen tier are active the
+    cache doubles as the generated-kernel source store.
     """
     try:
         factory = _REGISTRY[name]
@@ -365,11 +374,16 @@ def get_backend(
                 "run a CompiledProgram; construct it with netlist="
             )
         return factory(netlist, library, vdd=vdd)
-    if program is None and cache is not None:
+    kwargs: Dict[str, object] = {}
+    if fused is not None:
+        kwargs["fused"] = fused
+    if cache is not None:
         from repro.sim.program_cache import ProgramCache
 
         store = cache if isinstance(cache, ProgramCache) else ProgramCache(cache)
-        program = store.load_or_compile(netlist, library, vdd=vdd)
+        kwargs["kernel_store"] = store
+        if program is None:
+            program = store.load_or_compile(netlist, library, vdd=vdd)
     if program is not None:
-        return factory(netlist, library, vdd=vdd, program=program)
-    return factory(netlist, library, vdd=vdd)
+        return factory(netlist, library, vdd=vdd, program=program, **kwargs)
+    return factory(netlist, library, vdd=vdd, **kwargs)

@@ -62,6 +62,13 @@ from repro.circuits.library import CellLibrary
 from repro.circuits.netlist import Netlist
 from repro.obs import trace as _trace
 
+from ..kernels import (
+    PlanePairMatrixView,
+    baseline_memo_key,
+    bulk_stimulus_matrix,
+    fused_kernel,
+    grouped_bitpack_activity,
+)
 from ..program import CompiledProgram, compile_program
 from .base import (
     BackendError,
@@ -221,11 +228,14 @@ class PackedBatchResult:
     :class:`~repro.sim.backends.batch.ArrayBatchResult` (``2`` encodes X),
     so every consumer of the batch backend's array results — the verdict
     decoders in :mod:`repro.analysis.measure`, the equivalence tests —
-    works on either without change.
+    works on either without change.  Under the fused kernel engine
+    ``packed`` is a :class:`~repro.sim.kernels.PlanePairMatrixView` (row
+    views into the two plane matrices) rather than a dict — same mapping
+    interface, no per-net copies.
     """
 
     samples: int
-    packed: Dict[str, PlanePair]
+    packed: Mapping[str, PlanePair]
     activity_by_cell: Dict[str, int] = field(default_factory=dict)
     activity_by_cell_type: Dict[str, int] = field(default_factory=dict)
 
@@ -282,6 +292,14 @@ class BitpackBackend:
         is purely functional.
     vdd:
         Recorded for reporting; does not change functional results.
+    fused:
+        Fused-kernel tier selector (``"off"``/``"grouped"``/``"codegen"``
+        or a boolean); ``None`` defers to the ``REPRO_FUSED_KERNELS``
+        environment variable, defaulting to the grouped engine.  See
+        :mod:`repro.sim.kernels`.
+    kernel_store:
+        Optional :class:`~repro.sim.program_cache.ProgramCache` used to
+        persist generated kernel source in codegen mode.
     """
 
     name = "bitpack"
@@ -292,6 +310,8 @@ class BitpackBackend:
         library: Optional[CellLibrary] = None,
         vdd: Optional[float] = None,
         program: Optional[CompiledProgram] = None,
+        fused=None,
+        kernel_store=None,
     ) -> None:
         if netlist is None and program is None:
             raise BackendError(
@@ -305,7 +325,15 @@ class BitpackBackend:
         #: The backend-neutral compile artifact this instance executes.
         self.program = program
         self._constants = list(program.constants)
-        self._ops = bind_cell_ops(program, _compile_cell_type)
+        #: Grouped/codegen kernel, or ``None`` when running the per-cell loop.
+        self._kernel = fused_kernel(program, self.name, fused=fused,
+                                    store=kernel_store)
+        self._ops = (
+            None if self._kernel is not None
+            else bind_cell_ops(program, _compile_cell_type)
+        )
+        #: Single-slot (key, settled planes) memo of the activity baseline.
+        self._rest_memo = None
 
     def run_arrays(
         self,
@@ -328,6 +356,8 @@ class BitpackBackend:
             transitions per differing sample (2 models one
             spacer→valid→spacer handshake).
         """
+        if self._kernel is not None:
+            return self._run_fused(inputs, baseline, transitions_per_toggle)
         with _trace.span("bitpack.pack") as pack_span:
             bit_planes, samples = normalize_input_planes(self.program, inputs)
             pack_span.add(samples=samples)
@@ -384,6 +414,102 @@ class BitpackBackend:
         return PackedBatchResult(
             samples=samples,
             packed=values,
+            activity_by_cell=activity_by_cell,
+            activity_by_cell_type=activity_by_type,
+        )
+
+    # ------------------------------------------------------- fused kernels
+    def _fused_planes(
+        self,
+        inputs: Mapping[str, Union[int, np.ndarray, Sequence[int]]],
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Pack the stimulus into the plane matrices and run the level sweeps."""
+        plan = self._kernel.plan
+        with _trace.span("bitpack.pack") as pack_span:
+            # Normalize straight into a word-aligned stacked matrix (padding
+            # lanes stay zero), so the whole stimulus packs in one
+            # np.packbits call: rows are (words * 8)-byte lanes, viewable as
+            # uint64 words.
+            rows, stacked, samples = bulk_stimulus_matrix(
+                inputs, plan.net_index, lane_align=WORD_BITS
+            )
+            pack_span.add(samples=samples)
+            words = words_for(samples)
+            # All-zero rows encode X, covering unassigned primary inputs
+            # and undriven nets (same as the looped engine's x_pair).  The
+            # level sweeps overwrite every driven row, so only undriven
+            # rows not in the stimulus actually need the zero fill.
+            ones = np.empty((plan.num_nets, words), dtype=np.uint64)
+            zeros = np.empty((plan.num_nets, words), dtype=np.uint64)
+            idle = np.setdiff1d(plan.nonoutput_rows, rows)
+            ones[idle] = 0
+            zeros[idle] = 0
+            # All-lanes-valid mask, built word-wise (equivalent to packing
+            # an all-ones plane, without materializing it).
+            valid_mask = np.full(words, ~np.uint64(0), dtype=np.uint64)
+            tail = samples % WORD_BITS
+            if tail:
+                valid_mask[-1] = np.uint64((1 << tail) - 1)
+            if len(rows):
+                packed = np.packbits(stacked, axis=1, bitorder="little").view(
+                    np.uint64
+                )
+                ones[rows] = packed
+                zeros[rows] = packed ^ valid_mask
+            for net, constant in self._constants:
+                row = plan.net_index[net]
+                if constant:
+                    ones[row] = valid_mask
+                    zeros[row] = 0
+                else:
+                    ones[row] = 0
+                    zeros[row] = valid_mask
+        with _trace.span("bitpack.levels", cells=len(self.program.ops)):
+            self._kernel.execute(ones, zeros)
+        return ones, zeros, samples
+
+    def _fused_rest_planes(
+        self, baseline: Mapping[str, Union[int, np.ndarray, Sequence[int]]],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The settled rest-state plane matrices for *baseline*, memoized.
+
+        Activity accounting needs the baseline evaluated on every call, but
+        callers overwhelmingly pass the same scalar spacer word each time —
+        a single-slot memo keyed on the mapping's contents
+        (:func:`~repro.sim.kernels.baseline_memo_key`) skips the repeated
+        level sweep.  Array-valued baselines bypass the memo.
+        """
+        key = baseline_memo_key(baseline)
+        if key is not None and self._rest_memo is not None:
+            cached_key, cached_planes = self._rest_memo
+            if cached_key == key:
+                return cached_planes
+        rest_ones, rest_zeros, _ = self._fused_planes(baseline)
+        if key is not None:
+            self._rest_memo = (key, (rest_ones, rest_zeros))
+        return rest_ones, rest_zeros
+
+    def _run_fused(
+        self,
+        inputs: Mapping[str, Union[int, np.ndarray, Sequence[int]]],
+        baseline: Optional[Mapping[str, int]],
+        transitions_per_toggle: int,
+    ) -> PackedBatchResult:
+        """Grouped-kernel twin of :meth:`run_arrays` (bit-identical results)."""
+        plan = self._kernel.plan
+        ones, zeros, samples = self._fused_planes(inputs)
+        activity_by_cell: Dict[str, int] = {}
+        activity_by_type: Dict[str, int] = {}
+        if baseline is not None:
+            with _trace.span("bitpack.activity"):
+                rest_ones, rest_zeros = self._fused_rest_planes(baseline)
+                activity_by_cell, activity_by_type = grouped_bitpack_activity(
+                    plan, ones, zeros, rest_ones, rest_zeros,
+                    transitions_per_toggle,
+                )
+        return PackedBatchResult(
+            samples=samples,
+            packed=PlanePairMatrixView(ones, zeros, plan.net_index),
             activity_by_cell=activity_by_cell,
             activity_by_cell_type=activity_by_type,
         )

@@ -1,0 +1,197 @@
+"""Unit tests for the fused grouped-kernel engine (:mod:`repro.sim.kernels`).
+
+The differential fuzz suite proves bit-identity on real datapath netlists;
+this file covers what those netlists never reach: the full dispatch
+vocabulary (MAJ3, XOR2/XNOR2 and the AOI/OAI/AO/OA complex gates), the
+mode-resolution and error surfaces, the bulk stimulus pack's edge inputs,
+the rest-state memo key, and the codegen tier's on-disk source cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.netlist import Netlist
+from repro.sim import compile_program
+from repro.sim.backends import BackendError
+from repro.sim.backends.batch import BatchBackend
+from repro.sim.backends.bitpack import BitpackBackend
+from repro.sim.kernels import (
+    FUSED_ENV_VAR,
+    KERNEL_CODEGEN_VERSION,
+    FusedKernel,
+    baseline_memo_key,
+    build_grouped_plan,
+    bulk_stimulus_matrix,
+    generate_kernel_source,
+    resolve_fused_mode,
+)
+from repro.sim.program_cache import ProgramCache
+
+
+def _all_tags_netlist() -> Netlist:
+    """One cell of every dispatch tag, plus a second level off the AND."""
+    net = Netlist("all-tags")
+    for name in ("a", "b", "c"):
+        net.add_input(name)
+    net.add_cell("INV", {"A": "a"}, {"Y": "n_inv"}, name="g_inv")
+    net.add_cell("BUF", {"A": "b"}, {"Y": "n_buf"}, name="g_buf")
+    net.add_cell("AND2", {"A": "a", "B": "b"}, {"Y": "n_and"}, name="g_and")
+    net.add_cell("NAND3", {"A": "a", "B": "b", "C": "c"}, {"Y": "n_nand"}, name="g_nand")
+    net.add_cell("OR2", {"A": "a", "B": "c"}, {"Y": "n_or"}, name="g_or")
+    net.add_cell("NOR2", {"A": "b", "B": "c"}, {"Y": "n_nor"}, name="g_nor")
+    net.add_cell("XOR2", {"A": "a", "B": "b"}, {"Y": "n_xor"}, name="g_xor")
+    net.add_cell("XNOR2", {"A": "a", "B": "c"}, {"Y": "n_xnor"}, name="g_xnor")
+    net.add_cell("MAJ3", {"A": "a", "B": "b", "C": "c"}, {"Y": "n_maj"}, name="g_maj")
+    net.add_cell("C2", {"A": "a", "B": "b"}, {"Y": "n_c"}, name="g_c")
+    net.add_cell(
+        "AOI21", {"A1": "a", "A2": "b", "B": "c"}, {"Y": "n_aoi"}, name="g_aoi"
+    )
+    net.add_cell(
+        "OAI21", {"A1": "a", "A2": "c", "B": "b"}, {"Y": "n_oai"}, name="g_oai"
+    )
+    net.add_cell(
+        "AO22", {"A1": "a", "A2": "b", "B1": "b", "B2": "c"}, {"Y": "n_ao"},
+        name="g_ao",
+    )
+    net.add_cell(
+        "OA22", {"A1": "a", "A2": "b", "B1": "a", "B2": "c"}, {"Y": "n_oa"},
+        name="g_oa",
+    )
+    # A second level, so the per-level sweep and codegen level spans run.
+    net.add_cell("INV", {"A": "n_and"}, {"Y": "n_and_n"}, name="g_inv2")
+    for name in net.nets:
+        if name not in ("a", "b", "c"):
+            net.add_output(name)
+    return net
+
+
+@pytest.fixture(scope="module")
+def all_tags_program():
+    return compile_program(_all_tags_netlist())
+
+
+@pytest.mark.parametrize("samples", [5, 130])
+@pytest.mark.parametrize("mode", ["grouped", "codegen"])
+@pytest.mark.parametrize("cls", [BatchBackend, BitpackBackend])
+def test_every_dispatch_tag_matches_looped(all_tags_program, cls, mode, samples):
+    """Fused engines agree with the looped path on every cell shape."""
+    program = all_tags_program
+    rng = np.random.default_rng(7)
+    stimulus = {
+        "a": rng.integers(0, 2, size=samples, dtype=np.uint8),
+        "b": rng.integers(0, 2, size=samples, dtype=np.uint8),
+        # "c" left unassigned: X pushes through the non-unate and complex
+        # evaluators' known-masks, not just the Boolean fast paths.
+    }
+    baseline = {"a": 0, "b": 0, "c": 0}
+    looped = cls(program=program, fused="off").run_arrays(stimulus, baseline=baseline)
+    fused = cls(program=program, fused=mode).run_arrays(stimulus, baseline=baseline)
+    for net in program.nets:
+        assert np.array_equal(looped.values[net], fused.values[net]), net
+    assert fused.activity_by_cell == looped.activity_by_cell
+    assert fused.activity_by_cell_type == looped.activity_by_cell_type
+    # The plane views quack like the dict the looped path returns.
+    assert set(fused.values) == set(looped.values)
+    assert len(fused.values) == len(looped.values)
+    assert "n_maj" in fused.values and "nope" not in fused.values
+
+
+def test_resolve_fused_mode_arguments_and_env(monkeypatch):
+    assert resolve_fused_mode(True) == "grouped"
+    assert resolve_fused_mode(False) == "off"
+    assert resolve_fused_mode("CODEGEN") == "codegen"
+    monkeypatch.delenv(FUSED_ENV_VAR, raising=False)
+    assert resolve_fused_mode(None) == "grouped"
+    monkeypatch.setenv(FUSED_ENV_VAR, "off")
+    assert resolve_fused_mode(None) == "off"
+    monkeypatch.setenv(FUSED_ENV_VAR, "  ")
+    assert resolve_fused_mode(None) == "grouped"
+    with pytest.raises(BackendError, match="unrecognized fused-kernel mode"):
+        resolve_fused_mode("turbo")
+
+
+def test_unknown_kind_and_mode_are_rejected(all_tags_program):
+    plan = build_grouped_plan(all_tags_program)
+    with pytest.raises(BackendError, match="backend kind"):
+        generate_kernel_source(plan, "simd")
+    with pytest.raises(BackendError, match="backend kind"):
+        FusedKernel(all_tags_program, "simd", "grouped")
+    with pytest.raises(BackendError, match="cannot run in mode"):
+        FusedKernel(all_tags_program, "batch", "off")
+
+
+def test_unvectorizable_cell_type_is_rejected():
+    """A program op outside the dispatch vocabulary fails plan building."""
+    net = Netlist("tiny")
+    net.add_input("a")
+    net.add_cell("INV", {"A": "a"}, {"Y": "y"}, name="g")
+    net.add_output("y")
+    record = compile_program(net).to_dict()
+    record["ops"][0][1] = "WEIRD9"  # cell_type field of the serialized op
+    from repro.sim.program import CompiledProgram
+
+    with pytest.raises(BackendError, match="cannot vectorize cell type"):
+        build_grouped_plan(CompiledProgram.from_dict(record))
+
+
+def test_cell_free_program_generates_pass_kernel():
+    net = Netlist("wires-only")
+    net.add_input("a")
+    net.add_output("a")
+    program = compile_program(net)
+    source = generate_kernel_source(build_grouped_plan(program), "batch")
+    assert "pass" in source
+    result = BatchBackend(program=program, fused="codegen").run_arrays(
+        {"a": np.asarray([1, 0, 1], dtype=np.uint8)}
+    )
+    assert result.values["a"].tolist() == [1, 0, 1]
+
+
+def test_bulk_stimulus_matrix_edge_inputs(all_tags_program):
+    net_index = build_grouped_plan(all_tags_program).net_index
+    # 0-d arrays and Python lists are both valid plane spellings.
+    rows, stacked, samples = bulk_stimulus_matrix(
+        {"a": np.uint8(1), "b": [0, 1, 0], "c": 0}, net_index
+    )
+    assert samples == 3
+    assert stacked[list(rows).index(net_index["b"])].tolist() == [0, 1, 0]
+    with pytest.raises(KeyError, match="unknown net"):
+        bulk_stimulus_matrix({"zz": 1}, net_index)
+    with pytest.raises(BackendError, match="inconsistent batch sizes"):
+        bulk_stimulus_matrix({"a": [0, 1], "b": [0, 1, 0]}, net_index)
+    with pytest.raises(BackendError, match="non-Boolean"):
+        bulk_stimulus_matrix({"a": [0, 2]}, net_index)
+
+
+def test_baseline_memo_key_hashable_or_none():
+    assert baseline_memo_key({"b": 1, "a": 0}) == (("a", 0), ("b", 1))
+    assert baseline_memo_key({"a": np.uint8(1)}) == (("a", 1),)
+    # Array-valued and non-integral baselines cannot be memoized.
+    assert baseline_memo_key({"a": np.asarray([0, 1])}) is None
+    assert baseline_memo_key({"a": float("nan")}) is None
+
+
+def test_codegen_source_round_trips_through_program_cache(tmp_path, all_tags_program):
+    program = all_tags_program
+    store = ProgramCache(tmp_path)
+    cold = FusedKernel(program, "bitpack", "codegen", store=store)
+    path = store.kernel_source_path(
+        program.program_hash, "bitpack", version=KERNEL_CODEGEN_VERSION
+    )
+    assert path.exists()
+    assert store.load_kernel_source(
+        program.program_hash, "bitpack", version=KERNEL_CODEGEN_VERSION
+    ) == cold.source
+    warm = FusedKernel(program, "bitpack", "codegen", store=store)
+    assert warm.source == cold.source
+    looped = BitpackBackend(program=program, fused="off")
+    cached = BitpackBackend(
+        program=program, fused="codegen", kernel_store=store
+    )
+    stimulus = {"a": np.asarray([1, 0, 1, 1], dtype=np.uint8), "b": 1, "c": 0}
+    a = looped.run_arrays(stimulus)
+    b = cached.run_arrays(stimulus)
+    for net in program.nets:
+        assert np.array_equal(a.values[net], b.values[net]), net

@@ -185,8 +185,15 @@ def test_program_built_timed_engine_bit_identical(datapath, workload, umc, name)
 
 def test_compile_levelized_ops_is_a_deprecated_shim(datapath, umc):
     netlist = datapath.circuit.netlist
-    with pytest.warns(DeprecationWarning, match="compile_program"):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
         constants, ops = compile_levelized_ops(netlist, _batch_compile, "batch")
+    deprecations = [w for w in caught if w.category is DeprecationWarning]
+    assert len(deprecations) == 1, "the shim must warn exactly once per call"
+    message = str(deprecations[0].message)
+    # The warning must name the replacement APIs, not just say "deprecated".
+    assert "compile_program" in message
+    assert "bind_cell_ops" in message
     with warnings.catch_warnings():
         warnings.simplefilter("error")  # the modern path must not warn
         program = compile_program(netlist)

@@ -175,3 +175,51 @@ def test_cache_served_backend_bit_identical(tmp_path, workload, datapath, umc, n
         assert list(timed.energy_per_sample_fj) == list(
             reference.energy_per_sample_fj
         )
+
+
+def _race_load_or_compile(cache_dir, netlist, library, barrier, out_path):
+    """Child-process body for the concurrent-writers test (fork context)."""
+    cache = ProgramCache(cache_dir)
+    barrier.wait(timeout=30)
+    program = cache.load_or_compile(netlist, library)
+    out_path.write_text(program.program_hash + "\n")
+
+
+def test_concurrent_writers_both_succeed_no_corrupt_entry(tmp_path, datapath, umc):
+    """Two processes racing ``load_or_compile`` on the same key both succeed.
+
+    The atomic same-directory-rename write in :meth:`ProgramCache.put`
+    means the race resolves to last-writer-wins on identical content: both
+    children return the same program hash, and the surviving on-disk entry
+    is complete and served as a clean hit afterwards.
+    """
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(2)
+    cache_dir = tmp_path / "cache"
+    netlist = datapath.circuit.netlist
+    outs = [tmp_path / f"hash-{i}.txt" for i in range(2)]
+    children = [
+        ctx.Process(
+            target=_race_load_or_compile,
+            args=(cache_dir, netlist, umc, barrier, out),
+        )
+        for out in outs
+    ]
+    for child in children:
+        child.start()
+    for child in children:
+        child.join(timeout=60)
+    assert all(child.exitcode == 0 for child in children), (
+        f"racing writers failed: exit codes {[c.exitcode for c in children]}"
+    )
+    hashes = {out.read_text().strip() for out in outs}
+    assert len(hashes) == 1, f"racing writers disagreed: {hashes}"
+    # The surviving entry is complete: a fresh reader gets a clean hit
+    # identical to an independent compile, with no corruption recorded.
+    cache = ProgramCache(cache_dir)
+    served = cache.load_or_compile(netlist, umc)
+    assert (cache.hits, cache.corrupt) == (1, 0)
+    assert served.program_hash == hashes.pop()
+    assert served == compile_program(netlist, umc)

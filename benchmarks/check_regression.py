@@ -20,12 +20,15 @@ scopes the baseline to its own metric family, so one record is never
 failed for "missing" the other family's metrics::
 
     python benchmarks/check_regression.py --bench BENCH_sim.json \
-        --skip-prefix serve_
+        --skip-prefix serve_ --skip-prefix dse_
     python benchmarks/check_regression.py --bench BENCH_serve.json \
         --only-prefix serve_
+    python benchmarks/check_regression.py --bench BENCH_dse.json \
+        --only-prefix dse_
 
-``--update`` honours the same flags: entries outside the scope are
-preserved verbatim instead of being pruned as stale.
+Both prefix flags are repeatable; ``--update`` honours the same flags:
+entries outside the scope are preserved verbatim instead of being pruned
+as stale.
 
 The comparison semantics (directions, per-metric tolerance bands, missing
 tracked metrics failing the gate) live in
@@ -69,10 +72,16 @@ def load_bench_metrics(path: Path) -> dict:
 
 
 def _in_scope(name: str, only_prefix, skip_prefix) -> bool:
-    """Whether *name* belongs to this gate invocation's metric family."""
-    if only_prefix is not None and not name.startswith(only_prefix):
+    """Whether *name* belongs to this gate invocation's metric families.
+
+    Both arguments are ``None``, one prefix string, or a list of prefixes
+    (the CLI flags are repeatable).
+    """
+    only = [only_prefix] if isinstance(only_prefix, str) else (only_prefix or [])
+    skip = [skip_prefix] if isinstance(skip_prefix, str) else (skip_prefix or [])
+    if only and not any(name.startswith(p) for p in only):
         return False
-    if skip_prefix is not None and name.startswith(skip_prefix):
+    if any(name.startswith(p) for p in skip):
         return False
     return True
 
@@ -130,10 +139,12 @@ def main(argv=None) -> int:
                         help="override the default tolerance band (fraction)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline values from --bench and exit")
-    parser.add_argument("--only-prefix", default=None,
-                        help="scope the gate to baseline metrics with this prefix")
-    parser.add_argument("--skip-prefix", default=None,
-                        help="exclude baseline metrics with this prefix from the gate")
+    parser.add_argument("--only-prefix", action="append", default=None,
+                        help="scope the gate to baseline metrics with this "
+                             "prefix (repeatable)")
+    parser.add_argument("--skip-prefix", action="append", default=None,
+                        help="exclude baseline metrics with this prefix from "
+                             "the gate (repeatable)")
     args = parser.parse_args(argv)
 
     bench_path = Path(args.bench)

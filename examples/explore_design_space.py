@@ -17,7 +17,19 @@ into an assertion that *everything* was served from the store.
 fails unless every point and every front is bit-identical — the jobs=1 ≡
 jobs=N contract CI enforces.
 
+``--workers N`` switches from the in-process pool to the distributed work
+queue (``repro.explore.queue``): N worker processes coordinate through
+lease files in the store, so a killed run resumes where it stopped
+(``--resume`` asserts a previous run's manifest is actually there) and the
+same store directory can be drained from several hosts with
+``--shard i/n``.  ``--chaos-kill-after M`` SIGKILLs one worker after M
+completions (the CI crash-resume drill); an incomplete queue exits with
+code 3 — rerun the same command to finish.  ``--front-history`` appends
+changed Pareto fronts to a byte-stable cross-run history file and
+``--dashboard`` renders the whole run as a static HTML page.
+
 Run with:  python examples/explore_design_space.py --grid smoke --jobs 4
+     or:   python examples/explore_design_space.py --grid smoke --workers 2
 """
 
 from __future__ import annotations
@@ -29,6 +41,9 @@ import time
 from pathlib import Path
 
 from repro.explore import (
+    DseWorker,
+    FrontHistory,
+    FrontView,
     ResultStore,
     SWEEP_BACKENDS,
     format_front_csv,
@@ -36,10 +51,17 @@ from repro.explore import (
     named_grid,
     pareto_front,
     parse_metric_pair,
+    parse_shard,
+    render_dashboard,
     run_sweep,
+    write_manifest,
 )
 from repro.explore.grid import GridExpansion
 from repro.obs.profile import tracing_session
+
+#: Exit code for a queue sweep that stopped before draining (killed worker,
+#: quarantined points): rerun the same command to resume.
+EXIT_INCOMPLETE = 3
 
 #: Metric pairs swept by default: the paper's headline trade-offs.
 DEFAULT_PARETO_PAIRS = ("accuracy,energy", "accuracy,latency", "latency,area")
@@ -92,6 +114,30 @@ def main(argv=None) -> int:
                              "bit-identical points and fronts")
     parser.add_argument("--expect-cached", action="store_true",
                         help="fail unless every point was served from the store")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="drain the grid through N queue-coordinated worker "
+                             "processes instead of the in-process pool "
+                             "(0 = in-process; requires --store)")
+    parser.add_argument("--resume", action="store_true",
+                        help="require an existing queue manifest in the store "
+                             "(fail fast when there is no crashed run to resume)")
+    parser.add_argument("--shard", default=None, metavar="I/N",
+                        help="run ONE in-process queue worker owning manifest "
+                             "indices congruent to i mod n, then exit (multi-host "
+                             "mode: every host points at the same --store)")
+    parser.add_argument("--lease-ttl", type=float, default=30.0,
+                        help="seconds a queue lease survives without a heartbeat "
+                             "before other workers may reclaim it")
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="claims a design point is allowed before quarantine")
+    parser.add_argument("--chaos-kill-after", type=int, default=None, metavar="M",
+                        help="fault injection: SIGKILL one worker once M points "
+                             "completed (exits %d; rerun to resume)" % EXIT_INCOMPLETE)
+    parser.add_argument("--front-history", default=None, metavar="PATH",
+                        help="append changed Pareto fronts to this byte-stable "
+                             "cross-run history file")
+    parser.add_argument("--dashboard", default=None, metavar="PATH",
+                        help="render the sweep as a self-contained HTML dashboard")
     args = parser.parse_args(argv)
 
     pair_texts = args.pareto if args.pareto else list(DEFAULT_PARETO_PAIRS)
@@ -106,11 +152,54 @@ def main(argv=None) -> int:
         )
     store = None if args.store.lower() == "none" else ResultStore(args.store)
 
+    distributed = args.workers > 0 or args.shard is not None
+    if distributed and store is None:
+        print("error: --workers/--shard need a --store (the shared substrate)",
+              file=sys.stderr)
+        return 2
+    if args.resume and not (
+        Path(args.store) / "queue" / "manifest.json"
+    ).exists():
+        print(f"error: --resume: no queue manifest under {args.store}; "
+              f"nothing to resume", file=sys.stderr)
+        return 2
+
+    if args.shard is not None:
+        # Multi-host mode: be one worker over one shard, then exit.  The
+        # driver artifacts (points, fronts, bench record) come from a final
+        # --workers run once every shard has drained.
+        shard = parse_shard(args.shard)
+        from repro.explore.evaluate import expand_grid
+        specs, _, _ = expand_grid(grid)
+        write_manifest(store.directory, specs, backend=args.backend,
+                       timing_backend=args.timing_backend,
+                       program_cache=args.program_cache, grid_name=args.grid)
+        worker = DseWorker(
+            store_dir=store.directory, lease_ttl=args.lease_ttl,
+            max_attempts=args.max_attempts, shard=shard,
+        )
+        report = worker.run()
+        print(f"Shard {args.shard} of grid '{args.grid}': worker {report.owner} "
+              f"completed {report.completed} point(s) "
+              f"({report.failures} failure(s)) in {report.wall_seconds:.1f}s")
+        return 0
+
     start = time.perf_counter()
     with tracing_session(args.trace_out):
-        result = run_sweep(grid, backend=args.backend, jobs=args.jobs, store=store,
-                           timing_backend=args.timing_backend,
-                           program_cache=args.program_cache)
+        if args.workers > 0:
+            result = run_sweep(
+                grid, backend=args.backend, store=store,
+                timing_backend=args.timing_backend,
+                program_cache=args.program_cache,
+                workers=args.workers, lease_ttl=args.lease_ttl,
+                max_attempts=args.max_attempts, grid_name=args.grid,
+                chaos_kill_after=args.chaos_kill_after,
+            )
+        else:
+            result = run_sweep(grid, backend=args.backend, jobs=args.jobs,
+                               store=store,
+                               timing_backend=args.timing_backend,
+                               program_cache=args.program_cache)
     elapsed = time.perf_counter() - start
     if args.trace_out:
         print(f"Trace -> {args.trace_out}")
@@ -122,6 +211,18 @@ def main(argv=None) -> int:
           f"(hit rate {result.cache_hit_rate:.0%}) in {elapsed:.1f}s "
           f"with jobs={args.jobs}, backend={args.backend}, "
           f"timing_backend={args.timing_backend}")
+
+    if args.workers > 0:
+        print(f"Queue: {result.workers} workers, {result.total_claims} claim(s), "
+              f"{result.reclaims} reclaim(s), {result.duplicate_completes} "
+              f"duplicate completion(s), resume overhead "
+              f"{result.resume_overhead_pct:.2f}%")
+        if result.quarantined:
+            print(f"Quarantined point(s): {', '.join(result.quarantined)}")
+        if not result.complete:
+            print(f"\nQueue incomplete ({len(result.points)} points stored) — "
+                  f"rerun the same command to resume", file=sys.stderr)
+            return EXIT_INCOMPLETE
 
     failures = []
     if len(result.points) < args.min_points:
@@ -166,6 +267,42 @@ def main(argv=None) -> int:
         if not front:
             failures.append(f"empty Pareto front for {_front_filename(pair)}")
 
+    deltas = {}
+    if args.front_history:
+        history = FrontHistory.load(args.front_history)
+        for pair in pairs:
+            delta = history.record(
+                args.grid, list(pair), fronts[_front_filename(pair)]
+            )
+            deltas[pair] = delta
+            print(f"Front history: {delta.describe()}")
+        history.save(args.front_history)
+        print(f"Front history -> {args.front_history}")
+
+    if args.dashboard:
+        views = [
+            FrontView(metrics=tuple(pair), points=result.points,
+                      front=fronts[_front_filename(pair)],
+                      delta=deltas.get(pair))
+            for pair in pairs
+        ]
+        progress = {
+            "total": len(result.points),
+            "completed": len(result.points),
+            "evaluated": result.evaluated,
+            "cached": result.cached,
+            "reclaims": getattr(result, "reclaims", 0),
+            "quarantined": getattr(result, "quarantined", ()),
+        }
+        dash_path = Path(args.dashboard)
+        dash_path.parent.mkdir(parents=True, exist_ok=True)
+        dash_path.write_text(render_dashboard(
+            f"Design-space exploration — grid '{args.grid}'", progress, views,
+            subtitle=f"{len(result.points)} design points, backend "
+                     f"{args.backend}, timing {args.timing_backend}",
+        ))
+        print(f"Dashboard -> {dash_path}")
+
     if args.check_determinism:
         print("\nDeterminism check: re-evaluating serially without the store ...")
         check_start = time.perf_counter()
@@ -207,6 +344,20 @@ def main(argv=None) -> int:
         },
         "store": store.stats() if store is not None else None,
     }
+    if args.workers > 0:
+        bench["workers"] = result.workers
+        bench["queue"] = {
+            "total_claims": result.total_claims,
+            "reclaims": result.reclaims,
+            "duplicate_completes": result.duplicate_completes,
+            "quarantined": list(result.quarantined),
+        }
+        # The gated metric family (benchmarks/check_regression.py
+        # --only-prefix dse_): how much of the grid was re-claimed across
+        # crashes and resumes, cumulative over this store's journal.
+        bench["metrics"] = {
+            "dse_resume_overhead_pct": result.resume_overhead_pct,
+        }
     if args.bench_json:
         Path(args.bench_json).write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
         print(f"\nProvenance record -> {args.bench_json}")

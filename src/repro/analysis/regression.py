@@ -52,7 +52,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+#: ``--only-prefix`` / ``--skip-prefix`` style scopes: one prefix or several.
+PrefixSpec = Optional[Union[str, Sequence[str]]]
 
 #: Default allowed fractional regression when a metric has no own tolerance.
 DEFAULT_TOLERANCE = 0.30
@@ -141,23 +144,42 @@ def load_baseline(path: Union[str, Path]) -> BaselineFile:
     return BaselineFile(default_tolerance=default_tolerance, metrics=metrics)
 
 
+def _as_prefixes(spec: PrefixSpec) -> Tuple[str, ...]:
+    """Normalize a prefix spec (``None`` / one string / several) to a tuple."""
+    if spec is None:
+        return ()
+    if isinstance(spec, str):
+        return (spec,)
+    return tuple(spec)
+
+
 def filter_baseline(
     baseline: BaselineFile,
-    only_prefix: Optional[str] = None,
-    skip_prefix: Optional[str] = None,
+    only_prefix: PrefixSpec = None,
+    skip_prefix: PrefixSpec = None,
 ) -> BaselineFile:
-    """A view of *baseline* scoped to one metric family.
+    """A view of *baseline* scoped to one or more metric families.
 
-    ``only_prefix`` keeps only metrics whose name starts with the prefix;
-    ``skip_prefix`` drops them.  Both may be given (``only`` applies
-    first).  Used by gate invocations that compare a bench record which by
-    design carries only a subset of the tracked metrics.
+    ``only_prefix`` keeps only metrics whose name starts with any of the
+    given prefixes; ``skip_prefix`` drops any match.  Each accepts a single
+    prefix string or a sequence of them (the CLI flags are repeatable), and
+    both may be given (``only`` applies first).  Used by gate invocations
+    that compare a bench record which by design carries only a subset of
+    the tracked metrics.
     """
+    only = _as_prefixes(only_prefix)
+    skip = _as_prefixes(skip_prefix)
     metrics = dict(baseline.metrics)
-    if only_prefix is not None:
-        metrics = {n: m for n, m in metrics.items() if n.startswith(only_prefix)}
-    if skip_prefix is not None:
-        metrics = {n: m for n, m in metrics.items() if not n.startswith(skip_prefix)}
+    if only:
+        metrics = {
+            n: m for n, m in metrics.items()
+            if any(n.startswith(p) for p in only)
+        }
+    if skip:
+        metrics = {
+            n: m for n, m in metrics.items()
+            if not any(n.startswith(p) for p in skip)
+        }
     return BaselineFile(
         default_tolerance=baseline.default_tolerance, metrics=metrics
     )

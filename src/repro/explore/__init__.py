@@ -22,7 +22,11 @@ Typical use (see ``examples/explore_design_space.py`` for the CLI)::
 * :mod:`repro.explore.grid` — specs, grids, named grids;
 * :mod:`repro.explore.evaluate` — the end-to-end evaluator and sweep driver;
 * :mod:`repro.explore.store` — the content-hash result store;
-* :mod:`repro.explore.pareto` — front extraction, ranking, CSV emission.
+* :mod:`repro.explore.pareto` — front extraction, ranking, CSV emission;
+* :mod:`repro.explore.queue` — the distributed, crash-resumable work queue
+  (``run_sweep(workers=N)`` routes through it);
+* :mod:`repro.explore.fronts` — cross-run Pareto-front history and the
+  static HTML dashboard.
 """
 
 from .evaluate import (
@@ -34,6 +38,13 @@ from .evaluate import (
     build_spec_workload,
     evaluate_point,
     run_sweep,
+)
+from .fronts import (
+    FrontDelta,
+    FrontHistory,
+    FrontView,
+    pair_slug,
+    render_dashboard,
 )
 from .grid import (
     DesignPointSpec,
@@ -56,36 +67,63 @@ from .pareto import (
     parse_metric,
     parse_metric_pair,
 )
+from .queue import (
+    DseWorker,
+    QueueSweepResult,
+    QueueTask,
+    WorkQueue,
+    journal_events,
+    journal_stats,
+    parse_shard,
+    run_queue_sweep,
+    worker_main,
+    write_manifest,
+)
 from .store import EVALUATOR_VERSION, ResultStore, library_fingerprint, point_key
 
 __all__ = [
     "DesignPoint",
     "DesignPointSpec",
+    "DseWorker",
     "EVALUATOR_VERSION",
     "EvaluationSettings",
     "FULL_GRID",
+    "FrontDelta",
+    "FrontHistory",
+    "FrontView",
     "GridExpansion",
     "METRIC_ALIASES",
     "Metric",
     "NOMINAL_GRID",
     "ParameterGrid",
+    "QueueSweepResult",
+    "QueueTask",
     "ResultStore",
     "SMOKE_GRID",
     "SMOKE_SETTINGS",
     "SWEEP_BACKENDS",
     "SweepResult",
+    "WorkQueue",
     "build_spec_workload",
     "dominates",
     "evaluate_point",
     "format_front_csv",
     "front_csv",
     "grid_names",
+    "journal_events",
+    "journal_stats",
     "library_fingerprint",
     "named_grid",
+    "pair_slug",
     "pareto_front",
     "pareto_ranks",
     "parse_metric",
     "parse_metric_pair",
+    "parse_shard",
     "point_key",
+    "render_dashboard",
+    "run_queue_sweep",
     "run_sweep",
+    "worker_main",
+    "write_manifest",
 ]

@@ -439,6 +439,28 @@ class SweepResult:
         return self.cached / total if total else 0.0
 
 
+def expand_grid(
+    grid: Union[ParameterGrid, GridExpansion, Sequence[DesignPointSpec]],
+) -> Tuple[List[DesignPointSpec], int, int]:
+    """Normalize any sweep input into ``(specs, dropped_dup, dropped_inf)``.
+
+    Accepts a declarative :class:`~repro.explore.grid.ParameterGrid`, an
+    already-expanded :class:`~repro.explore.grid.GridExpansion`, or an
+    explicit spec sequence — the shared front door of :func:`run_sweep` and
+    the distributed queue driver, so both enumerate identical work lists.
+    """
+    if isinstance(grid, ParameterGrid):
+        expansion = grid.expand()
+        return (
+            list(expansion.points),
+            expansion.dropped_duplicates,
+            expansion.dropped_infeasible,
+        )
+    if isinstance(grid, GridExpansion):
+        return list(grid.points), grid.dropped_duplicates, grid.dropped_infeasible
+    return [spec.validate().normalized() for spec in grid], 0, 0
+
+
 def run_sweep(
     grid: Union[ParameterGrid, Sequence[DesignPointSpec]],
     settings: EvaluationSettings = SMOKE_SETTINGS,
@@ -447,6 +469,8 @@ def run_sweep(
     store: Optional[ResultStore] = None,
     timing_backend: str = "event",
     program_cache: Optional[str] = None,
+    workers: Optional[int] = None,
+    **queue_options,
 ) -> SweepResult:
     """Evaluate a grid (or explicit spec list), cached and in parallel.
 
@@ -467,24 +491,28 @@ def run_sweep(
     recompiling it per process.  It is an execution knob, not a
     measurement parameter, so it is deliberately kept out of
     :class:`EvaluationSettings` (and hence out of the result-store key).
+
+    ``workers=N`` switches execution to the distributed lease-based work
+    queue (:func:`repro.explore.queue.run_queue_sweep`): *N* worker
+    processes coordinate through the *store* directory (required in that
+    mode), crash-resume comes for free, and extra ``queue_options``
+    (``lease_ttl``, ``max_attempts``, ``sharded``, …) pass through.  The
+    in-process ``jobs`` fan-out is ignored in queue mode.
     """
     _check_sweep_backend(backend)
     check_timing_backend(timing_backend)
     if timing_backend != "event":
         backend = timing_backend
     settings.validate()
-    dropped_dup = dropped_inf = 0
-    if isinstance(grid, ParameterGrid):
-        expansion = grid.expand()
-        specs = list(expansion.points)
-        dropped_dup = expansion.dropped_duplicates
-        dropped_inf = expansion.dropped_infeasible
-    elif isinstance(grid, GridExpansion):
-        specs = list(grid.points)
-        dropped_dup = grid.dropped_duplicates
-        dropped_inf = grid.dropped_infeasible
-    else:
-        specs = [spec.validate().normalized() for spec in grid]
+    if workers is not None:
+        from .queue import run_queue_sweep  # local: queue imports this module
+
+        return run_queue_sweep(
+            grid, settings=settings, backend=backend, workers=workers,
+            store=store, timing_backend=timing_backend,
+            program_cache=program_cache, **queue_options,
+        )
+    specs, dropped_dup, dropped_inf = expand_grid(grid)
 
     resolved: Dict[int, DesignPoint] = {}
     keys: List[Optional[str]] = [None] * len(specs)

@@ -1,0 +1,456 @@
+"""Cross-run Pareto-front tracking and the static DSE dashboard.
+
+A sweep's primary artefact is its Pareto front — but a *single* front
+cannot answer the question CI actually asks: **did this change move the
+accuracy × energy trade-off?**  :class:`FrontHistory` keeps a byte-stable
+``front_history.json`` of every distinct front ever observed per
+``(grid, metric-pair)``: recording a front appends an entry only when its
+content digest differs from the last one, so the file is diffable in CI —
+an unchanged trade-off produces an unchanged file, and a moved front shows
+up as one appended entry whose :class:`FrontDelta` names exactly the
+design points that entered and left the frontier.
+
+Byte stability rules (the file is compared verbatim across runs):
+
+* rows carry metric values pre-formatted with ``%.6g`` — the same
+  formatting as the Pareto CSV, so equal fronts serialize equally;
+* entries are appended in deterministic order and serialized with sorted
+  keys and fixed indentation;
+* no timestamps, hostnames or other run-local noise.
+
+:func:`render_dashboard` turns the completed store's fronts plus the
+queue's progress census into a **single self-contained HTML page** (inline
+SVG, inline CSS, no external assets or scripts) published by the docs job
+and uploaded from the ``dse-distributed`` CI job: stat tiles for run
+progress, one scatter per metric pair (dominated points recessive, the
+non-dominated frontier emphasised with a step line), per-mark hover
+tooltips, and the front tables as the accessible data view.  Colors follow
+the repo-wide visualization palette with light and dark modes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import html
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
+
+from .pareto import Metric, pareto_front
+
+__all__ = [
+    "FRONT_HISTORY_VERSION",
+    "FrontDelta",
+    "FrontHistory",
+    "FrontView",
+    "front_digest",
+    "front_rows",
+    "pair_slug",
+    "render_dashboard",
+]
+
+#: Bump when the history entry schema changes incompatibly.
+FRONT_HISTORY_VERSION = 1
+
+
+def pair_slug(metrics: Sequence[Metric]) -> str:
+    """Stable identifier for a metric pair: ``"accuracy_vs_energy..."``."""
+    return "_vs_".join(metric.name for metric in metrics)
+
+
+def front_rows(front: Sequence, metrics: Sequence[Metric]) -> List[dict]:
+    """Canonical row dicts for an already-extracted front.
+
+    Values are ``%.6g``-formatted strings (the Pareto-CSV formatting), so
+    equal fronts always produce byte-equal rows regardless of float noise
+    in their in-memory representation.
+    """
+    rows = []
+    for point in front:
+        row = {"label": point.spec.label()}
+        for metric in metrics:
+            row[metric.name] = f"{metric.value(point):.6g}"
+        rows.append(row)
+    return rows
+
+
+def front_digest(rows: Sequence[Mapping]) -> str:
+    """Content hash of a front's canonical rows (entry identity)."""
+    canon = json.dumps(list(rows), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class FrontDelta:
+    """What changed between two successive fronts of one ``(grid, pair)``."""
+
+    grid: str
+    pair: str
+    changed: bool
+    first: bool = False
+    added: Tuple[str, ...] = ()
+    removed: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        """One human-readable line for sweep logs and CI output."""
+        if self.first:
+            return f"{self.grid}/{self.pair}: first recorded front"
+        if not self.changed:
+            return f"{self.grid}/{self.pair}: front unchanged"
+        parts = []
+        if self.added:
+            parts.append(f"+{len(self.added)} ({', '.join(self.added)})")
+        if self.removed:
+            parts.append(f"-{len(self.removed)} ({', '.join(self.removed)})")
+        detail = "; ".join(parts) if parts else "metric values moved"
+        return f"{self.grid}/{self.pair}: front MOVED — {detail}"
+
+
+class FrontHistory:
+    """Append-only, byte-stable record of every distinct front observed."""
+
+    def __init__(self, entries: Optional[List[dict]] = None) -> None:
+        self.entries: List[dict] = list(entries or [])
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FrontHistory":
+        """Read a history file; a missing file is an empty history."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text())
+        if payload.get("version") != FRONT_HISTORY_VERSION:
+            raise ValueError(
+                f"front history {path} has version {payload.get('version')!r}; "
+                f"this code reads version {FRONT_HISTORY_VERSION}"
+            )
+        return cls(payload.get("entries", []))
+
+    def latest(self, grid: str, pair: str) -> Optional[dict]:
+        """The most recent entry for ``(grid, pair)``, or ``None``."""
+        for entry in reversed(self.entries):
+            if entry["grid"] == grid and entry["pair"] == pair:
+                return entry
+        return None
+
+    def record(
+        self, grid: str, metrics: Sequence[Metric], front: Sequence
+    ) -> FrontDelta:
+        """Append *front* if it differs from the last recorded one.
+
+        Returns the :class:`FrontDelta` versus the previous entry — the
+        "did this PR move the front?" answer.  Recording an unchanged
+        front is a no-op, which is what keeps the file diff-stable.
+        """
+        pair = pair_slug(metrics)
+        rows = front_rows(front, metrics)
+        digest = front_digest(rows)
+        previous = self.latest(grid, pair)
+        if previous is not None and previous["digest"] == digest:
+            return FrontDelta(grid=grid, pair=pair, changed=False)
+        old_rows = [] if previous is None else previous["rows"]
+        old_ids = {json.dumps(row, sort_keys=True) for row in old_rows}
+        new_ids = {json.dumps(row, sort_keys=True) for row in rows}
+        added = tuple(
+            row["label"] for row in rows
+            if json.dumps(row, sort_keys=True) not in old_ids
+        )
+        removed = tuple(
+            row["label"] for row in old_rows
+            if json.dumps(row, sort_keys=True) not in new_ids
+        )
+        self.entries.append({
+            "seq": len(self.entries) + 1,
+            "grid": grid,
+            "pair": pair,
+            "metrics": [
+                {"name": metric.name, "goal": metric.goal} for metric in metrics
+            ],
+            "digest": digest,
+            "rows": rows,
+        })
+        return FrontDelta(
+            grid=grid, pair=pair, changed=True, first=previous is None,
+            added=added, removed=removed,
+        )
+
+    def to_dict(self) -> dict:
+        """The serialized form (see :meth:`save`)."""
+        return {"version": FRONT_HISTORY_VERSION, "entries": self.entries}
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the byte-stable history file and return its path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        return path
+
+
+# ---------------------------------------------------------------- dashboard
+
+
+@dataclass
+class FrontView:
+    """One chart of the dashboard: a metric pair over the swept points."""
+
+    metrics: Tuple[Metric, Metric]
+    points: Sequence
+    front: Sequence = ()
+    delta: Optional[FrontDelta] = None
+
+    def __post_init__(self) -> None:
+        if not self.front:
+            self.front = pareto_front(self.points, list(self.metrics))
+
+    @property
+    def title(self) -> str:
+        """Chart heading, e.g. ``accuracy (max) vs energy... (min)``."""
+        a, b = self.metrics
+        return f"{a.name} ({a.goal}) vs {b.name} ({b.goal})"
+
+
+_DASHBOARD_CSS = """
+  .viz-root {
+    color-scheme: light;
+    --surface-1: #fcfcfb; --surface-2: #f0efec;
+    --text-primary: #0b0b0b; --text-secondary: #52514e;
+    --line: #d9d8d2;
+    --series-1: #2a78d6;      /* front */
+    --series-rest: #a8a69d;   /* dominated points */
+    font: 14px/1.45 system-ui, sans-serif;
+    background: var(--surface-1); color: var(--text-primary);
+    margin: 0 auto; max-width: 980px; padding: 24px;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root:where(:not([data-theme="light"])) .viz-root {
+      color-scheme: dark;
+      --surface-1: #1a1a19; --surface-2: #262624;
+      --text-primary: #ffffff; --text-secondary: #c3c2b7;
+      --line: #3a3a37; --series-1: #3987e5; --series-rest: #6f6e66;
+    }
+  }
+  :root[data-theme="dark"] .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --surface-2: #262624;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --line: #3a3a37; --series-1: #3987e5; --series-rest: #6f6e66;
+  }
+  .viz-root h1 { font-size: 20px; margin: 0 0 4px; }
+  .viz-root h2 { font-size: 16px; margin: 28px 0 8px; }
+  .viz-root .sub { color: var(--text-secondary); margin: 0 0 16px; }
+  .tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 16px 0; }
+  .tile {
+    background: var(--surface-2); border-radius: 8px;
+    padding: 10px 16px; min-width: 110px;
+  }
+  .tile .v { font-size: 22px; font-weight: 600; }
+  .tile .k { color: var(--text-secondary); font-size: 12px; }
+  .meter {
+    height: 6px; border-radius: 3px; background: var(--surface-2);
+    overflow: hidden; margin-top: 6px;
+  }
+  .meter span { display: block; height: 100%; background: var(--series-1); }
+  .legend { color: var(--text-secondary); font-size: 12px; margin: 4px 0 8px; }
+  .legend .mark {
+    display: inline-block; width: 9px; height: 9px; border-radius: 50%;
+    vertical-align: -1px; margin: 0 4px 0 12px;
+  }
+  .legend .mark:first-child { margin-left: 0; }
+  svg text { fill: var(--text-secondary); font-size: 11px; }
+  svg .grid { stroke: var(--line); stroke-width: 1; }
+  svg .frontline {
+    stroke: var(--series-1); stroke-width: 2; fill: none;
+    stroke-linejoin: round;
+  }
+  svg .dom { fill: var(--series-rest); }
+  svg .front {
+    fill: var(--series-1); stroke: var(--surface-1); stroke-width: 2;
+  }
+  svg circle:hover { r: 7; }
+  table { border-collapse: collapse; margin: 8px 0 24px; width: 100%; }
+  th, td {
+    text-align: left; padding: 4px 10px; font-size: 12px;
+    border-bottom: 1px solid var(--line);
+  }
+  th { color: var(--text-secondary); font-weight: 600; }
+  .delta { font-size: 12px; color: var(--text-secondary); margin: 4px 0; }
+"""
+
+
+def _ticks(lo: float, hi: float, count: int = 4) -> List[float]:
+    if hi <= lo:
+        return [lo]
+    return [lo + (hi - lo) * i / (count - 1) for i in range(count)]
+
+
+def _scatter_svg(view: FrontView, width: int = 440, height: int = 300) -> str:
+    """One scatter chart: dominated points recessive, front emphasised."""
+    a, b = view.metrics
+    xs = [a.value(p) for p in view.points]
+    ys = [b.value(p) for p in view.points]
+    if not xs:
+        return "<p class='sub'>no points</p>"
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_pad = (x_hi - x_lo) * 0.08 or max(abs(x_hi), 1.0) * 0.05
+    y_pad = (y_hi - y_lo) * 0.08 or max(abs(y_hi), 1.0) * 0.05
+    x_lo, x_hi = x_lo - x_pad, x_hi + x_pad
+    y_lo, y_hi = y_lo - y_pad, y_hi + y_pad
+    left, right, top, bottom = 58, 12, 10, 40
+
+    def sx(v: float) -> float:
+        return left + (v - x_lo) / (x_hi - x_lo) * (width - left - right)
+
+    def sy(v: float) -> float:
+        return height - bottom - (v - y_lo) / (y_hi - y_lo) * (height - top - bottom)
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="{html.escape(view.title)}" '
+        f'style="width:100%;max-width:{width}px">'
+    ]
+    for tick in _ticks(x_lo + x_pad, x_hi - x_pad):
+        x = sx(tick)
+        parts.append(
+            f'<line class="grid" x1="{x:.1f}" y1="{top}" '
+            f'x2="{x:.1f}" y2="{height - bottom}"/>'
+            f'<text x="{x:.1f}" y="{height - bottom + 16}" '
+            f'text-anchor="middle">{tick:.4g}</text>'
+        )
+    for tick in _ticks(y_lo + y_pad, y_hi - y_pad):
+        y = sy(tick)
+        parts.append(
+            f'<line class="grid" x1="{left}" y1="{y:.1f}" '
+            f'x2="{width - right}" y2="{y:.1f}"/>'
+            f'<text x="{left - 6}" y="{y:.1f}" dy="0.32em" '
+            f'text-anchor="end">{tick:.4g}</text>'
+        )
+    arrow = {"max": "↑", "min": "↓"}
+    parts.append(
+        f'<text x="{(left + width - right) / 2:.1f}" y="{height - 6}" '
+        f'text-anchor="middle">{html.escape(a.name)} {arrow[a.goal]}</text>'
+    )
+    parts.append(
+        f'<text x="12" y="{(top + height - bottom) / 2:.1f}" '
+        f'text-anchor="middle" transform="rotate(-90 12 '
+        f'{(top + height - bottom) / 2:.1f})">'
+        f'{html.escape(b.name)} {arrow[b.goal]}</text>'
+    )
+    front_ids = {id(p) for p in view.front}
+    front_sorted = sorted(view.front, key=lambda p: (a.value(p), b.value(p)))
+    if len(front_sorted) > 1:
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'} {sx(a.value(p)):.1f} {sy(b.value(p)):.1f}"
+            for i, p in enumerate(front_sorted)
+        )
+        parts.append(f'<path class="frontline" d="{path}"/>')
+    for point in view.points:  # dominated first, so the front draws on top
+        if id(point) in front_ids:
+            continue
+        parts.append(
+            f'<circle class="dom" cx="{sx(a.value(point)):.1f}" '
+            f'cy="{sy(b.value(point)):.1f}" r="3.5">'
+            f"<title>{html.escape(point.spec.label())}\n"
+            f"{a.name}={a.value(point):.6g}  {b.name}={b.value(point):.6g}"
+            f"</title></circle>"
+        )
+    for point in front_sorted:
+        parts.append(
+            f'<circle class="front" cx="{sx(a.value(point)):.1f}" '
+            f'cy="{sy(b.value(point)):.1f}" r="4.5">'
+            f"<title>{html.escape(point.spec.label())}\n"
+            f"{a.name}={a.value(point):.6g}  {b.name}={b.value(point):.6g}"
+            f"</title></circle>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _front_table(view: FrontView) -> str:
+    a, b = view.metrics
+    head = (
+        f"<tr><th>design point</th><th>{html.escape(a.name)}</th>"
+        f"<th>{html.escape(b.name)}</th></tr>"
+    )
+    rows = "".join(
+        f"<tr><td>{html.escape(p.spec.label())}</td>"
+        f"<td>{a.value(p):.6g}</td><td>{b.value(p):.6g}</td></tr>"
+        for p in view.front
+    )
+    return f"<table>{head}{rows}</table>"
+
+
+def _tile(value: str, label: str, meter: Optional[float] = None) -> str:
+    bar = ""
+    if meter is not None:
+        pct = max(0.0, min(1.0, meter)) * 100.0
+        bar = f'<div class="meter"><span style="width:{pct:.1f}%"></span></div>'
+    return (
+        f'<div class="tile"><div class="v">{html.escape(value)}</div>'
+        f'<div class="k">{html.escape(label)}</div>{bar}</div>'
+    )
+
+
+def render_dashboard(
+    title: str,
+    progress: Mapping,
+    views: Sequence[FrontView],
+    subtitle: str = "",
+) -> str:
+    """The complete, self-contained dashboard page as an HTML string.
+
+    *progress* carries the run census (``total``, ``completed``,
+    ``evaluated``, ``cached``, ``reclaims``, ``quarantined`` — a sequence
+    of labels); missing keys render as zero.  *views* is one chart + table
+    per metric pair.  The page embeds everything (styles, SVG), so it can
+    be dropped into the mkdocs site or uploaded as a CI artifact verbatim.
+    """
+    total = int(progress.get("total", 0))
+    completed = int(progress.get("completed", 0))
+    quarantined = list(progress.get("quarantined", ()))
+    tiles = [
+        _tile(
+            f"{completed}/{total}", "points completed",
+            meter=(completed / total if total else 0.0),
+        ),
+        _tile(str(int(progress.get("evaluated", 0))), "evaluated this run"),
+        _tile(str(int(progress.get("cached", 0))), "served from store"),
+        _tile(str(int(progress.get("reclaims", 0))), "leases reclaimed"),
+        _tile(str(len(quarantined)), "quarantined"),
+    ]
+    sections: List[str] = []
+    for view in views:
+        delta_line = ""
+        if view.delta is not None:
+            delta_line = (
+                f'<p class="delta">{html.escape(view.delta.describe())}</p>'
+            )
+        sections.append(
+            f"<h2>{html.escape(view.title)}</h2>"
+            + delta_line
+            + '<p class="legend">'
+            '<span class="mark" style="background:var(--series-1)"></span>'
+            "Pareto front"
+            '<span class="mark" style="background:var(--series-rest)"></span>'
+            "dominated</p>"
+            + _scatter_svg(view)
+            + _front_table(view)
+        )
+    quarantine_html = ""
+    if quarantined:
+        items = "".join(f"<li>{html.escape(label)}</li>" for label in quarantined)
+        quarantine_html = f"<h2>Quarantined points</h2><ul>{items}</ul>"
+    sub = f'<p class="sub">{html.escape(subtitle)}</p>' if subtitle else ""
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">"
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{_DASHBOARD_CSS}</style></head>"
+        '<body class="viz-root">'
+        f"<h1>{html.escape(title)}</h1>{sub}"
+        f'<div class="tiles">{"".join(tiles)}</div>'
+        f'{"".join(sections)}{quarantine_html}'
+        "</body></html>\n"
+    )

@@ -16,7 +16,11 @@ Entries are one JSON file per key under the store directory (LiteX-style
 build caching: re-running a sweep touches only new or invalidated points).
 Corrupt or tampered entries — unparsable JSON, missing fields, a record
 whose own key does not match its filename — are treated as misses and
-deleted, so a damaged store heals itself on the next sweep.
+deleted, so a damaged store heals itself on the next sweep.  Self-healing
+is *not* silent: every corrupt entry increments the
+``dse_store_corrupt_total`` metric and emits a ``store.corrupt`` warning
+span, so a store that keeps healing (bad disk, two incompatible writers)
+is visible in the same telemetry as everything else.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from typing import Optional, Union
 
 from repro.circuits.library import CellLibrary, library_fingerprint
 from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 
 __all__ = [
     "EVALUATOR_VERSION",
@@ -101,6 +106,10 @@ class ResultStore:
         self._misses_metric = registry.counter(
             "store_cache_misses", "ResultStore lookups that forced evaluation."
         )
+        self._corrupt_metric = registry.counter(
+            "dse_store_corrupt_total",
+            "ResultStore entries that failed validation and were healed.",
+        )
 
     # ------------------------------------------------------------- internals
     def _path(self, key: str) -> Path:
@@ -111,7 +120,9 @@ class ResultStore:
         """The stored :class:`~repro.explore.evaluate.DesignPoint` or ``None``.
 
         Any malformed entry (bad JSON, wrong schema, key mismatch) counts as
-        a miss, is deleted, and will simply be re-evaluated by the caller.
+        a miss, is deleted, and will simply be re-evaluated by the caller —
+        loudly: the heal increments ``dse_store_corrupt_total`` and emits a
+        ``store.corrupt`` warning span naming the key and the defect.
         """
         from .evaluate import DesignPoint  # local: avoids an import cycle
 
@@ -127,10 +138,15 @@ class ResultStore:
             if record.get("key") != key:
                 raise ValueError("stored key does not match filename")
             point = DesignPoint.from_dict(record["point"])
-        except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError) as err:
             self.corrupt += 1
             self.misses += 1
             self._misses_metric.inc()
+            self._corrupt_metric.inc()
+            with _trace.span(
+                "store.corrupt", severity="warning", key=key, error=repr(err)
+            ):
+                pass
             try:
                 path.unlink()
             except OSError:
@@ -157,6 +173,21 @@ class ResultStore:
         if not self.directory.exists():
             return 0
         return sum(1 for _ in self.directory.glob(f"*{_STORE_SUFFIX}"))
+
+    def entry_digests(self) -> dict:
+        """``{key: sha256-of-entry-bytes}`` for every entry on disk.
+
+        The byte-identity fingerprint the sharding-determinism and
+        fault-injection tests compare: two stores are interchangeable
+        exactly when these mappings are equal (entry serialization is
+        deterministic, so equal points mean equal bytes).
+        """
+        if not self.directory.exists():
+            return {}
+        return {
+            path.stem: hashlib.sha256(path.read_bytes()).hexdigest()
+            for path in sorted(self.directory.glob(f"*{_STORE_SUFFIX}"))
+        }
 
     def stats(self) -> dict:
         """Hit/miss/corrupt counters for reports and ``BENCH_dse.json``."""

@@ -1,0 +1,127 @@
+"""Pin the distributed-DSE guide against the code it documents.
+
+Dependency-free (no mkdocs, no worker processes): the checks parse the
+guide and assert that every documented CLI flag is a real argparse option
+of ``examples/explore_design_space.py``, that the documented queue layout,
+exit code, metrics and span names exist in ``repro.explore.queue``, and
+that the guide is cross-linked from the pages that promise it.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+GUIDE = REPO / "docs" / "guides" / "distributed-dse.md"
+DRIVER = REPO / "examples" / "explore_design_space.py"
+QUEUE = REPO / "src" / "repro" / "explore" / "queue.py"
+
+_COMMAND = re.compile(r"^(?:PYTHONPATH=\S+\s+)?python (\S+\.py)(.*)$")
+_FLAG = re.compile(r"(--[a-z][a-z0-9-]*)")
+
+
+def guide_commands():
+    commands = []
+    for block in re.findall(r"```bash\n(.*?)```", GUIDE.read_text(), re.DOTALL):
+        for line in block.strip().replace("\\\n", " ").splitlines():
+            match = _COMMAND.match(line.strip())
+            if match:
+                commands.append((match.group(1), match.group(2)))
+    return commands
+
+
+def test_guide_exists_and_covers_the_contract():
+    text = GUIDE.read_text()
+    for topic in (
+        "lease",
+        "Heartbeats",
+        "Stale-lease reclaim",
+        "Crash-resume",
+        "Quarantine semantics",
+        "Sharding across hosts",
+        "byte-identical",
+        "journal",
+        "dashboard",
+    ):
+        assert topic in text, f"distributed-DSE guide does not cover {topic!r}"
+
+
+def test_every_documented_command_and_flag_is_real():
+    commands = guide_commands()
+    assert len(commands) >= 4, "guide lost its runnable commands"
+    for target, args in commands:
+        script = REPO / target
+        assert script.is_file(), f"guide references missing {target}"
+        source = script.read_text()
+        for flag in _FLAG.findall(args):
+            assert f'"{flag}"' in source, f"{target} has no argparse flag {flag}"
+
+
+def test_documented_queue_layout_matches_the_code():
+    """Paths and exit code in the guide are the ones the code uses."""
+    text = GUIDE.read_text()
+    queue_src = QUEUE.read_text()
+    for name, pin in (
+        ("queue/manifest.json", '_MANIFEST = "manifest.json"'),
+        ("queue/journal.jsonl", '_JOURNAL = "journal.jsonl"'),
+        ("queue/leases/", '_LEASES = "leases"'),
+        ("queue/quarantine/", '_QUARANTINE = "quarantine"'),
+    ):
+        assert name in text, f"guide lost the path {name!r}"
+        assert pin in queue_src, f"queue.py no longer defines {pin!r}"
+    assert "code **3**" in text
+    assert "EXIT_INCOMPLETE = 3" in DRIVER.read_text()
+
+
+def test_documented_metrics_and_spans_exist():
+    text = GUIDE.read_text()
+    queue_src = QUEUE.read_text()
+    store_src = (REPO / "src" / "repro" / "explore" / "store.py").read_text()
+    for metric in (
+        "dse_points_claimed_total",
+        "dse_leases_reclaimed_total",
+        "dse_points_completed_total",
+        "dse_points_quarantined_total",
+        "dse_queue_depth",
+    ):
+        assert f"`{metric}`" in text, f"guide lost the metric {metric}"
+        assert f'"{metric}"' in queue_src, f"queue.py lost the metric {metric}"
+    assert "`dse_store_corrupt_total`" in text
+    assert '"dse_store_corrupt_total"' in store_src
+    for span in (
+        "dse.queue.claim",
+        "dse.queue.reclaim",
+        "dse.queue.quarantine",
+        "dse.queue.evaluate",
+        "dse.queue.sweep",
+    ):
+        assert f"`{span}`" in text, f"guide lost the span {span}"
+        assert f'"{span}"' in queue_src, f"queue.py lost the span {span}"
+
+
+def test_documented_gated_metric_is_in_the_baseline():
+    text = GUIDE.read_text()
+    assert "dse_resume_overhead_pct" in text
+    baseline = (REPO / "benchmarks" / "baseline.json").read_text()
+    assert '"dse_resume_overhead_pct"' in baseline
+    assert "dse_resume_overhead_pct" in DRIVER.read_text()
+
+
+def test_guide_dashboard_figure_uses_the_palette():
+    """The inline sample figure sticks to the repo visualization palette."""
+    text = GUIDE.read_text()
+    assert "<svg" in text
+    assert "#2a78d6" in text  # categorical slot 1 (front)
+    fronts_src = (REPO / "src" / "repro" / "explore" / "fronts.py").read_text()
+    assert "#2a78d6" in fronts_src and "#3987e5" in fronts_src
+
+
+def test_distributed_dse_guide_is_cross_linked():
+    assert "distributed-dse.md" in (REPO / "docs" / "index.md").read_text()
+    assert "distributed-dse.md" in (
+        REPO / "docs" / "architecture" / "explore.md"
+    ).read_text()
+    assert "distributed-dse.md" in (REPO / "docs" / "api" / "explore.md").read_text()
+    assert "distributed-dse.md" in (REPO / "mkdocs.yml").read_text()
+    assert "explore.md" in GUIDE.read_text()

@@ -106,6 +106,8 @@ def test_autodoc_covers_the_docstring_enforced_surface():
         "repro.explore.evaluate",
         "repro.explore.store",
         "repro.explore.pareto",
+        "repro.explore.queue",
+        "repro.explore.fronts",
         "repro.sim.backends.session",
         "repro.serve.gateway",
         "repro.serve.worker",

@@ -1,0 +1,233 @@
+"""Fault injection: SIGKILL, corrupt claims, corrupt store entries, frozen hearts.
+
+The distributed queue's whole value proposition is surviving exactly these
+events, so each one is induced deliberately and the recovery is pinned:
+
+* a worker SIGKILLed mid-evaluation loses its lease after the TTL; the
+  surviving (or restarted) workers finish the grid with **zero duplicated
+  evaluations** and a store byte-identical to an undisturbed run;
+* a corrupt lease file is reclaimed like a stale one;
+* a corrupt store entry self-heals — loudly (``dse_store_corrupt_total``)
+  — and the point is simply re-evaluated;
+* a worker whose heartbeat froze (live process, dead renewal) loses its
+  lease to a reclaim, by the clock, deterministically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.explore import (
+    ResultStore,
+    front_csv,
+    journal_events,
+    journal_stats,
+    pareto_front,
+    parse_metric,
+    write_manifest,
+)
+from repro.explore.queue import DseWorker, WorkQueue
+from repro.obs import metrics as _metrics
+
+from queue_helpers import (
+    FAST_SETTINGS,
+    slow_fake_evaluate,
+    smoke_specs,
+    worker_process,
+)
+
+fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+
+METRICS = [parse_metric("accuracy"), parse_metric("energy")]
+
+
+def _drain_reference(tmp_path, specs):
+    """An undisturbed single-worker run: the byte-identity reference."""
+    store = ResultStore(tmp_path / "reference")
+    write_manifest(store.directory, specs, settings=FAST_SETTINGS)
+    DseWorker(
+        store_dir=store.directory, evaluator=slow_fake_evaluate, lease_ttl=30.0
+    ).run()
+    return store
+
+
+def _front(store):
+    tasks = WorkQueue(store.directory).tasks()
+    points = [store.get(task.key) for task in tasks]
+    assert all(point is not None for point in points)
+    return front_csv(pareto_front(points, METRICS), METRICS)
+
+
+def _wait_for_completes(store_dir, count, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if journal_stats(journal_events(store_dir))["completes"] >= count:
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"journal never reached {count} completions")
+
+
+@fork
+def test_sigkill_mid_evaluation_resumes_without_duplicates(tmp_path):
+    """Kill one of two workers mid-point; the survivor finishes the grid."""
+    specs = smoke_specs(8)
+    reference = _drain_reference(tmp_path, specs)
+
+    store = ResultStore(tmp_path / "chaos")
+    write_manifest(store.directory, specs, settings=FAST_SETTINGS)
+    ctx = multiprocessing.get_context("fork")
+    procs = [
+        ctx.Process(
+            target=worker_process,
+            args=(str(store.directory), f"victim-{i}" if i == 0 else f"worker-{i}"),
+            kwargs={"lease_ttl": 1.0},
+        )
+        for i in range(2)
+    ]
+    for proc in procs:
+        proc.start()
+    # Let the run get going, then SIGKILL worker 0 — with a 0.2 s evaluation
+    # per point it is overwhelmingly mid-evaluation, holding a live lease.
+    _wait_for_completes(store.directory, 2)
+    os.kill(procs[0].pid, signal.SIGKILL)
+    procs[0].join(timeout=10)
+    procs[1].join(timeout=60)
+    assert procs[1].exitcode == 0
+
+    queue = WorkQueue(store.directory)
+    progress = queue.progress()
+    assert progress.done and progress.quarantined == 0
+
+    stats = journal_stats(journal_events(store.directory))
+    assert stats["duplicate_completes"] == 0, "a point was evaluated twice"
+    assert stats["completes"] == len(specs)
+    # The killed worker's in-flight lease was reclaimed, not forgotten.
+    assert stats["reclaims"] >= 1
+
+    assert store.entry_digests() == reference.entry_digests()
+    assert _front(store) == _front(reference)
+
+
+@fork
+def test_killed_run_resumes_from_a_fresh_worker(tmp_path):
+    """Kill the ONLY worker, then start a new one: classic crash-resume."""
+    specs = smoke_specs(6)
+    reference = _drain_reference(tmp_path, specs)
+
+    store = ResultStore(tmp_path / "chaos")
+    write_manifest(store.directory, specs, settings=FAST_SETTINGS)
+    ctx = multiprocessing.get_context("fork")
+    victim = ctx.Process(
+        target=worker_process, args=(str(store.directory), "victim"),
+        kwargs={"lease_ttl": 1.0},
+    )
+    victim.start()
+    _wait_for_completes(store.directory, 2)
+    os.kill(victim.pid, signal.SIGKILL)
+    victim.join(timeout=10)
+
+    before = journal_stats(journal_events(store.directory))
+    assert before["completes"] < len(specs), "victim died too late to matter"
+
+    # The "rerun the same command" path: a brand-new worker, same store.
+    DseWorker(
+        store_dir=store.directory, owner="resumer",
+        evaluator=slow_fake_evaluate, lease_ttl=1.0,
+    ).run()
+
+    stats = journal_stats(journal_events(store.directory))
+    assert stats["completes"] == len(specs)
+    assert stats["duplicate_completes"] == 0
+    assert store.entry_digests() == reference.entry_digests()
+    assert _front(store) == _front(reference)
+    # Resume overhead: only the victim's in-flight points were re-claimed.
+    assert stats["extra_claims"] <= 1
+
+
+def test_corrupt_claim_file_is_reclaimed(tmp_path):
+    """Garbage in a lease file must not wedge its point forever."""
+    specs = smoke_specs(2)
+    write_manifest(tmp_path, specs, settings=FAST_SETTINGS)
+    queue = WorkQueue(tmp_path, owner="healer", lease_ttl=30.0)
+    task = queue.tasks()[0]
+    queue.leases_dir.mkdir(parents=True, exist_ok=True)
+    queue._lease_path(task.key).write_text("{ definitely not a lease")
+
+    lease = queue.try_claim(task)
+    assert lease is not None, "corrupt lease blocked the claim"
+    assert lease.attempt == 2  # the reclaim consumed one attempt
+    events = journal_events(tmp_path)
+    reclaim = next(e for e in events if e["event"] == "reclaim")
+    assert reclaim["corrupt"] is True
+
+
+def test_corrupt_store_entry_self_heals_mid_run(tmp_path):
+    """A damaged completed entry is re-evaluated, loudly, on the next pass."""
+    specs = smoke_specs(3)
+    store = ResultStore(tmp_path)
+    write_manifest(store.directory, specs, settings=FAST_SETTINGS)
+    DseWorker(
+        store_dir=store.directory, evaluator=slow_fake_evaluate, lease_ttl=30.0
+    ).run()
+    healthy = store.entry_digests()
+    assert len(healthy) == len(specs)
+
+    # Corrupt one completed entry on disk (bit-rot / torn write).
+    victim_key = WorkQueue(store.directory).tasks()[1].key
+    (store.directory / f"{victim_key}.json").write_text("{ torn write")
+
+    counter = _metrics.default_registry().counter(
+        "dse_store_corrupt_total",
+        "ResultStore entries that failed validation and were healed.",
+    )
+    before = counter.value()
+    DseWorker(
+        store_dir=store.directory, evaluator=slow_fake_evaluate, lease_ttl=30.0
+    ).run()
+    assert counter.value() == before + 1  # healing was not silent
+
+    assert store.entry_digests() == healthy  # bytes restored exactly
+    stats = journal_stats(journal_events(store.directory))
+    assert stats["completes"] == len(specs) + 1  # one point re-evaluated
+    assert stats["duplicate_completes"] == 1  # ... and the journal shows it
+
+
+def test_frozen_heartbeat_loses_the_lease_by_the_clock(tmp_path):
+    """Deterministic stale-lease reclaim with an injected clock."""
+    specs = smoke_specs(1)
+    write_manifest(tmp_path, specs, settings=FAST_SETTINGS)
+    now = [1000.0]
+    clock = lambda: now[0]  # noqa: E731 - injectable test clock
+    frozen = WorkQueue(tmp_path, owner="frozen", lease_ttl=5.0, clock=clock)
+    vulture = WorkQueue(tmp_path, owner="vulture", lease_ttl=5.0, clock=clock)
+    task = frozen.tasks()[0]
+    lease = frozen.try_claim(task)
+    assert lease is not None
+
+    # While the heart beats, the lease holds.
+    now[0] += 3.0
+    assert vulture.try_claim(task) is None
+    assert frozen.heartbeat(lease)
+
+    # The heartbeat freezes; once the TTL passes, the reclaim succeeds.
+    now[0] += 5.1
+    registry = _metrics.default_registry()
+    reclaimed = registry.counter(
+        "dse_leases_reclaimed_total", "Stale or corrupt DSE leases taken over."
+    )
+    before = reclaimed.value()
+    stolen = vulture.try_claim(task)
+    assert stolen is not None and stolen.owner == "vulture"
+    assert stolen.attempt == 2
+    assert reclaimed.value() == before + 1
+
+    # The frozen owner notices on its next heartbeat: renewal is refused.
+    assert not frozen.heartbeat(lease)

@@ -1,0 +1,169 @@
+"""Front history: byte stability, deltas; dashboard: structure and palette."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.explore import (
+    FrontHistory,
+    FrontView,
+    pair_slug,
+    pareto_front,
+    parse_metric,
+    render_dashboard,
+)
+from repro.explore.fronts import FRONT_HISTORY_VERSION, front_digest, front_rows
+
+from queue_helpers import FAST_SETTINGS, fake_evaluate, smoke_specs
+
+METRICS = [parse_metric("accuracy"), parse_metric("energy")]
+
+
+def make_points(count=6):
+    """Deterministic DesignPoints over the first *count* smoke specs."""
+    return [
+        fake_evaluate(spec, FAST_SETTINGS, "batch", "event")
+        for spec in smoke_specs(count)
+    ]
+
+
+# -------------------------------------------------------------------- history
+
+
+def test_pair_slug_and_rows_are_deterministic():
+    points = make_points()
+    front = pareto_front(points, METRICS)
+    assert pair_slug(METRICS) == "accuracy_vs_energy_per_inference_fj"
+    rows = front_rows(front, METRICS)
+    assert rows == front_rows(front, METRICS)
+    assert front_digest(rows) == front_digest(front_rows(front, METRICS))
+    # Values are %.6g strings — the Pareto-CSV formatting.
+    for row in rows:
+        assert isinstance(row["accuracy"], str)
+
+
+def test_record_first_unchanged_and_moved_fronts():
+    points = make_points()
+    front = pareto_front(points, METRICS)
+    history = FrontHistory()
+
+    first = history.record("smoke", METRICS, front)
+    assert first.changed and first.first
+    assert len(history.entries) == 1
+
+    again = history.record("smoke", METRICS, front)
+    assert not again.changed
+    assert len(history.entries) == 1  # unchanged front appends nothing
+
+    moved = history.record("smoke", METRICS, front[:-1] if len(front) > 1
+                           else pareto_front(points[:2], METRICS))
+    assert moved.changed and not moved.first
+    assert len(history.entries) == 2
+    assert moved.added or moved.removed
+    assert "MOVED" in moved.describe()
+
+
+def test_grids_and_pairs_are_tracked_independently():
+    points = make_points()
+    other = [parse_metric("latency"), parse_metric("area")]
+    history = FrontHistory()
+    history.record("smoke", METRICS, pareto_front(points, METRICS))
+    delta = history.record("smoke", other, pareto_front(points, other))
+    assert delta.first  # a new pair starts its own lineage
+    delta2 = history.record("nominal", METRICS, pareto_front(points, METRICS))
+    assert delta2.first  # and so does a new grid
+    assert len(history.entries) == 3
+
+
+def test_history_file_is_byte_stable(tmp_path):
+    points = make_points()
+    front = pareto_front(points, METRICS)
+    path_a, path_b = tmp_path / "a.json", tmp_path / "b.json"
+
+    history = FrontHistory()
+    history.record("smoke", METRICS, front)
+    history.save(path_a)
+
+    # Load → record the same front → save: the bytes must not move.
+    reloaded = FrontHistory.load(path_a)
+    delta = reloaded.record("smoke", METRICS, front)
+    assert not delta.changed
+    reloaded.save(path_b)
+    assert path_a.read_bytes() == path_b.read_bytes()
+
+    payload = json.loads(path_a.read_text())
+    assert payload["version"] == FRONT_HISTORY_VERSION
+    assert payload["entries"][0]["seq"] == 1
+
+
+def test_load_missing_file_and_version_mismatch(tmp_path):
+    assert FrontHistory.load(tmp_path / "absent.json").entries == []
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"version": 999, "entries": []}))
+    with pytest.raises(ValueError):
+        FrontHistory.load(bad)
+
+
+# ------------------------------------------------------------------ dashboard
+
+
+def render(points=None, **progress):
+    points = make_points() if points is None else points
+    view = FrontView(metrics=tuple(METRICS), points=points)
+    census = {
+        "total": len(points), "completed": len(points),
+        "evaluated": len(points), "cached": 0, "reclaims": 0,
+        "quarantined": (),
+    }
+    census.update(progress)
+    return render_dashboard("DSE dashboard", census, [view]), view
+
+
+def test_dashboard_is_self_contained_html():
+    html_text, view = render()
+    assert html_text.startswith("<!DOCTYPE html>")
+    assert "<script" not in html_text  # static: no JS anywhere
+    assert "http://" not in html_text and "https://" not in html_text
+    assert "<svg" in html_text and "<table>" in html_text
+    # Every front point appears in the table AND carries a hover tooltip.
+    assert html_text.count("<title>") >= len(view.front) + 1  # + page title
+
+
+def test_dashboard_palette_and_dark_mode():
+    html_text, _ = render()
+    # Reference palette slot 1 (blue), light and dark steps, as CSS vars.
+    assert "--series-1: #2a78d6" in html_text
+    assert "--series-1: #3987e5" in html_text
+    assert "prefers-color-scheme: dark" in html_text
+    assert '[data-theme="dark"]' in html_text
+    # Text wears text tokens, never the series color.
+    assert "--text-primary: #0b0b0b" in html_text
+    assert "--surface-1: #fcfcfb" in html_text
+
+
+def test_dashboard_legend_and_stat_tiles():
+    html_text, _ = render(reclaims=3, quarantined=("bad/point/label",))
+    assert "Pareto front" in html_text and "dominated" in html_text  # legend
+    assert "leases reclaimed" in html_text
+    assert "bad/point/label" in html_text  # quarantine list renders
+    assert 'class="tile"' in html_text
+
+
+def test_dashboard_escapes_labels():
+    points = make_points(3)
+    html_text = render_dashboard(
+        "<script>alert(1)</script>",
+        {"total": 3, "completed": 3, "quarantined": ("<img src=x>",)},
+        [FrontView(metrics=tuple(METRICS), points=points)],
+    )
+    assert "<script>alert" not in html_text
+    assert "<img src=x>" not in html_text
+
+
+def test_front_view_computes_its_own_front():
+    points = make_points()
+    view = FrontView(metrics=tuple(METRICS), points=points)
+    assert list(view.front) == pareto_front(points, METRICS)
+    assert "accuracy" in view.title and "max" in view.title

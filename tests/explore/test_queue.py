@@ -1,0 +1,229 @@
+"""Work queue: sharding determinism, claim races, manifest and shard plumbing.
+
+The fault-injection suite (``test_fault_injection.py``) covers crashes and
+corruption; this file pins the sunny-day contracts: any worker count, shard
+layout or claim order produces a byte-identical store and Pareto CSV, and
+racing processes never evaluate a point twice.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+
+import pytest
+
+from repro.explore import (
+    EvaluationSettings,
+    ResultStore,
+    front_csv,
+    journal_events,
+    journal_stats,
+    named_grid,
+    pareto_front,
+    parse_metric,
+    parse_shard,
+    run_sweep,
+    write_manifest,
+)
+from repro.explore.queue import (
+    DseWorker,
+    WorkQueue,
+    resolve_evaluator,
+    run_queue_sweep,
+)
+
+from queue_helpers import (
+    FAST_SETTINGS,
+    fake_evaluate,
+    race_loader,
+    smoke_specs,
+)
+
+#: Fork inherits the parent's memory, so worker processes can run test-local
+#: evaluators without pickling; every multi-process test in this suite needs it.
+fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+
+
+# ------------------------------------------------------------------ plumbing
+
+
+def test_parse_shard_accepts_valid_selectors():
+    assert parse_shard("0/1") == (0, 1)
+    assert parse_shard("2/3") == (2, 3)
+
+
+@pytest.mark.parametrize("text", ["3/3", "-1/2", "1", "a/b", "1/0", "2/1"])
+def test_parse_shard_rejects_invalid_selectors(text):
+    with pytest.raises(ValueError):
+        parse_shard(text)
+
+
+def test_resolve_evaluator_round_trips_and_validates():
+    fn = resolve_evaluator("repro.explore.evaluate:evaluate_point")
+    from repro.explore.evaluate import evaluate_point
+
+    assert fn is evaluate_point
+    with pytest.raises(ValueError):
+        resolve_evaluator("no-colon-here")
+
+
+def test_manifest_is_byte_stable_and_reports_resume(tmp_path):
+    specs = smoke_specs(4)
+    path, resumed = write_manifest(tmp_path, specs, settings=FAST_SETTINGS)
+    assert not resumed
+    first = path.read_bytes()
+    path2, resumed2 = write_manifest(tmp_path, specs, settings=FAST_SETTINGS)
+    assert resumed2 and path2 == path
+    assert path.read_bytes() == first
+    payload = json.loads(first)
+    assert len(payload["tasks"]) == 4
+    # Keys in the manifest match what the evaluator would store under.
+    assert all(len(task["key"]) == 64 for task in payload["tasks"])
+
+
+def test_manifest_rewrite_on_changed_grid(tmp_path):
+    write_manifest(tmp_path, smoke_specs(4), settings=FAST_SETTINGS)
+    _, resumed = write_manifest(tmp_path, smoke_specs(6), settings=FAST_SETTINGS)
+    assert not resumed
+
+
+def test_queue_validates_parameters(tmp_path):
+    with pytest.raises(ValueError):
+        WorkQueue(tmp_path, lease_ttl=0.0)
+    with pytest.raises(ValueError):
+        WorkQueue(tmp_path, max_attempts=0)
+
+
+def test_claim_is_exclusive_and_released_cleanly(tmp_path):
+    write_manifest(tmp_path, smoke_specs(2), settings=FAST_SETTINGS)
+    a = WorkQueue(tmp_path, owner="a", lease_ttl=60.0)
+    b = WorkQueue(tmp_path, owner="b", lease_ttl=60.0)
+    task = a.tasks()[0]
+    lease = a.try_claim(task)
+    assert lease is not None and lease.owner == "a"
+    assert b.try_claim(task) is None  # live lease is honoured
+    a.release(lease)
+    assert b.try_claim(task) is not None  # free again after clean release
+
+
+def test_failed_release_counts_attempts_across_owners(tmp_path):
+    write_manifest(tmp_path, smoke_specs(1), settings=FAST_SETTINGS)
+    a = WorkQueue(tmp_path, owner="a", max_attempts=2)
+    b = WorkQueue(tmp_path, owner="b", max_attempts=2)
+    task = a.tasks()[0]
+    lease = a.try_claim(task)
+    a.release(lease, failed=True, error="boom")
+    # The failed lease is expired on disk: the next claim reclaims attempt 2.
+    lease2 = b.try_claim(task)
+    assert lease2 is not None and lease2.attempt == 2
+    b.release(lease2, failed=True, error="boom again")
+    # Attempt 3 exceeds max_attempts=2: quarantined, never re-issued.
+    assert a.try_claim(task) is None
+    assert a.is_quarantined(task.key)
+    records = a.quarantined()
+    assert len(records) == 1 and records[0]["attempts"] == 3
+
+
+# ------------------------------------------------- sharding determinism
+
+
+def _run_workers(store_dir, shards, reverse=False):
+    """Drain a manifest with in-process workers over the given shards."""
+    for shard in shards:
+        DseWorker(
+            store_dir=store_dir, shard=shard, reverse=reverse,
+            evaluator=fake_evaluate, lease_ttl=30.0,
+        ).run()
+
+
+@pytest.mark.parametrize(
+    "shards,reverse",
+    [
+        ([None], False),
+        ([(0, 2), (1, 2)], False),
+        ([(1, 2), (0, 2)], True),
+        ([(0, 3), (1, 3), (2, 3)], False),
+        ([(2, 3), (0, 3), (1, 3)], True),
+    ],
+)
+def test_any_sharding_yields_byte_identical_stores(tmp_path, shards, reverse):
+    specs = smoke_specs(6)
+    reference = ResultStore(tmp_path / "ref")
+    write_manifest(reference.directory, specs, settings=FAST_SETTINGS)
+    _run_workers(reference.directory, [None])
+
+    store = ResultStore(tmp_path / "sharded")
+    write_manifest(store.directory, specs, settings=FAST_SETTINGS)
+    _run_workers(store.directory, shards, reverse=reverse)
+
+    assert store.entry_digests() == reference.entry_digests()
+    metrics = [parse_metric("accuracy"), parse_metric("energy")]
+    tasks = WorkQueue(store.directory).tasks()
+    points = [store.get(t.key) for t in tasks]
+    ref_points = [reference.get(t.key) for t in tasks]
+    assert front_csv(pareto_front(points, metrics), metrics) == front_csv(
+        pareto_front(ref_points, metrics), metrics
+    )
+    stats = journal_stats(journal_events(store.directory))
+    assert stats["duplicate_completes"] == 0
+    assert stats["completes"] == len(specs)
+
+
+@fork
+def test_queue_sweep_matches_plain_run_sweep(tmp_path):
+    """Real evaluator: ``workers=2`` ≡ ``jobs=1``, byte for byte."""
+    specs = smoke_specs(4)
+    plain = ResultStore(tmp_path / "plain")
+    ref = run_sweep(specs, settings=FAST_SETTINGS, jobs=1, store=plain)
+    queued = ResultStore(tmp_path / "queued")
+    res = run_queue_sweep(
+        specs, settings=FAST_SETTINGS, workers=2, store=queued, lease_ttl=20.0
+    )
+    assert res.complete and not res.quarantined
+    assert res.duplicate_completes == 0
+    assert queued.entry_digests() == plain.entry_digests()
+    assert [p.to_dict() for p in res.points] == [p.to_dict() for p in ref.points]
+    # A second sweep over the same store is fully cache-warm.
+    res2 = run_queue_sweep(
+        specs, settings=FAST_SETTINGS, workers=2, store=queued, lease_ttl=20.0
+    )
+    assert res2.evaluated == 0 and res2.cached == len(specs)
+    assert res2.resume_overhead_pct == 0.0
+
+
+# ------------------------------------------------------- concurrency stress
+
+
+@fork
+def test_racing_load_or_compute_never_double_evaluates(tmp_path):
+    """Two processes race the same key: one computes, both return, quickly."""
+    specs = smoke_specs(1)
+    write_manifest(tmp_path, specs, settings=FAST_SETTINGS)
+    ctx = multiprocessing.get_context("fork")
+    done = ctx.Queue()
+    start = time.monotonic()
+    procs = [
+        ctx.Process(target=race_loader, args=(str(tmp_path), name, done))
+        for name in ("racer-a", "racer-b")
+    ]
+    for proc in procs:
+        proc.start()
+    outcomes = [done.get(timeout=60) for _ in procs]
+    for proc in procs:
+        proc.join(timeout=60)
+    elapsed = time.monotonic() - start
+    assert elapsed < 60, "load_or_compute deadlocked"
+    assert sorted(o["ok"] for o in outcomes) == [True, True]
+    # Exactly one claim, one completion; the loser polled the store.
+    stats = journal_stats(journal_events(tmp_path))
+    assert stats["claims"] == 1
+    assert stats["completes"] == 1
+    assert stats["duplicate_completes"] == 0
+    # Both processes returned the same bytes.
+    assert outcomes[0]["digest"] == outcomes[1]["digest"]
+    assert sum(o["computed"] for o in outcomes) == 1

@@ -186,3 +186,51 @@ def test_missing_point_fields_are_misses(tmp_path):
 def test_len_counts_entries_without_a_directory(tmp_path):
     store = ResultStore(tmp_path / "never-created")
     assert len(store) == 0
+
+
+def test_corrupt_heal_is_not_silent(tmp_path):
+    """Every heal increments ``dse_store_corrupt_total`` — pinned here."""
+    from repro.obs import metrics as _metrics
+
+    store = ResultStore(tmp_path)
+    key = point_key(SPEC, SETTINGS, umc_ll_library(), "batch")
+    counter = _metrics.default_registry().counter(
+        "dse_store_corrupt_total",
+        "ResultStore entries that failed validation and were healed.",
+    )
+    before = counter.value()
+    store.put(key, make_point())
+    store._path(key).write_text("{ not json at all")
+    assert store.get(key) is None
+    assert counter.value() == before + 1
+    # A healthy get does not touch the counter.
+    store.put(key, make_point())
+    assert store.get(key) is not None
+    assert counter.value() == before + 1
+    # And the heal is visible in tracing: a store.corrupt warning span.
+    from repro.obs import trace as _trace
+
+    with _trace.capture() as captured:
+        store._path(key).write_text("[1, 2]")
+        assert store.get(key) is None
+    corrupt_spans = [r for r in captured.records if r.name == "store.corrupt"]
+    assert len(corrupt_spans) == 1
+    assert corrupt_spans[0].attrs["severity"] == "warning"
+    assert counter.value() == before + 2
+
+
+def test_entry_digests_fingerprint_the_bytes(tmp_path):
+    store = ResultStore(tmp_path)
+    assert store.entry_digests() == {}
+    key = point_key(SPEC, SETTINGS, umc_ll_library(), "batch")
+    store.put(key, make_point())
+    digests = store.entry_digests()
+    assert set(digests) == {key}
+    # Same content, same digest; different content, different digest.
+    store.put(key, make_point())
+    assert store.entry_digests() == digests
+    other = dataclasses.replace(SPEC, clauses_per_polarity=4)
+    key2 = point_key(other, SETTINGS, umc_ll_library(), "batch")
+    store.put(key2, make_point(other))
+    updated = store.entry_digests()
+    assert updated[key] == digests[key] and updated[key2] != digests[key]
